@@ -1,0 +1,348 @@
+(* mmap: command-line front end for the FPGA memory mapper.
+
+   Subcommands:
+     solve     map a design file onto a board file and print the report
+     generate  emit a synthetic board + design pair (Table 3 style)
+     devices   print the built-in device library (the paper's Table 1)
+     example   write template board/design files to get started *)
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let read_board path =
+  match Mm_io.Board_file.of_file path with
+  | Ok b -> b
+  | Error e ->
+      Printf.eprintf "error reading board %s: %s\n" path e;
+      exit 1
+
+let read_design path =
+  match Mm_io.Design_file.of_file path with
+  | Ok d -> d
+  | Error e ->
+      Printf.eprintf "error reading design %s: %s\n" path e;
+      exit 1
+
+(* ---- solve ---------------------------------------------------------- *)
+
+let weights_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ a; b; c ] -> (
+        match (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c) with
+        | Some latency, Some pin_delay, Some pin_io ->
+            Ok { Mm_mapping.Cost.latency; pin_delay; pin_io }
+        | _ -> Error (`Msg "weights must be three floats: LAT,PIN_DELAY,PIN_IO"))
+    | _ -> Error (`Msg "weights must be three floats: LAT,PIN_DELAY,PIN_IO")
+  in
+  let print fmt (w : Mm_mapping.Cost.weights) =
+    Format.fprintf fmt "%g,%g,%g" w.Mm_mapping.Cost.latency
+      w.Mm_mapping.Cost.pin_delay w.Mm_mapping.Cost.pin_io
+  in
+  Arg.conv (parse, print)
+
+let solve_cmd =
+  let board_arg =
+    Arg.(required & opt (some file) None & info [ "board"; "b" ] ~docv:"FILE"
+           ~doc:"Board description file.")
+  in
+  let design_arg =
+    Arg.(required & opt (some file) None & info [ "design"; "d" ] ~docv:"FILE"
+           ~doc:"Design description file.")
+  in
+  let method_arg =
+    Arg.(value & opt (enum [ ("global", `Global); ("complete", `Complete) ]) `Global
+         & info [ "method" ]
+             ~doc:"$(b,global) for the paper's global/detailed pipeline, \
+                   $(b,complete) for the flat baseline ILP.")
+  in
+  let weights_arg =
+    Arg.(value & opt weights_conv Mm_mapping.Cost.default_weights
+         & info [ "weights"; "w" ] ~docv:"L,PD,PIO"
+             ~doc:"Objective weights: latency, pin delay, pin I/O.")
+  in
+  let profiled_arg =
+    Arg.(value & flag & info [ "profiled" ]
+           ~doc:"Use profiled access counts instead of the paper's \
+                 reads = writes = depth assumption.")
+  in
+  let detailed_arg =
+    Arg.(value & opt (enum [ ("greedy", Mm_mapping.Mapper.Greedy); ("ilp", Mm_mapping.Mapper.Ilp) ])
+           Mm_mapping.Mapper.Greedy
+         & info [ "detailed" ] ~doc:"Detailed-mapping engine.")
+  in
+  let time_limit_arg =
+    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget for each ILP solve.")
+  in
+  let lp_out_arg =
+    Arg.(value & opt (some string) None & info [ "lp-out" ] ~docv:"FILE"
+           ~doc:"Also dump the global ILP in CPLEX LP format.")
+  in
+  let mps_out_arg =
+    Arg.(value & opt (some string) None & info [ "mps-out" ] ~docv:"FILE"
+           ~doc:"Also dump the global ILP in MPS format.")
+  in
+  let placements_arg =
+    Arg.(value & flag & info [ "placements" ]
+           ~doc:"Print the instance-by-instance placement table.")
+  in
+  let arbitration_arg =
+    Arg.(value & flag & info [ "arbitration" ]
+           ~doc:"Allow lifetime-disjoint segments to share ports (the                  paper's Section 6 extension).")
+  in
+  let port_model_arg =
+    Arg.(value
+         & opt (enum [ ("fig3", Mm_mapping.Preprocess.Fig3);
+                       ("improved", Mm_mapping.Preprocess.Improved) ])
+             Mm_mapping.Preprocess.Fig3
+         & info [ "port-model" ]
+             ~doc:"Consumed-port estimate: $(b,fig3) (the paper) or                    $(b,improved) (Section 6 refinement for >2-port banks).")
+  in
+  let run () board design method_ weights profiled detailed time_limit lp_out
+      mps_out placements arbitration port_model =
+    let board = read_board board and design = read_design design in
+    let options =
+      {
+        Mm_mapping.Mapper.default_options with
+        weights;
+        access_model =
+          (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform);
+        detailed;
+        arbitration;
+        port_model;
+        solver_options =
+          (match time_limit with
+          | Some tl -> Mm_lp.Solver.quick_options ~time_limit:tl ()
+          | None -> Mm_lp.Solver.default_options);
+      }
+    in
+    let dump out writer =
+      match out with
+      | None -> ()
+      | Some path -> (
+          match
+            Mm_mapping.Global_ilp.build ~weights
+              ~access_model:options.Mm_mapping.Mapper.access_model board design
+          with
+          | Ok b ->
+              writer b.Mm_mapping.Global_ilp.problem path;
+              Printf.printf "wrote %s\n" path
+          | Error e -> Printf.eprintf "cannot build ILP: %s\n" e)
+    in
+    dump lp_out Mm_lp.Lp_format.write;
+    dump mps_out Mm_lp.Mps.write;
+    let method_ =
+      match method_ with
+      | `Global -> Mm_mapping.Mapper.Global_detailed
+      | `Complete -> Mm_mapping.Mapper.Complete_flat
+    in
+    match Mm_mapping.Mapper.run ~method_ ~options board design with
+    | Error e ->
+        Printf.eprintf "%s\n" (Mm_mapping.Mapper.error_to_string e);
+        exit 1
+    | Ok o ->
+        if placements then print_string (Mm_mapping.Report.outcome board design o)
+        else begin
+          Printf.printf
+            "objective %.1f | ILP %.3fs | detailed %.3fs | retries %d\n"
+            o.Mm_mapping.Mapper.objective o.Mm_mapping.Mapper.ilp_seconds
+            o.Mm_mapping.Mapper.detailed_seconds o.Mm_mapping.Mapper.retries;
+          print_string
+            (Mm_mapping.Report.assignment_summary board design
+               o.Mm_mapping.Mapper.assignment);
+          print_string
+            (Mm_mapping.Report.cost_breakdown ~weights
+               ~access_model:options.Mm_mapping.Mapper.access_model board design
+               o.Mm_mapping.Mapper.assignment)
+        end;
+        let violations =
+          Mm_mapping.Validate.check ~port_model ~arbitration board design
+            o.Mm_mapping.Mapper.mapping
+        in
+        if violations <> [] then begin
+          Printf.eprintf "INTERNAL: %d validation violations\n"
+            (List.length violations);
+          exit 3
+        end
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Map a design onto a board.")
+    Term.(
+      const run $ logs_term $ board_arg $ design_arg $ method_arg $ weights_arg
+      $ profiled_arg $ detailed_arg $ time_limit_arg $ lp_out_arg
+      $ mps_out_arg $ placements_arg $ arbitration_arg $ port_model_arg)
+
+(* ---- generate ------------------------------------------------------- *)
+
+let generate_cmd =
+  let segments_arg =
+    Arg.(value & opt int 22 & info [ "segments" ] ~docv:"N" ~doc:"Data segments.")
+  in
+  let banks_arg =
+    Arg.(value & opt int 13 & info [ "banks" ] ~docv:"N" ~doc:"Total banks.")
+  in
+  let ports_arg =
+    Arg.(value & opt int 25 & info [ "ports" ] ~docv:"N" ~doc:"Total ports.")
+  in
+  let configs_arg =
+    Arg.(value & opt int 50 & info [ "configs" ] ~docv:"N"
+           ~doc:"Total configuration settings over multi-config ports.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let out_board_arg =
+    Arg.(value & opt string "board.mm" & info [ "out-board" ] ~docv:"FILE"
+           ~doc:"Output board file.")
+  in
+  let out_design_arg =
+    Arg.(value & opt string "design.mm" & info [ "out-design" ] ~docv:"FILE"
+           ~doc:"Output design file.")
+  in
+  let run () segments banks ports configs seed out_board out_design =
+    let spec = { Mm_workload.Gen.segments; banks; ports; configs; seed } in
+    match Mm_workload.Gen.instance spec with
+    | board, design ->
+        Mm_io.Board_file.to_file board out_board;
+        Mm_io.Design_file.to_file design out_design;
+        Printf.printf "wrote %s (%d banks, %d ports, %d configs) and %s (%d segments)\n"
+          out_board
+          (Mm_arch.Board.total_banks board)
+          (Mm_arch.Board.total_ports board)
+          (Mm_arch.Board.total_configs board)
+          out_design
+          (Mm_design.Design.num_segments design)
+    | exception Invalid_argument m ->
+        Printf.eprintf "cannot generate: %s\n" m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a synthetic board/design pair with exact Table 3 \
+             complexity parameters.")
+    Term.(
+      const run $ logs_term $ segments_arg $ banks_arg $ ports_arg $ configs_arg
+      $ seed_arg $ out_board_arg $ out_design_arg)
+
+(* ---- devices --------------------------------------------------------- *)
+
+let devices_cmd =
+  let run () =
+    let t =
+      Mm_util.Table.create
+        [
+          ("Device", Mm_util.Table.Left);
+          ("RAM", Mm_util.Table.Left);
+          ("Banks", Mm_util.Table.Center);
+          ("Bits", Mm_util.Table.Right);
+          ("Configurations", Mm_util.Table.Left);
+        ]
+    in
+    List.iter
+      (fun (e : Mm_arch.Devices.device_entry) ->
+        Mm_util.Table.add_row t
+          [
+            e.Mm_arch.Devices.family;
+            e.Mm_arch.Devices.ram_name;
+            Printf.sprintf "%d-%d" e.Mm_arch.Devices.banks_min
+              e.Mm_arch.Devices.banks_max;
+            string_of_int e.Mm_arch.Devices.size_bits;
+            String.concat " "
+              (List.map Mm_arch.Config.to_string e.Mm_arch.Devices.config_list);
+          ])
+      Mm_arch.Devices.table1;
+    Mm_util.Table.print t
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"Print the built-in device library (Table 1).")
+    Term.(const run $ logs_term)
+
+(* ---- example --------------------------------------------------------- *)
+
+let example_cmd =
+  let run () =
+    Mm_io.Board_file.to_file (Mm_arch.Devices.virtex_board ()) "board.mm";
+    let design =
+      Mm_design.Design.make ~name:"example"
+        [
+          Mm_design.Segment.make ~name:"coeffs" ~depth:128 ~width:16 ();
+          Mm_design.Segment.make ~name:"window" ~depth:512 ~width:8 ();
+          Mm_design.Segment.make ~name:"frame" ~depth:65536 ~width:8 ();
+        ]
+    in
+    Mm_io.Design_file.to_file design "design.mm";
+    print_endline "wrote board.mm and design.mm; try: mmap solve -b board.mm -d design.mm"
+  in
+  Cmd.v (Cmd.info "example" ~doc:"Write template board.mm and design.mm files.")
+    Term.(const run $ logs_term)
+
+
+(* ---- solve-mps ------------------------------------------------------- *)
+
+let solve_mps_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"MPS file to solve.")
+  in
+  let time_limit_arg =
+    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget.")
+  in
+  let print_solution_arg =
+    Arg.(value & flag & info [ "solution" ] ~doc:"Print variable values.")
+  in
+  let run () file time_limit print_solution =
+    let parsed =
+      if Filename.check_suffix file ".lp" then Mm_lp.Lp_format.of_file file
+      else Mm_lp.Mps.of_file file
+    in
+    match parsed with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+    | Ok p -> (
+        Format.printf "%s: %a\n%!" file Mm_lp.Problem.pp_stats p;
+        let options =
+          match time_limit with
+          | Some tl -> Mm_lp.Solver.quick_options ~time_limit:tl ()
+          | None -> Mm_lp.Solver.default_options
+        in
+        let r = Mm_lp.Solver.solve ~options p in
+        let mip = r.Mm_lp.Solver.mip in
+        let status =
+          match mip.Mm_lp.Branch_bound.status with
+          | Mm_lp.Branch_bound.Optimal -> "optimal"
+          | Mm_lp.Branch_bound.Feasible -> "feasible (limit hit)"
+          | Mm_lp.Branch_bound.Infeasible -> "infeasible"
+          | Mm_lp.Branch_bound.Unbounded -> "unbounded"
+          | Mm_lp.Branch_bound.Unknown -> "unknown (limit hit)"
+        in
+        Printf.printf "status: %s | nodes: %d | time: %.3fs\n" status
+          mip.Mm_lp.Branch_bound.nodes mip.Mm_lp.Branch_bound.time;
+        (match mip.Mm_lp.Branch_bound.objective with
+        | Some o -> Printf.printf "objective: %.9g\n" o
+        | None -> ());
+        match (print_solution, mip.Mm_lp.Branch_bound.solution) with
+        | true, Some x ->
+            Array.iteri
+              (fun j v ->
+                if Float.abs v > 1e-9 then
+                  Printf.printf "  %s = %.9g\n" p.Mm_lp.Problem.col_names.(j) v)
+              x
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "solve-mps"
+       ~doc:"Solve an arbitrary MPS (or .lp) file with the built-in MIP              solver.")
+    Term.(const run $ logs_term $ file_arg $ time_limit_arg $ print_solution_arg)
+
+let () =
+  let info =
+    Cmd.info "mmap" ~version:"1.0.0"
+      ~doc:"Global/detailed memory mapping for FPGA-based reconfigurable systems"
+  in
+  exit (Cmd.eval (Cmd.group info [ solve_cmd; solve_mps_cmd; generate_cmd; devices_cmd; example_cmd ]))

@@ -1,0 +1,1 @@
+examples/dsp_voice.ml: Array List Mm_arch Mm_design Mm_mapping Printf

@@ -1,0 +1,1 @@
+examples/dual_processor.ml: Array Mm_arch Mm_design Mm_mapping Printf

@@ -1,0 +1,1 @@
+examples/heterogeneous_board.ml: Array Float Mm_arch Mm_design Mm_mapping Printf

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array List Mm_arch Mm_design Mm_mapping Printf

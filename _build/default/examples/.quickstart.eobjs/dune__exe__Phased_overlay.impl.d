@@ -1,0 +1,1 @@
+examples/phased_overlay.ml: Array List Mm_arch Mm_design Mm_mapping Mm_util Printf

@@ -1,0 +1,1 @@
+examples/phased_overlay.mli:

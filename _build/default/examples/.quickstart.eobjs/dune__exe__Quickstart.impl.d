@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mm_arch Mm_design Mm_mapping Printf

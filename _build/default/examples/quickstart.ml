@@ -1,0 +1,45 @@
+(* Quickstart: map four data structures onto a Virtex-class board.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. The target board. The device library ships the paper's Table 1
+     parts; this is an XCV1000-class board with 32 on-chip BlockRAMs,
+     four off-chip SRAM banks and one far-away DRAM. *)
+  let board = Mm_arch.Devices.virtex_board () in
+  print_string (Mm_arch.Board.describe board);
+
+  (* 2. The design: data segments with depth (words) and width (bits).
+     Access counts are optional; by default the paper's assumption
+     (reads = writes = depth) applies. *)
+  let seg name depth width =
+    Mm_design.Segment.make ~name ~depth ~width ()
+  in
+  let design =
+    Mm_design.Design.make ~name:"quickstart"
+      [
+        seg "coefficients" 128 16;
+        seg "input_window" 512 8;
+        seg "partial_sums" 256 24;
+        seg "frame_buffer" 65536 8;
+      ]
+  in
+  print_string (Mm_design.Design.describe design);
+
+  (* 3. Run the paper's pipeline: global ILP (type assignment), then
+     detailed mapping (instances, ports, offsets). *)
+  match Mm_mapping.Mapper.run board design with
+  | Error e ->
+      prerr_endline (Mm_mapping.Mapper.error_to_string e);
+      exit 1
+  | Ok outcome ->
+      print_string (Mm_mapping.Report.outcome board design outcome);
+      (* 4. Every mapping can be checked against the paper's legality
+         rules (Fig. 3 port counts, power-of-two fragments, exclusive
+         ports, capacity). *)
+      let violations =
+        Mm_mapping.Validate.check board design outcome.Mm_mapping.Mapper.mapping
+      in
+      Printf.printf "\nValidator: %s\n"
+        (if violations = [] then "mapping is legal"
+         else Printf.sprintf "%d violations!" (List.length violations))

@@ -1,0 +1,1 @@
+lib/arch/bank_type.ml: Array Config Format List Printf String

@@ -1,0 +1,1 @@
+lib/arch/bank_type.mli: Config Format

@@ -1,0 +1,1 @@
+lib/arch/board.ml: Array Bank_type Buffer List Printf

@@ -1,0 +1,1 @@
+lib/arch/board.mli: Bank_type

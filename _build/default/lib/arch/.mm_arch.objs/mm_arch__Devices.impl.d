@@ -1,0 +1,1 @@
+lib/arch/devices.ml: Bank_type Board Config

@@ -1,0 +1,99 @@
+type t = {
+  name : string;
+  instances : int;
+  ports : int;
+  configs : Config.t array;
+  read_latency : int;
+  write_latency : int;
+  pins_traversed : int;
+  pu_pins : int array;
+}
+
+let make_internal ~name ~instances ~ports ~configs ~read_latency
+    ~write_latency ~pins_traversed ~pu_pins =
+  if instances <= 0 then invalid_arg "Bank_type.make: instances <= 0";
+  if ports <= 0 then invalid_arg "Bank_type.make: ports <= 0";
+  if configs = [] then invalid_arg "Bank_type.make: no configurations";
+  if read_latency < 0 || write_latency < 0 then
+    invalid_arg "Bank_type.make: negative latency";
+  if pins_traversed < 0 || Array.exists (fun p -> p < 0) pu_pins then
+    invalid_arg "Bank_type.make: negative pins";
+  let configs = List.sort Config.compare_width configs in
+  let cap = Config.bits (List.hd configs) in
+  List.iter
+    (fun c ->
+      if Config.bits c <> cap then
+        invalid_arg "Bank_type.make: configurations differ in capacity")
+    configs;
+  let rec check_distinct = function
+    | a :: (b :: _ as rest) ->
+        if a.Config.width = b.Config.width then
+          invalid_arg "Bank_type.make: duplicate configuration width";
+        check_distinct rest
+    | _ -> ()
+  in
+  check_distinct configs;
+  {
+    name;
+    instances;
+    ports;
+    configs = Array.of_list configs;
+    read_latency;
+    write_latency;
+    pins_traversed;
+    pu_pins;
+  }
+
+let make ~name ~instances ~ports ~configs ~read_latency ~write_latency
+    ~pins_traversed =
+  make_internal ~name ~instances ~ports ~configs ~read_latency ~write_latency
+    ~pins_traversed ~pu_pins:[| pins_traversed |]
+
+let make_multi_pu ~name ~instances ~ports ~configs ~read_latency
+    ~write_latency ~pu_pins =
+  match pu_pins with
+  | [] -> invalid_arg "Bank_type.make_multi_pu: empty pu_pins"
+  | p0 :: _ ->
+      make_internal ~name ~instances ~ports ~configs ~read_latency
+        ~write_latency ~pins_traversed:p0 ~pu_pins:(Array.of_list pu_pins)
+
+let capacity_bits t = Config.bits t.configs.(0)
+let total_capacity_bits t = t.instances * capacity_bits t
+let total_ports t = t.instances * t.ports
+let num_configs t = Array.length t.configs
+let is_multi_config t = num_configs t > 1
+let is_on_chip t = t.pins_traversed = 0
+let widest t = t.configs.(Array.length t.configs - 1)
+let narrowest t = t.configs.(0)
+
+let config_with_width_at_least t w =
+  let rec find i =
+    if i >= Array.length t.configs then widest t
+    else if t.configs.(i).Config.width >= w then t.configs.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let round_trip_latency t = t.read_latency + t.write_latency
+let num_pus t = Array.length t.pu_pins
+
+let pins_from t pu =
+  if pu >= 0 && pu < Array.length t.pu_pins then t.pu_pins.(pu)
+  else t.pins_traversed
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%dx, %dp, %s)" t.name t.instances t.ports
+    (String.concat "/" (Array.to_list (Array.map Config.to_string t.configs)))
+
+let describe t =
+  let pins =
+    if num_pus t > 1 then
+      Printf.sprintf "pins/PU=%s"
+        (String.concat "," (Array.to_list (Array.map string_of_int t.pu_pins)))
+    else Printf.sprintf "pins=%d" t.pins_traversed
+  in
+  Printf.sprintf
+    "%s: %d instance(s), %d port(s), %d bits each, configs %s, RL=%d WL=%d, %s"
+    t.name t.instances t.ports (capacity_bits t)
+    (String.concat "/" (Array.to_list (Array.map Config.to_string t.configs)))
+    t.read_latency t.write_latency pins

@@ -1,0 +1,90 @@
+(** A physical memory bank *type* (Fig. 1 and Section 3.1 of the paper).
+
+    A bank type is a collection of identical physical memories: same
+    storage, same port count, same depth/width configurations, same
+    read/write latency and same proximity (pins traversed) to the
+    processing unit. Global mapping assigns data structures to types;
+    detailed mapping picks concrete instances. *)
+
+type t = private {
+  name : string;
+  instances : int;  (** [It]: number of identical banks of this type *)
+  ports : int;  (** [Pt]: ports per bank (1 = single-ported, ...) *)
+  configs : Config.t array;
+      (** [Ct] depth/width settings, all with the same capacity,
+          sorted by increasing width *)
+  read_latency : int;  (** [RLt], clock cycles *)
+  write_latency : int;  (** [WLt], clock cycles *)
+  pins_traversed : int;
+      (** [Tt]: 0 = on-chip, 2 = directly attached off-chip, more for
+          indirect connections — the distance from processing unit 0 *)
+  pu_pins : int array;
+      (** pin distances from each processing unit (Section 6 multi-PU
+          extension); [pu_pins.(0) = pins_traversed]. Boards built
+          without multi-PU data have a single entry. *)
+}
+
+val make :
+  name:string ->
+  instances:int ->
+  ports:int ->
+  configs:Config.t list ->
+  read_latency:int ->
+  write_latency:int ->
+  pins_traversed:int ->
+  t
+(** Validates and normalizes (configs sorted by increasing width).
+    Raises [Invalid_argument] when: no configs; configs with unequal
+    capacities; non-positive instances/ports; negative latencies or
+    pins. Single-PU: [pu_pins] is [[| pins_traversed |]]. *)
+
+val make_multi_pu :
+  name:string ->
+  instances:int ->
+  ports:int ->
+  configs:Config.t list ->
+  read_latency:int ->
+  write_latency:int ->
+  pu_pins:int list ->
+  t
+(** Like {!make} for a multi-processing-unit board (the Section 6
+    extension): [pu_pins] lists the pin distance from every processing
+    unit; the head becomes [pins_traversed] (the PU-0 distance).
+    Raises [Invalid_argument] on an empty list or negative distances. *)
+
+val capacity_bits : t -> int
+(** Capacity of one instance in bits (identical across configurations —
+    "the capacity of each configuration is a constant"). *)
+
+val total_capacity_bits : t -> int
+(** [instances * capacity_bits]. *)
+
+val total_ports : t -> int
+(** [instances * ports]. *)
+
+val num_configs : t -> int
+val is_multi_config : t -> bool
+val is_on_chip : t -> bool
+(** [pins_traversed = 0]. *)
+
+val widest : t -> Config.t
+val narrowest : t -> Config.t
+
+val config_with_width_at_least : t -> int -> Config.t
+(** Smallest-width configuration whose width is [>= w]; the widest
+    configuration when [w] exceeds all widths. This is the α / β
+    selection rule of Section 4.1.1. *)
+
+val round_trip_latency : t -> int
+(** [read_latency + write_latency], the [RLt + WLt] cost term. *)
+
+val num_pus : t -> int
+(** Number of processing units this type carries distances for. *)
+
+val pins_from : t -> int -> int
+(** [pins_from t pu] is the pin distance from processing unit [pu];
+    types without data for [pu] fall back to the PU-0 distance. *)
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> string
+(** Multi-line human-readable description. *)

@@ -1,0 +1,45 @@
+type t = { name : string; bank_types : Bank_type.t array }
+
+let make ~name types =
+  if types = [] then invalid_arg "Board.make: no bank types";
+  let names = List.map (fun (bt : Bank_type.t) -> bt.Bank_type.name) types in
+  let sorted = List.sort_uniq compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg "Board.make: duplicate bank type names";
+  { name; bank_types = Array.of_list types }
+
+let num_types t = Array.length t.bank_types
+let bank_type t i = t.bank_types.(i)
+
+let find_type t name =
+  let rec find i =
+    if i >= Array.length t.bank_types then None
+    else if t.bank_types.(i).Bank_type.name = name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let sum f t = Array.fold_left (fun acc bt -> acc + f bt) 0 t.bank_types
+let total_banks t = sum (fun bt -> bt.Bank_type.instances) t
+let total_ports t = sum Bank_type.total_ports t
+
+let total_configs t =
+  sum
+    (fun bt ->
+      if Bank_type.is_multi_config bt then
+        Bank_type.total_ports bt * Bank_type.num_configs bt
+      else 0)
+    t
+
+let total_capacity_bits t = sum Bank_type.total_capacity_bits t
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Board %s: %d bank type(s), %d banks, %d ports, %d bits\n"
+       t.name (num_types t) (total_banks t) (total_ports t)
+       (total_capacity_bits t));
+  Array.iter
+    (fun bt -> Buffer.add_string buf ("  " ^ Bank_type.describe bt ^ "\n"))
+    t.bank_types;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** A reconfigurable-computing board: the fixed memory hierarchy visible
+    to one processing unit (the paper's single-FPGA assumption,
+    Section 3). *)
+
+type t = private { name : string; bank_types : Bank_type.t array }
+
+val make : name:string -> Bank_type.t list -> t
+(** Raises [Invalid_argument] on an empty type list or duplicate type
+    names. *)
+
+val num_types : t -> int
+val bank_type : t -> int -> Bank_type.t
+val find_type : t -> string -> int option
+
+val total_banks : t -> int
+(** Σ It — the "Total #banks" complexity column of Table 3. *)
+
+val total_ports : t -> int
+(** Σ It·Pt — the "Total #ports" column of Table 3. *)
+
+val total_configs : t -> int
+(** Σ over multi-configuration ports of the number of configurations
+    (single-configuration banks contribute 0) — the "Total #configs"
+    column of Table 3. *)
+
+val total_capacity_bits : t -> int
+
+val describe : t -> string
+(** Multi-line inventory of all bank types. *)

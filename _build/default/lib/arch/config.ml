@@ -1,0 +1,11 @@
+type t = { depth : int; width : int }
+
+let make ~depth ~width =
+  if depth <= 0 || width <= 0 then invalid_arg "Config.make";
+  { depth; width }
+
+let bits c = c.depth * c.width
+let equal a b = a.depth = b.depth && a.width = b.width
+let compare_width a b = compare a.width b.width
+let to_string c = Printf.sprintf "%dx%d" c.depth c.width
+let pp fmt c = Format.pp_print_string fmt (to_string c)

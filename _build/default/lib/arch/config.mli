@@ -1,0 +1,20 @@
+(** A depth/width configuration of a memory bank port (Fig. 1).
+
+    Banks such as the Xilinx Virtex BlockRAM expose the same physical
+    bits under several aspect ratios (4096x1 ... 256x16); a configuration
+    is one such ratio. *)
+
+type t = { depth : int; width : int }
+
+val make : depth:int -> width:int -> t
+(** Raises [Invalid_argument] unless both are positive. *)
+
+val bits : t -> int
+(** Total capacity in bits, [depth * width]. *)
+
+val equal : t -> t -> bool
+val compare_width : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints as ["4096x1"] (depth x width, as in the paper's Table 1). *)
+
+val to_string : t -> string

@@ -1,0 +1,94 @@
+let cfg depth width = Config.make ~depth ~width
+
+let virtex_configs =
+  [ cfg 4096 1; cfg 2048 2; cfg 1024 4; cfg 512 8; cfg 256 16 ]
+
+let altera_configs =
+  [ cfg 2048 1; cfg 1024 2; cfg 512 4; cfg 256 8; cfg 128 16 ]
+
+let virtex_blockram ?(name = "BlockRAM") ~instances () =
+  Bank_type.make ~name ~instances ~ports:2 ~configs:virtex_configs
+    ~read_latency:1 ~write_latency:1 ~pins_traversed:0
+
+let flex10k_eab ?(name = "EAB") ~instances () =
+  Bank_type.make ~name ~instances ~ports:1 ~configs:altera_configs
+    ~read_latency:1 ~write_latency:1 ~pins_traversed:0
+
+let apex_esb ?(name = "ESB") ~instances () =
+  Bank_type.make ~name ~instances ~ports:2 ~configs:altera_configs
+    ~read_latency:1 ~write_latency:1 ~pins_traversed:0
+
+let offchip_sram ?(name = "SRAM") ?(instances = 1) ?(depth = 65536)
+    ?(width = 32) ?(ports = 1) ?(read_latency = 2) ?(write_latency = 3)
+    ?(pins_traversed = 2) () =
+  Bank_type.make ~name ~instances ~ports ~configs:[ cfg depth width ]
+    ~read_latency ~write_latency ~pins_traversed
+
+let offchip_dram ?(name = "DRAM") ?(instances = 1) ?(depth = 1048576)
+    ?(width = 32) () =
+  Bank_type.make ~name ~instances ~ports:1 ~configs:[ cfg depth width ]
+    ~read_latency:6 ~write_latency:7 ~pins_traversed:4
+
+type device_entry = {
+  family : string;
+  ram_name : string;
+  banks_min : int;
+  banks_max : int;
+  size_bits : int;
+  config_list : Config.t list;
+}
+
+let table1 =
+  [
+    {
+      family = "Xilinx Virtex";
+      ram_name = "BlockRAM";
+      banks_min = 8;
+      banks_max = 208;
+      size_bits = 4096;
+      config_list = virtex_configs;
+    };
+    {
+      family = "Altera Flex 10K";
+      ram_name = "Embedded Array Block";
+      banks_min = 9;
+      banks_max = 20;
+      size_bits = 2048;
+      config_list = altera_configs;
+    };
+    {
+      family = "Altera Apex E";
+      ram_name = "Embedded System Block";
+      banks_min = 12;
+      banks_max = 216;
+      size_bits = 2048;
+      config_list = altera_configs;
+    };
+  ]
+
+let virtex_board () =
+  Board.make ~name:"virtex-xcv1000"
+    [
+      virtex_blockram ~instances:32 ();
+      offchip_sram ~name:"ZBT-SRAM" ~instances:4 ~depth:524288 ~width:32 ();
+      offchip_dram ~instances:1 ();
+    ]
+
+let apex_board () =
+  Board.make ~name:"apex-ep20k400"
+    [
+      apex_esb ~instances:104 ();
+      offchip_sram ~instances:2 ~depth:262144 ~width:16 ();
+    ]
+
+let flex_board () =
+  Board.make ~name:"flex-epf10k100"
+    [
+      flex10k_eab ~instances:12 ();
+      offchip_sram ~instances:2 ~depth:131072 ~width:8 ();
+    ]
+
+let paper_example_bank ?(instances = 16) () =
+  Bank_type.make ~name:"fig2-bank" ~instances ~ports:3
+    ~configs:[ cfg 128 1; cfg 64 2; cfg 32 4; cfg 16 8 ]
+    ~read_latency:1 ~write_latency:1 ~pins_traversed:0

@@ -1,0 +1,67 @@
+(** Device library reproducing the paper's Table 1 plus representative
+    off-chip memories and complete boards.
+
+    On-chip data is taken from Table 1 verbatim: Virtex BlockRAMs
+    (4096 bits, 8-208 banks per device), FLEX 10K EABs (2048 bits, 9-20
+    banks) and APEX-E ESBs (2048 bits, 12-216 banks), each with the five
+    depth/width configurations the table lists. Latencies and port
+    counts follow the datasheets referenced by the paper: BlockRAMs and
+    ESBs are true dual-port, EABs single-port, all with 1-cycle
+    synchronous access. *)
+
+val virtex_blockram : ?name:string -> instances:int -> unit -> Bank_type.t
+(** 4096-bit dual-port BlockRAM; configs 4096x1 ... 256x16. *)
+
+val flex10k_eab : ?name:string -> instances:int -> unit -> Bank_type.t
+(** 2048-bit single-port EAB; configs 2048x1 ... 128x16. *)
+
+val apex_esb : ?name:string -> instances:int -> unit -> Bank_type.t
+(** 2048-bit dual-port ESB; configs 2048x1 ... 128x16. *)
+
+val offchip_sram :
+  ?name:string ->
+  ?instances:int ->
+  ?depth:int ->
+  ?width:int ->
+  ?ports:int ->
+  ?read_latency:int ->
+  ?write_latency:int ->
+  ?pins_traversed:int ->
+  unit ->
+  Bank_type.t
+(** Directly attached off-chip SRAM. Defaults: 1 instance of a
+    single-port 64Kx32 bank, RL=2, WL=3, 2 pins traversed. *)
+
+val offchip_dram :
+  ?name:string -> ?instances:int -> ?depth:int -> ?width:int -> unit -> Bank_type.t
+(** Indirectly connected bulk memory: single-port, RL=6, WL=7, 4 pins. *)
+
+(** {2 Device inventory (Table 1)} *)
+
+type device_entry = {
+  family : string;  (** e.g. "Xilinx Virtex" *)
+  ram_name : string;  (** e.g. "BlockRAM" *)
+  banks_min : int;
+  banks_max : int;
+  size_bits : int;
+  config_list : Config.t list;
+}
+
+val table1 : device_entry list
+(** The three rows of the paper's Table 1. *)
+
+(** {2 Representative boards} *)
+
+val virtex_board : unit -> Board.t
+(** An XCV1000-class board: 32 BlockRAMs on chip, 4 directly attached
+    512Kx32 SRAM banks, 1 indirect DRAM bank. *)
+
+val apex_board : unit -> Board.t
+(** An EP20K400-class board: 104 ESBs, 2 off-chip SRAM banks. *)
+
+val flex_board : unit -> Board.t
+(** An EPF10K100-class board: 12 EABs, 2 off-chip SRAM banks. *)
+
+val paper_example_bank : ?instances:int -> unit -> Bank_type.t
+(** The 3-port, 128-bit bank of the paper's Fig. 2 example
+    (configurations 128x1, 64x2, 32x4, 16x8). *)

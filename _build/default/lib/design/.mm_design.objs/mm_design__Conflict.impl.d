@@ -1,0 +1,1 @@
+lib/design/conflict.ml: Array List Mm_util Set

@@ -1,0 +1,1 @@
+lib/design/design.ml: Array Buffer Conflict Lifetime List Printf Schedule Segment

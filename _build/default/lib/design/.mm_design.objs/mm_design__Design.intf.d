@@ -1,0 +1,1 @@
+lib/design/design.mli: Conflict Dfg Lifetime Schedule Segment

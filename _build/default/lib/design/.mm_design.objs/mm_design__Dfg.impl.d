@@ -1,0 +1,1 @@
+lib/design/dfg.ml: Array List Mm_util Queue

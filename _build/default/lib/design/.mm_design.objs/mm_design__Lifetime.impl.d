@@ -1,0 +1,1 @@
+lib/design/lifetime.ml: Array Conflict List Mm_util

@@ -1,0 +1,1 @@
+lib/design/lifetime.mli: Conflict

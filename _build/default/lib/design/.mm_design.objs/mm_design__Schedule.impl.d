@@ -1,0 +1,1 @@
+lib/design/schedule.ml: Array Dfg Hashtbl Lifetime List Mm_util Printf

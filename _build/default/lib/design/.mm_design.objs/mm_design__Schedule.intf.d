@@ -1,0 +1,1 @@
+lib/design/schedule.mli: Dfg Lifetime

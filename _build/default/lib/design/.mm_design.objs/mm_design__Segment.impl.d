@@ -1,0 +1,1 @@
+lib/design/segment.ml: Format Option

@@ -1,0 +1,1 @@
+lib/design/segment.mli: Format

@@ -1,0 +1,75 @@
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = { n : int; set : Pair_set.t }
+
+let norm a b = if a < b then (a, b) else (b, a)
+let empty n = { n; set = Pair_set.empty }
+let num_segments t = t.n
+
+let add t a b =
+  if a < 0 || b < 0 || a >= t.n || b >= t.n then invalid_arg "Conflict.add: range";
+  if a = b then invalid_arg "Conflict.add: self-conflict";
+  { t with set = Pair_set.add (norm a b) t.set }
+
+let of_pairs n pairs = List.fold_left (fun t (a, b) -> add t a b) (empty n) pairs
+let conflicts t a b = a <> b && Pair_set.mem (norm a b) t.set
+let pairs t = Pair_set.elements t.set
+let num_pairs t = Pair_set.cardinal t.set
+
+let neighbours t v =
+  List.filter (fun u -> u <> v && conflicts t v u) (Mm_util.Ints.range t.n)
+
+let all_conflicting n =
+  let t = ref (empty n) in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      t := add !t a b
+    done
+  done;
+  !t
+
+let is_complete t = num_pairs t = t.n * (t.n - 1) / 2
+
+let clique_cover t =
+  (* greedy: highest-degree-first seed, extend with mutually conflicting
+     unassigned segments *)
+  let assigned = Array.make t.n false in
+  let degree v = List.length (neighbours t v) in
+  let order =
+    List.sort (fun a b -> compare (degree b) (degree a)) (Mm_util.Ints.range t.n)
+  in
+  let cliques = ref [] in
+  List.iter
+    (fun seed ->
+      if not assigned.(seed) then begin
+        assigned.(seed) <- true;
+        let clique = ref [ seed ] in
+        List.iter
+          (fun v ->
+            if (not assigned.(v)) && List.for_all (conflicts t v) !clique then begin
+              assigned.(v) <- true;
+              clique := v :: !clique
+            end)
+          order;
+        cliques := List.sort compare !clique :: !cliques
+      end)
+    order;
+  List.rev !cliques
+
+let max_cliques_greedy t =
+  let clique_of v =
+    let clique = ref [ v ] in
+    List.iter
+      (fun u ->
+        if u <> v && List.for_all (conflicts t u) !clique then clique := u :: !clique)
+      (List.sort
+         (fun a b ->
+           compare (List.length (neighbours t b)) (List.length (neighbours t a)))
+         (neighbours t v));
+    List.sort compare !clique
+  in
+  List.sort_uniq compare (List.map clique_of (Mm_util.Ints.range t.n))

@@ -1,0 +1,46 @@
+(** The conflict relation between data segments (Section 3.3).
+
+    Pair [(L1, L2)] means the two segments' life cycles overlap, so they
+    may never share storage space. The relation is symmetric and
+    irreflexive. Capacity constraints need, for each bank type, groups
+    of segments that must be simultaneously resident; those groups are
+    the cliques of this graph, so a greedy clique cover is provided for
+    the general case (lifetime-interval designs get exact cliques from
+    {!Lifetime}). *)
+
+type t
+
+val empty : int -> t
+(** [empty n] is the conflict-free relation over [n] segments. *)
+
+val num_segments : t -> int
+val add : t -> int -> int -> t
+(** Adds a conflicting pair; raises [Invalid_argument] on out-of-range
+    or self-conflict. *)
+
+val of_pairs : int -> (int * int) list -> t
+val conflicts : t -> int -> int -> bool
+val pairs : t -> (int * int) list
+(** All pairs with first < second, sorted. *)
+
+val num_pairs : t -> int
+val neighbours : t -> int -> int list
+
+val all_conflicting : int -> t
+(** Complete conflict graph: nothing may ever overlap — the paper's
+    default when no lifetime information is available. *)
+
+val is_complete : t -> bool
+
+val clique_cover : t -> int list list
+(** Greedy partition of segments into cliques of mutually conflicting
+    segments. Segments in different cliques of the cover may or may not
+    conflict; the cover is used to build capacity constraints that are
+    valid upper bounds on simultaneous residency. *)
+
+val max_cliques_greedy : t -> int list list
+(** For each segment, a maximal clique containing it (deduplicated).
+    Every set of segments that must coexist is contained in one of the
+    returned cliques only when the graph is an interval graph; for
+    arbitrary graphs these cliques still yield valid constraints (every
+    returned set is mutually conflicting). *)

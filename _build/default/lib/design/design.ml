@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  segments : Segment.t array;
+  conflicts : Conflict.t;
+  lifetimes : Lifetime.t option;
+}
+
+let make ?conflicts ?lifetimes ~name segments =
+  if segments = [] then invalid_arg "Design.make: no segments";
+  let n = List.length segments in
+  (match lifetimes with
+  | Some lt when Lifetime.num_segments lt <> n ->
+      invalid_arg "Design.make: lifetimes dimension mismatch"
+  | _ -> ());
+  let conflicts =
+    match (conflicts, lifetimes) with
+    | Some c, _ ->
+        if Conflict.num_segments c <> n then
+          invalid_arg "Design.make: conflicts dimension mismatch";
+        c
+    | None, Some lt -> Lifetime.conflicts lt
+    | None, None -> Conflict.all_conflicting n
+  in
+  { name; segments = Array.of_list segments; conflicts; lifetimes }
+
+let of_schedule ~name segments dfg sched =
+  let lifetimes =
+    Schedule.lifetimes dfg sched ~num_segments:(List.length segments)
+  in
+  make ~lifetimes ~name segments
+
+let num_segments t = Array.length t.segments
+let segment t i = t.segments.(i)
+let total_bits t = Array.fold_left (fun acc s -> acc + Segment.bits s) 0 t.segments
+
+let max_live_bits t =
+  match t.lifetimes with
+  | None -> total_bits t
+  | Some lt -> Lifetime.max_live_weight lt ~weight:(fun i -> Segment.bits t.segments.(i))
+
+let describe t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "Design %s: %d segments, %d bits total, %d conflict pairs\n"
+       t.name (num_segments t) (total_bits t)
+       (Conflict.num_pairs t.conflicts));
+  Array.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%d] %s %dx%d (r=%d, w=%d)\n" i s.Segment.name
+           s.Segment.depth s.Segment.width s.Segment.reads s.Segment.writes))
+    t.segments;
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** A complete mapping problem instance on the design side: the data
+    segments plus the conflict relation between them. *)
+
+type t = private {
+  name : string;
+  segments : Segment.t array;
+  conflicts : Conflict.t;
+  lifetimes : Lifetime.t option;
+      (** present when conflicts came from interval lifetimes; enables
+          exact lifetime-aware capacity constraints *)
+}
+
+val make :
+  ?conflicts:Conflict.t -> ?lifetimes:Lifetime.t -> name:string -> Segment.t list -> t
+(** Builds a design. When [lifetimes] is given and [conflicts] is not,
+    conflicts are derived from interval overlap. When neither is given,
+    the paper's conservative default applies: all segments conflict
+    (nothing may share storage). Raises [Invalid_argument] on dimension
+    mismatches or an empty segment list. *)
+
+val of_schedule :
+  name:string -> Segment.t list -> Dfg.t -> Schedule.t -> t
+(** Design whose conflicts come from the lifetimes of a schedule. *)
+
+val num_segments : t -> int
+val segment : t -> int -> Segment.t
+val total_bits : t -> int
+
+val max_live_bits : t -> int
+(** Exact simultaneous-storage requirement with lifetime info; falls
+    back to [total_bits] (all-conflicting) without it. *)
+
+val describe : t -> string

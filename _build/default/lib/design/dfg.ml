@@ -1,0 +1,89 @@
+type op_kind = Compute | Read of int | Write of int
+type op = { name : string; kind : op_kind; delay : int }
+
+type t = {
+  mutable ops : op array;
+  mutable n : int;
+  mutable edges : (int * int) list;  (** (from, to) *)
+}
+
+let create () = { ops = [||]; n = 0; edges = [] }
+
+let add_op t ?(delay = 1) ~name kind =
+  if delay < 1 then invalid_arg "Dfg.add_op: delay < 1";
+  (match kind with
+  | Read s | Write s -> if s < 0 then invalid_arg "Dfg.add_op: negative segment"
+  | Compute -> ());
+  let o = { name; kind; delay } in
+  if t.n = Array.length t.ops then begin
+    let grown = Array.make (max 8 (2 * t.n)) o in
+    Array.blit t.ops 0 grown 0 t.n;
+    t.ops <- grown
+  end;
+  t.ops.(t.n) <- o;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let check_id t i = if i < 0 || i >= t.n then invalid_arg "Dfg: unknown op id"
+
+let add_dep t a b =
+  check_id t a;
+  check_id t b;
+  if a = b then invalid_arg "Dfg.add_dep: self-dependency";
+  if not (List.mem (a, b) t.edges) then t.edges <- (a, b) :: t.edges
+
+let num_ops t = t.n
+
+let op t i =
+  check_id t i;
+  t.ops.(i)
+
+let preds t i =
+  check_id t i;
+  List.sort compare (List.filter_map (fun (a, b) -> if b = i then Some a else None) t.edges)
+
+let succs t i =
+  check_id t i;
+  List.sort compare (List.filter_map (fun (a, b) -> if a = i then Some b else None) t.edges)
+
+let topological_order t =
+  let indeg = Array.make t.n 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) t.edges;
+  let queue = Queue.create () in
+  for i = 0 to t.n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      (succs t v)
+  done;
+  if !seen <> t.n then failwith "Dfg.topological_order: cycle";
+  List.rev !order
+
+let is_acyclic t =
+  match topological_order t with _ -> true | exception Failure _ -> false
+
+let segments_touched t =
+  let segs = ref [] in
+  for i = 0 to t.n - 1 do
+    match t.ops.(i).kind with
+    | Read s | Write s -> segs := s :: !segs
+    | Compute -> ()
+  done;
+  List.sort_uniq compare !segs
+
+let critical_path t =
+  let finish = Array.make (max t.n 1) 0 in
+  List.iter
+    (fun v ->
+      let start = Mm_util.Ints.max_by (fun p -> finish.(p)) (preds t v) in
+      finish.(v) <- start + t.ops.(v).delay)
+    (topological_order t);
+  Array.fold_left max 0 finish

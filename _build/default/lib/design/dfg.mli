@@ -1,0 +1,41 @@
+(** Operation dataflow graphs — the small high-level-synthesis substrate
+    that produces schedules and hence segment lifetimes.
+
+    The paper assumes lifetimes come from scheduling during synthesis
+    (refs [7], [4]); this module provides exactly enough of that
+    machinery: a DAG of operations, each possibly reading or writing a
+    data segment, with unit-or-longer delays. *)
+
+type op_kind =
+  | Compute  (** pure logic, no memory traffic *)
+  | Read of int  (** reads the given segment index *)
+  | Write of int  (** writes the given segment index *)
+
+type op = private { name : string; kind : op_kind; delay : int }
+
+type t
+
+val create : unit -> t
+val add_op : t -> ?delay:int -> name:string -> op_kind -> int
+(** Adds an operation (default delay 1, must be >= 1); returns its id. *)
+
+val add_dep : t -> int -> int -> unit
+(** [add_dep t a b] makes [b] depend on [a] (a must finish first).
+    Raises [Invalid_argument] on unknown ids or self-dependency. *)
+
+val num_ops : t -> int
+val op : t -> int -> op
+val preds : t -> int -> int list
+val succs : t -> int -> int list
+
+val topological_order : t -> int list
+(** Raises [Failure] if the graph has a cycle. *)
+
+val is_acyclic : t -> bool
+
+val segments_touched : t -> int list
+(** Sorted distinct segment indices read or written by any operation. *)
+
+val critical_path : t -> int
+(** Length (sum of delays) of the longest path — the minimum schedule
+    makespan with unlimited resources. *)

@@ -1,0 +1,46 @@
+type interval = { birth : int; death : int }
+type t = interval array
+
+let make ivals =
+  Array.iter
+    (fun { birth; death } ->
+      if birth < 0 || death < birth then invalid_arg "Lifetime.make")
+    ivals;
+  Array.copy ivals
+
+let num_segments t = Array.length t
+let interval t i = t.(i)
+
+let overlap t a b =
+  let ia = t.(a) and ib = t.(b) in
+  ia.birth <= ib.death && ib.birth <= ia.death
+
+let conflicts t =
+  let n = Array.length t in
+  let c = ref (Conflict.empty n) in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if overlap t a b then c := Conflict.add !c a b
+    done
+  done;
+  !c
+
+let live_at t step =
+  List.filter
+    (fun i -> t.(i).birth <= step && step <= t.(i).death)
+    (Mm_util.Ints.range (Array.length t))
+
+let maximal_cliques t =
+  (* cliques of an interval graph are the live sets at interval starts;
+     drop live sets contained in another *)
+  let starts = List.sort_uniq compare (Array.to_list (Array.map (fun i -> i.birth) t)) in
+  let sets = List.map (fun s -> List.sort compare (live_at t s)) starts in
+  let sets = List.sort_uniq compare sets in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  List.filter
+    (fun s -> s <> [] && not (List.exists (fun o -> o <> s && subset s o) sets))
+    sets
+
+let max_live_weight t ~weight =
+  let clique_weight c = Mm_util.Ints.sum_by weight c in
+  Mm_util.Ints.max_by clique_weight (maximal_cliques t)

@@ -1,0 +1,37 @@
+(** Lifetime intervals of data segments, as produced by scheduling
+    (Section 3.3: "scheduling determines the life times of the variables
+    and data structures").
+
+    A lifetime is the closed interval of control steps during which the
+    segment holds live data. Two segments conflict iff their intervals
+    overlap. Because interval graphs are perfect, the maximal cliques
+    are exactly the sets of segments live at some interval start point,
+    which gives exact lifetime-aware capacity constraints. *)
+
+type interval = { birth : int; death : int }
+(** Closed interval, [birth <= death]. *)
+
+type t
+
+val make : interval array -> t
+(** Raises [Invalid_argument] if any interval has [birth > death] or a
+    negative bound. *)
+
+val num_segments : t -> int
+val interval : t -> int -> interval
+val overlap : t -> int -> int -> bool
+
+val conflicts : t -> Conflict.t
+(** The pairwise-overlap conflict relation. *)
+
+val live_at : t -> int -> int list
+(** Segments live at a control step. *)
+
+val maximal_cliques : t -> int list list
+(** Exact maximal cliques of the interval graph (computed at interval
+    start points, deduplicated, non-dominated). *)
+
+val max_live_weight : t -> weight:(int -> int) -> int
+(** [max_live_weight t ~weight] is the maximum over time of the summed
+    weight of live segments — the exact storage requirement when
+    non-overlapping-in-time segments may share space. *)

@@ -1,0 +1,176 @@
+type t = { start : int array; makespan : int }
+
+let finish_time dfg start =
+  let last = ref 0 in
+  Array.iteri (fun i s -> last := max !last (s + (Dfg.op dfg i).Dfg.delay)) start;
+  !last
+
+let asap dfg =
+  let n = Dfg.num_ops dfg in
+  let start = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let ready =
+        Mm_util.Ints.max_by
+          (fun p -> start.(p) + (Dfg.op dfg p).Dfg.delay)
+          (Dfg.preds dfg v)
+      in
+      start.(v) <- ready)
+    (Dfg.topological_order dfg);
+  { start; makespan = finish_time dfg start }
+
+let alap dfg ~deadline =
+  if deadline < Dfg.critical_path dfg then
+    invalid_arg "Schedule.alap: deadline below critical path";
+  let n = Dfg.num_ops dfg in
+  let start = Array.make n 0 in
+  let order = List.rev (Dfg.topological_order dfg) in
+  List.iter
+    (fun v ->
+      let delay = (Dfg.op dfg v).Dfg.delay in
+      let latest =
+        List.fold_left
+          (fun acc s -> min acc start.(s))
+          deadline (Dfg.succs dfg v)
+      in
+      start.(v) <- latest - delay)
+    order;
+  { start; makespan = finish_time dfg start }
+
+type resources = { memory_ports : int; alus : int }
+
+let is_memory_op dfg v =
+  match (Dfg.op dfg v).Dfg.kind with
+  | Dfg.Read _ | Dfg.Write _ -> true
+  | Dfg.Compute -> false
+
+let list_schedule dfg res =
+  if res.memory_ports <= 0 || res.alus <= 0 then
+    invalid_arg "Schedule.list_schedule: non-positive resources";
+  let n = Dfg.num_ops dfg in
+  if n = 0 then { start = [||]; makespan = 0 }
+  else begin
+    let urgency =
+      (* ALAP start under a loose deadline: smaller = more urgent *)
+      (alap dfg ~deadline:(Dfg.critical_path dfg)).start
+    in
+    let start = Array.make n (-1) in
+    let done_time = Array.make n max_int in
+    let unscheduled = ref n in
+    let step = ref 0 in
+    (* busy.(s) counts resource use at step s, grown on demand *)
+    let mem_busy = Hashtbl.create 64 and alu_busy = Hashtbl.create 64 in
+    let busy tbl s = match Hashtbl.find_opt tbl s with Some c -> c | None -> 0 in
+    let occupy tbl s = Hashtbl.replace tbl s (busy tbl s + 1) in
+    while !unscheduled > 0 do
+      let ready =
+        List.filter
+          (fun v ->
+            start.(v) < 0
+            && List.for_all
+                 (fun p -> start.(p) >= 0 && done_time.(p) <= !step)
+                 (Dfg.preds dfg v))
+          (Mm_util.Ints.range n)
+      in
+      let ready = List.sort (fun a b -> compare urgency.(a) urgency.(b)) ready in
+      List.iter
+        (fun v ->
+          let mem = is_memory_op dfg v in
+          let delay = (Dfg.op dfg v).Dfg.delay in
+          let fits =
+            (* the op occupies its unit every step of its delay *)
+            let ok = ref true in
+            for s = !step to !step + delay - 1 do
+              if mem then begin
+                if busy mem_busy s >= res.memory_ports then ok := false
+              end
+              else if busy alu_busy s >= res.alus then ok := false
+            done;
+            !ok
+          in
+          if fits then begin
+            start.(v) <- !step;
+            done_time.(v) <- !step + delay;
+            for s = !step to !step + delay - 1 do
+              if mem then occupy mem_busy s else occupy alu_busy s
+            done;
+            decr unscheduled
+          end)
+        ready;
+      incr step;
+      if !step > 10 * ((n * (Mm_util.Ints.max_by (fun v -> (Dfg.op dfg v).Dfg.delay) (Mm_util.Ints.range n)) + 1)) then
+        failwith "Schedule.list_schedule: no progress (internal error)"
+    done;
+    { start; makespan = finish_time dfg start }
+  end
+
+let lifetimes dfg sched ~num_segments =
+  let first_write = Array.make num_segments max_int in
+  let first_read = Array.make num_segments max_int in
+  let last_access = Array.make num_segments (-1) in
+  let was_read = Array.make num_segments false in
+  for v = 0 to Dfg.num_ops dfg - 1 do
+    let o = Dfg.op dfg v in
+    let s0 = sched.start.(v) and s1 = sched.start.(v) + o.Dfg.delay - 1 in
+    match o.Dfg.kind with
+    | Dfg.Compute -> ()
+    | Dfg.Read seg ->
+        if seg >= num_segments then invalid_arg "Schedule.lifetimes: segment range";
+        was_read.(seg) <- true;
+        first_read.(seg) <- min first_read.(seg) s0;
+        last_access.(seg) <- max last_access.(seg) s1
+    | Dfg.Write seg ->
+        if seg >= num_segments then invalid_arg "Schedule.lifetimes: segment range";
+        first_write.(seg) <- min first_write.(seg) s0;
+        last_access.(seg) <- max last_access.(seg) s1
+  done;
+  let ivals =
+    Array.init num_segments (fun s ->
+        (* a segment read before (or without) any write holds input data
+           and is live from step 0 *)
+        let b =
+          if first_read.(s) < first_write.(s) || first_write.(s) = max_int then 0
+          else first_write.(s)
+        in
+        (* a written-but-never-read segment is a design output and
+           persists to the end of the schedule *)
+        let d =
+          if (not was_read.(s)) && first_write.(s) < max_int then
+            max sched.makespan b
+          else max last_access.(s) b
+        in
+        { Lifetime.birth = b; death = d })
+  in
+  Lifetime.make ivals
+
+let verify dfg ?resources sched =
+  let n = Dfg.num_ops dfg in
+  if Array.length sched.start <> n then Error "schedule length mismatch"
+  else begin
+    let violation = ref None in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun p ->
+          if sched.start.(p) + (Dfg.op dfg p).Dfg.delay > sched.start.(v) then
+            violation :=
+              Some
+                (Printf.sprintf "precedence violated: %d before %d" p v))
+        (Dfg.preds dfg v)
+    done;
+    (match resources with
+    | None -> ()
+    | Some res ->
+        for s = 0 to sched.makespan - 1 do
+          let mem = ref 0 and alu = ref 0 in
+          for v = 0 to n - 1 do
+            let o = Dfg.op dfg v in
+            if sched.start.(v) <= s && s < sched.start.(v) + o.Dfg.delay then
+              if is_memory_op dfg v then incr mem else incr alu
+          done;
+          if !mem > res.memory_ports then
+            violation := Some (Printf.sprintf "step %d: %d memory ops" s !mem);
+          if !alu > res.alus then
+            violation := Some (Printf.sprintf "step %d: %d compute ops" s !alu)
+        done);
+    match !violation with None -> Ok () | Some msg -> Error msg
+  end

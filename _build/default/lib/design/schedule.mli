@@ -1,0 +1,33 @@
+(** Operation scheduling: ASAP, ALAP and resource-constrained list
+    scheduling, plus lifetime extraction (the front end that feeds
+    Section 3.3's conflict description). *)
+
+type t = private {
+  start : int array;  (** start step of each operation *)
+  makespan : int;  (** first step after every operation has finished *)
+}
+
+val asap : Dfg.t -> t
+(** As-soon-as-possible schedule (unlimited resources). *)
+
+val alap : Dfg.t -> deadline:int -> t
+(** As-late-as-possible within the deadline. Raises [Invalid_argument]
+    if the deadline is below the critical path length. *)
+
+type resources = {
+  memory_ports : int;  (** max concurrent Read/Write operations *)
+  alus : int;  (** max concurrent Compute operations *)
+}
+
+val list_schedule : Dfg.t -> resources -> t
+(** Priority list scheduling; priority is ALAP urgency (least slack
+    first). Raises [Invalid_argument] on non-positive resource counts. *)
+
+val lifetimes : Dfg.t -> t -> num_segments:int -> Lifetime.t
+(** Segment lifetimes under a schedule: a segment is born at the start
+    of its first write (step 0 if it is never written — a design input)
+    and dies at the end of its last access (the full makespan if it is
+    never read — a design output persists to the end). *)
+
+val verify : Dfg.t -> ?resources:resources -> t -> (unit, string) result
+(** Checks precedence (and optionally resource) feasibility. *)

@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  depth : int;
+  width : int;
+  reads : int;
+  writes : int;
+  pu : int;
+}
+
+let make ?reads ?writes ?(pu = 0) ~name ~depth ~width () =
+  if depth <= 0 || width <= 0 then invalid_arg "Segment.make: non-positive size";
+  let reads = Option.value reads ~default:depth in
+  let writes = Option.value writes ~default:depth in
+  if reads < 0 || writes < 0 then invalid_arg "Segment.make: negative accesses";
+  if pu < 0 then invalid_arg "Segment.make: negative pu";
+  { name; depth; width; reads; writes; pu }
+
+let bits s = s.depth * s.width
+let accesses s = s.reads + s.writes
+
+let pp fmt s =
+  Format.fprintf fmt "%s[%dx%d, r=%d w=%d]" s.name s.depth s.width s.reads
+    s.writes

@@ -1,0 +1,39 @@
+(** A logical data structure (data segment) of the application
+    (Section 3.2).
+
+    The mapper needs each segment's depth (words) and width (bits per
+    word); optional access counts come from footprint analysis and let
+    cost terms weight heavily-accessed segments more. When absent, the
+    paper's assumption "number of reads equals number of writes equals
+    the number of words" applies. *)
+
+type t = private {
+  name : string;
+  depth : int;  (** [Dd]: number of words *)
+  width : int;  (** [Wd]: bits per word *)
+  reads : int;  (** profiled read count (default [depth]) *)
+  writes : int;  (** profiled write count (default [depth]) *)
+  pu : int;
+      (** owning processing unit (Section 6 multi-PU extension);
+          default 0, the paper's single-PU assumption *)
+}
+
+val make :
+  ?reads:int ->
+  ?writes:int ->
+  ?pu:int ->
+  name:string ->
+  depth:int ->
+  width:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on non-positive depth/width, negative
+    access counts or a negative [pu]. *)
+
+val bits : t -> int
+(** [depth * width]. *)
+
+val accesses : t -> int
+(** [reads + writes]. *)
+
+val pp : Format.formatter -> t -> unit

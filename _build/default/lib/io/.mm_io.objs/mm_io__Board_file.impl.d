@@ -1,0 +1,1 @@
+lib/io/board_file.ml: Array Buffer Fun In_channel List Mm_arch Option Out_channel Printf Result String

@@ -1,0 +1,1 @@
+lib/io/board_file.mli: Mm_arch

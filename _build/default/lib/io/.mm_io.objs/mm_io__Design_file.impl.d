@@ -1,0 +1,1 @@
+lib/io/design_file.ml: Array Buffer In_channel List Mm_design Option Out_channel Printf Result String

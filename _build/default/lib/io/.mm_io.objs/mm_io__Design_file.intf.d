@@ -1,0 +1,1 @@
+lib/io/design_file.mli: Mm_design

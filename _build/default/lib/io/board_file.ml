@@ -1,0 +1,171 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.trim (strip_comment line))
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_kv tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      Some
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None -> None
+
+let parse_config s =
+  match String.index_opt s 'x' with
+  | Some i -> (
+      let d = String.sub s 0 i in
+      let w = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt d, int_of_string_opt w) with
+      | Some depth, Some width when depth > 0 && width > 0 ->
+          Ok (Mm_arch.Config.make ~depth ~width)
+      | _ -> Error (Printf.sprintf "bad configuration %S" s))
+  | None -> Error (Printf.sprintf "bad configuration %S (expected DEPTHxWIDTH)" s)
+
+let parse_bank lineno toks =
+  match toks with
+  | name :: kvs ->
+      let instances = ref None
+      and ports = ref None
+      and rl = ref None
+      and wl = ref None
+      and pins = ref None
+      and pupins = ref None
+      and configs = ref None in
+      let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
+      let rec walk = function
+        | [] -> Ok ()
+        | tok :: rest -> (
+            match parse_kv tok with
+            | None -> err "expected key=value, got %S" tok
+            | Some (key, value) -> (
+                let int_into r =
+                  match int_of_string_opt value with
+                  | Some v ->
+                      r := Some v;
+                      walk rest
+                  | None -> err "key %s: %S is not an integer" key value
+                in
+                match key with
+                | "instances" -> int_into instances
+                | "ports" -> int_into ports
+                | "rl" -> int_into rl
+                | "wl" -> int_into wl
+                | "pins" -> int_into pins
+                | "pupins" -> (
+                    let items = String.split_on_char ',' value in
+                    let parsed = List.map int_of_string_opt items in
+                    if List.exists (fun p -> p = None) parsed then
+                      err "pupins: %S is not a comma-separated integer list" value
+                    else begin
+                      pupins := Some (List.filter_map Fun.id parsed);
+                      walk rest
+                    end)
+                | "configs" -> (
+                    let items = String.split_on_char ',' value in
+                    let parsed = List.map parse_config items in
+                    match
+                      List.find_opt (function Error _ -> true | Ok _ -> false) parsed
+                    with
+                    | Some (Error e) -> err "%s" e
+                    | _ ->
+                        configs :=
+                          Some
+                            (List.filter_map
+                               (function Ok c -> Some c | Error _ -> None)
+                               parsed);
+                        walk rest)
+                | _ -> err "unknown key %S" key))
+      in
+      Result.bind (walk kvs) (fun () ->
+          match (!instances, !ports, !configs) with
+          | Some instances, Some ports, Some configs -> (
+              try
+                match !pupins with
+                | Some pu_pins ->
+                    Ok
+                      (Mm_arch.Bank_type.make_multi_pu ~name ~instances ~ports
+                         ~configs
+                         ~read_latency:(Option.value !rl ~default:1)
+                         ~write_latency:(Option.value !wl ~default:1)
+                         ~pu_pins)
+                | None ->
+                    Ok
+                      (Mm_arch.Bank_type.make ~name ~instances ~ports ~configs
+                         ~read_latency:(Option.value !rl ~default:1)
+                         ~write_latency:(Option.value !wl ~default:1)
+                         ~pins_traversed:(Option.value !pins ~default:0))
+              with Invalid_argument m ->
+                Error (Printf.sprintf "line %d: %s" lineno m))
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "line %d: bank needs instances=, ports= and configs=" lineno))
+  | [] -> Error (Printf.sprintf "line %d: bank needs a name" lineno)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None in
+  let banks = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      if !error = None then
+        match tokens line with
+        | [] -> ()
+        | "board" :: rest -> (
+            match rest with
+            | [ n ] -> name := Some n
+            | _ -> error := Some (Printf.sprintf "line %d: board takes one name" (i + 1)))
+        | "bank" :: rest -> (
+            match parse_bank (i + 1) rest with
+            | Ok bank -> banks := bank :: !banks
+            | Error e -> error := Some e)
+        | tok :: _ ->
+            error := Some (Printf.sprintf "line %d: unknown directive %S" (i + 1) tok))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      match List.rev !banks with
+      | [] -> Error "no bank directives"
+      | banks -> (
+          try Ok (Mm_arch.Board.make ~name:(Option.value !name ~default:"board") banks)
+          with Invalid_argument m -> Error m))
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let to_string (board : Mm_arch.Board.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "board %s\n" board.Mm_arch.Board.name);
+  Array.iter
+    (fun (bt : Mm_arch.Bank_type.t) ->
+      let pin_field =
+        if Mm_arch.Bank_type.num_pus bt > 1 then
+          Printf.sprintf "pupins=%s"
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int bt.Mm_arch.Bank_type.pu_pins)))
+        else Printf.sprintf "pins=%d" bt.Mm_arch.Bank_type.pins_traversed
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "bank %s instances=%d ports=%d rl=%d wl=%d %s configs=%s\n"
+           bt.Mm_arch.Bank_type.name bt.Mm_arch.Bank_type.instances
+           bt.Mm_arch.Bank_type.ports bt.Mm_arch.Bank_type.read_latency
+           bt.Mm_arch.Bank_type.write_latency pin_field
+           (String.concat ","
+              (Array.to_list
+                 (Array.map Mm_arch.Config.to_string bt.Mm_arch.Bank_type.configs)))))
+    board.Mm_arch.Board.bank_types;
+  Buffer.contents buf
+
+let to_file board path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string board))

@@ -1,0 +1,24 @@
+(** Text format for board descriptions.
+
+    One directive per line; [#] starts a comment; blank lines ignored.
+
+    {v
+    board my-board
+    bank BlockRAM instances=32 ports=2 rl=1 wl=1 pins=0 \
+         configs=4096x1,2048x2,1024x4,512x8,256x16
+    bank SRAM instances=4 ports=1 rl=2 wl=3 pins=2 configs=524288x32
+    v}
+
+    The [bank] keys may appear in any order; [configs] takes a
+    comma-separated list of [DEPTHxWIDTH] items. Multi-PU boards use
+    [pupins=0,2,4] (pin distance from each processing unit) instead of
+    [pins=]. *)
+
+val parse : string -> (Mm_arch.Board.t, string) result
+(** Parses the format from a string; errors carry a line number. *)
+
+val of_file : string -> (Mm_arch.Board.t, string) result
+val to_string : Mm_arch.Board.t -> string
+(** Round-trips through {!parse}. *)
+
+val to_file : Mm_arch.Board.t -> string -> unit

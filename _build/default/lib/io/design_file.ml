@@ -1,0 +1,273 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' (String.trim (strip_comment line))
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_kv tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+      Some
+        (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | None -> None
+
+type seg_line = {
+  s_name : string;
+  s_depth : int;
+  s_width : int;
+  s_reads : int option;
+  s_writes : int option;
+  s_pu : int option;
+  s_birth : int option;
+  s_death : int option;
+}
+
+let parse_segment lineno toks =
+  match toks with
+  | name :: kvs ->
+      let depth = ref None
+      and width = ref None
+      and reads = ref None
+      and writes = ref None
+      and pu = ref None
+      and birth = ref None
+      and death = ref None in
+      let err fmt =
+        Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt
+      in
+      let rec walk = function
+        | [] -> Ok ()
+        | tok :: rest -> (
+            match parse_kv tok with
+            | None -> err "expected key=value, got %S" tok
+            | Some (key, value) -> (
+                match int_of_string_opt value with
+                | None -> err "key %s: %S is not an integer" key value
+                | Some v -> (
+                    match key with
+                    | "depth" -> depth := Some v; walk rest
+                    | "width" -> width := Some v; walk rest
+                    | "reads" -> reads := Some v; walk rest
+                    | "writes" -> writes := Some v; walk rest
+                    | "pu" -> pu := Some v; walk rest
+                    | "birth" -> birth := Some v; walk rest
+                    | "death" -> death := Some v; walk rest
+                    | _ -> err "unknown key %S" key)))
+      in
+      Result.bind (walk kvs) (fun () ->
+          match (!depth, !width) with
+          | Some d, Some w ->
+              Ok
+                {
+                  s_name = name;
+                  s_depth = d;
+                  s_width = w;
+                  s_reads = !reads;
+                  s_writes = !writes;
+                  s_pu = !pu;
+                  s_birth = !birth;
+                  s_death = !death;
+                }
+          | _ -> err "segment needs depth= and width=")
+  | [] -> Error (Printf.sprintf "line %d: segment needs a name" lineno)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None in
+  let segs = ref [] in
+  let conflicts = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      if !error = None then
+        match tokens line with
+        | [] -> ()
+        | "design" :: rest -> (
+            match rest with
+            | [ n ] -> name := Some n
+            | _ ->
+                error := Some (Printf.sprintf "line %d: design takes one name" (i + 1)))
+        | "segment" :: rest -> (
+            match parse_segment (i + 1) rest with
+            | Ok s -> segs := s :: !segs
+            | Error e -> error := Some e)
+        | "conflict" :: rest -> (
+            match rest with
+            | [ a; b ] -> conflicts := (i + 1, a, b) :: !conflicts
+            | _ ->
+                error :=
+                  Some (Printf.sprintf "line %d: conflict takes two names" (i + 1)))
+        | tok :: _ ->
+            error := Some (Printf.sprintf "line %d: unknown directive %S" (i + 1) tok))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      let segs = List.rev !segs in
+      if segs = [] then Error "no segment directives"
+      else begin
+        let index name =
+          let rec find i = function
+            | [] -> None
+            | s :: _ when s.s_name = name -> Some i
+            | _ :: rest -> find (i + 1) rest
+          in
+          find 0 segs
+        in
+        let dup =
+          List.find_opt
+            (fun s -> List.length (List.filter (fun o -> o.s_name = s.s_name) segs) > 1)
+            segs
+        in
+        match dup with
+        | Some s -> Error (Printf.sprintf "duplicate segment name %S" s.s_name)
+        | None -> (
+            let with_lifetime = List.filter (fun s -> s.s_birth <> None || s.s_death <> None) segs in
+            let all_lifetimes = List.length with_lifetime = List.length segs in
+            let half_lifetimes = with_lifetime <> [] && not all_lifetimes in
+            let bad_pair =
+              List.find_opt
+                (fun s -> (s.s_birth = None) <> (s.s_death = None))
+                segs
+            in
+            match (bad_pair, half_lifetimes) with
+            | Some s, _ ->
+                Error
+                  (Printf.sprintf "segment %S: birth and death must come together"
+                     s.s_name)
+            | None, true -> Error "either all segments carry lifetimes or none"
+            | None, false -> (
+                if all_lifetimes && !conflicts <> [] then
+                  Error "conflict lines are not allowed when lifetimes are given"
+                else begin
+                  let segments =
+                    List.map
+                      (fun s ->
+                        try
+                          Ok
+                            (Mm_design.Segment.make ?reads:s.s_reads
+                               ?writes:s.s_writes ?pu:s.s_pu ~name:s.s_name
+                               ~depth:s.s_depth ~width:s.s_width ())
+                        with Invalid_argument m ->
+                          Error (Printf.sprintf "segment %S: %s" s.s_name m))
+                      segs
+                  in
+                  match
+                    List.find_opt
+                      (function Error _ -> true | Ok _ -> false)
+                      segments
+                  with
+                  | Some (Error e) -> Error e
+                  | _ -> (
+                      let segments =
+                        List.filter_map
+                          (function Ok s -> Some s | Error _ -> None)
+                          segments
+                      in
+                      let dname = Option.value !name ~default:"design" in
+                      if all_lifetimes then begin
+                        let ivals =
+                          Array.of_list
+                            (List.map
+                               (fun s ->
+                                 {
+                                   Mm_design.Lifetime.birth = Option.get s.s_birth;
+                                   death = Option.get s.s_death;
+                                 })
+                               segs)
+                        in
+                        try
+                          Ok
+                            (Mm_design.Design.make
+                               ~lifetimes:(Mm_design.Lifetime.make ivals)
+                               ~name:dname segments)
+                        with Invalid_argument m -> Error m
+                      end
+                      else if !conflicts = [] then
+                        Ok (Mm_design.Design.make ~name:dname segments)
+                      else begin
+                        let resolve (lineno, a, b) =
+                          match (index a, index b) with
+                          | Some ia, Some ib -> Ok (ia, ib)
+                          | None, _ ->
+                              Error
+                                (Printf.sprintf "line %d: unknown segment %S" lineno a)
+                          | _, None ->
+                              Error
+                                (Printf.sprintf "line %d: unknown segment %S" lineno b)
+                        in
+                        let resolved = List.map resolve (List.rev !conflicts) in
+                        match
+                          List.find_opt
+                            (function Error _ -> true | Ok _ -> false)
+                            resolved
+                        with
+                        | Some (Error e) -> Error e
+                        | _ -> (
+                            let pairs =
+                              List.filter_map
+                                (function Ok p -> Some p | Error _ -> None)
+                                resolved
+                            in
+                            try
+                              Ok
+                                (Mm_design.Design.make
+                                   ~conflicts:
+                                     (Mm_design.Conflict.of_pairs
+                                        (List.length segments) pairs)
+                                   ~name:dname segments)
+                            with Invalid_argument m -> Error m)
+                      end)
+                end))
+      end)
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e
+
+let to_string (design : Mm_design.Design.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "design %s\n" design.Mm_design.Design.name);
+  Array.iteri
+    (fun i (s : Mm_design.Segment.t) ->
+      let lifetime =
+        match design.Mm_design.Design.lifetimes with
+        | Some lt ->
+            let iv = Mm_design.Lifetime.interval lt i in
+            Printf.sprintf " birth=%d death=%d" iv.Mm_design.Lifetime.birth
+              iv.Mm_design.Lifetime.death
+        | None -> ""
+      in
+      let pu_field =
+        if s.Mm_design.Segment.pu <> 0 then
+          Printf.sprintf " pu=%d" s.Mm_design.Segment.pu
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "segment %s depth=%d width=%d reads=%d writes=%d%s%s\n"
+           s.Mm_design.Segment.name s.Mm_design.Segment.depth
+           s.Mm_design.Segment.width s.Mm_design.Segment.reads
+           s.Mm_design.Segment.writes pu_field lifetime))
+    design.Mm_design.Design.segments;
+  (match design.Mm_design.Design.lifetimes with
+  | Some _ -> ()
+  | None ->
+      if not (Mm_design.Conflict.is_complete design.Mm_design.Design.conflicts)
+      then
+        List.iter
+          (fun (a, b) ->
+            Buffer.add_string buf
+              (Printf.sprintf "conflict %s %s\n"
+                 (Mm_design.Design.segment design a).Mm_design.Segment.name
+                 (Mm_design.Design.segment design b).Mm_design.Segment.name))
+          (Mm_design.Conflict.pairs design.Mm_design.Design.conflicts));
+  Buffer.contents buf
+
+let to_file design path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string design))

@@ -1,0 +1,28 @@
+(** Text format for design descriptions.
+
+    {v
+    design fir-filter
+    segment coeffs depth=128 width=16 reads=50000 writes=128
+    segment window depth=512 width=8 birth=0 death=40
+    segment scratch depth=256 width=8 birth=45 death=90
+    conflict coeffs window
+    v}
+
+    [reads]/[writes] are optional (default: the paper's
+    reads = writes = depth assumption); [pu=N] assigns the segment to a
+    processing unit of a multi-PU board (default 0). Lifetime intervals
+    ([birth]/[death], both required together) may be given on every
+    segment — then conflicts are derived from interval overlap and
+    explicit [conflict] lines are rejected. With no lifetimes, explicit
+    [conflict NAME NAME] lines list the overlapping pairs; if none are
+    given, the conservative all-conflicting default applies. *)
+
+val parse : string -> (Mm_design.Design.t, string) result
+val of_file : string -> (Mm_design.Design.t, string) result
+
+val to_string : Mm_design.Design.t -> string
+(** Round-trips through {!parse}. Designs whose conflicts came from a
+    lifetime analysis are written with [birth]/[death] fields; complete
+    (default) conflict relations are written without [conflict] lines. *)
+
+val to_file : Mm_design.Design.t -> string -> unit

@@ -1,0 +1,1 @@
+lib/lp/branch_bound.ml: Array Float List Logs Mm_util Option Problem Simplex Unix

@@ -1,0 +1,1 @@
+lib/lp/cuts.ml: Array Float List Mm_util Printf Problem

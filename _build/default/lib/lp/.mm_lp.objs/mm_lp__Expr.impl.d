@@ -1,0 +1,1 @@
+lib/lp/expr.ml: Float Format Int List Map Printf

@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Expr Float List Printf Problem

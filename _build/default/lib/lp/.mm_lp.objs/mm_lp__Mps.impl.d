@@ -1,0 +1,1 @@
+lib/lp/mps.ml: Array Buffer Expr Float Fun Hashtbl In_channel List Mm_util Model Option Printf Problem String

@@ -1,0 +1,1 @@
+lib/lp/solver.ml: Branch_bound Cuts Float List Logs Model Option Presolve Problem Simplex Unix

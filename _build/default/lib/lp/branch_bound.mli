@@ -1,0 +1,38 @@
+(** Branch-and-bound mixed-integer solver on top of {!Simplex}.
+
+    Search: best-bound node queue with depth-first plunging, pseudocost
+    branching (initialized most-fractional), a nearest-integer rounding
+    heuristic at every node, and warm-started node relaxations (the
+    simplex re-solves from the basis left by the previous node). *)
+
+type status =
+  | Optimal  (** incumbent proved optimal *)
+  | Feasible  (** limit hit with an incumbent *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** limit hit before any incumbent *)
+
+type options = {
+  time_limit : float option;  (** wall-clock seconds *)
+  node_limit : int option;
+  gap_tol : float;  (** relative gap for early optimality, default 1e-9 *)
+  int_tol : float;  (** integrality tolerance, default 1e-6 *)
+  log_every : int option;  (** log progress every N nodes via [Logs] *)
+}
+
+val default_options : options
+
+type result = {
+  status : status;
+  solution : float array option;  (** structural values of the incumbent *)
+  objective : float option;  (** incumbent objective, user sense *)
+  best_bound : float;  (** proved bound on the optimum, user sense *)
+  nodes : int;
+  simplex_iterations : int;
+  time : float;  (** wall-clock seconds spent *)
+}
+
+val gap : result -> float option
+(** Relative gap between incumbent and bound; [None] without incumbent. *)
+
+val solve : ?options:options -> Problem.t -> result

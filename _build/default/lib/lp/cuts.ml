@@ -1,0 +1,93 @@
+type cut = { name : string; terms : (int * float) list; lb : float; ub : float }
+
+let viol_tol = 1e-4
+
+(* Try to derive a cover cut from one knapsack row at point [x].
+   The row is first normalized to  sum a'_j y_j <= b'  with a'_j > 0 and
+   y_j in {x_j, 1 - x_j}; a cover C gives sum_C y_j <= |C| - 1, which is
+   translated back to the x variables. *)
+let cut_from_row p x r =
+  let idx, coefs = p.Problem.rows.(r) in
+  let b = p.Problem.row_ub.(r) in
+  if not (Float.is_finite b) || Array.length idx < 2 then None
+  else
+    let all_binary =
+      Array.for_all (fun j -> p.Problem.kind.(j) = Problem.Binary) idx
+    in
+    if not all_binary then None
+    else begin
+      (* normalize: complement variables with negative coefficients *)
+      let b' = ref b in
+      let items =
+        List.filter_map
+          (fun k ->
+            let j = idx.(k) and a = coefs.(k) in
+            if a > 0.0 then Some (j, a, false, x.(j))
+            else if a < 0.0 then begin
+              b' := !b' -. a;
+              Some (j, -.a, true, 1.0 -. x.(j))
+            end
+            else None)
+          (Mm_util.Ints.range (Array.length idx))
+      in
+      let b = !b' in
+      if b < 0.0 then None
+      else begin
+        (* greedy cover: add items by decreasing fractional value until
+           the weight exceeds b *)
+        let sorted =
+          List.sort (fun (_, _, _, xa) (_, _, _, xb) -> compare xb xa) items
+        in
+        let rec take acc w = function
+          | [] -> (acc, w)
+          | (j, a, compl, xv) :: rest ->
+              if w > b then (acc, w)
+              else take ((j, a, compl, xv) :: acc) (w +. a) rest
+        in
+        let cover, w = take [] 0.0 sorted in
+        if w <= b +. 1e-9 then None
+        else begin
+          let size = List.length cover in
+          let lhs_value =
+            List.fold_left (fun acc (_, _, _, xv) -> acc +. xv) 0.0 cover
+          in
+          let rhs = float_of_int (size - 1) in
+          if lhs_value <= rhs +. viol_tol then None
+          else begin
+            (* sum_{C, plain} x_j + sum_{C, compl} (1 - x_j) <= size-1 *)
+            let n_compl = List.length (List.filter (fun (_, _, c, _) -> c) cover) in
+            let terms =
+              List.map
+                (fun (j, _, compl, _) -> (j, if compl then -1.0 else 1.0))
+                cover
+            in
+            let ub = rhs -. float_of_int n_compl in
+            Some
+              {
+                name = Printf.sprintf "cover_%s" p.Problem.row_names.(r);
+                terms;
+                lb = neg_infinity;
+                ub;
+                (* violation used for ranking *)
+              }
+          end
+        end
+      end
+    end
+
+let separate p x ~max_cuts =
+  let cuts = ref [] in
+  for r = 0 to p.Problem.nrows - 1 do
+    match cut_from_row p x r with
+    | Some c -> cuts := c :: !cuts
+    | None -> ()
+  done;
+  let value c =
+    List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0.0 c.terms -. c.ub
+  in
+  let sorted = List.sort (fun a b -> compare (value b) (value a)) !cuts in
+  List.filteri (fun i _ -> i < max_cuts) sorted
+
+let apply p cuts =
+  Problem.extend_rows p
+    (List.map (fun c -> (c.name, c.terms, c.lb, c.ub)) cuts)

@@ -1,0 +1,17 @@
+(** Knapsack cover cut separation for binary rows.
+
+    For a row [sum a_j x_j <= b] over binary variables (negative
+    coefficients handled by complementing), a *cover* is a set [C] with
+    [sum_{C} a_j > b]; every integer point then satisfies
+    [sum_{C} x_j <= |C| - 1]. Separation is the classic greedy on the
+    fractional LP point. *)
+
+type cut = { name : string; terms : (int * float) list; lb : float; ub : float }
+
+val separate : Problem.t -> float array -> max_cuts:int -> cut list
+(** [separate p x ~max_cuts] returns violated cover cuts at fractional
+    point [x] (at most [max_cuts], most violated first). Rows that
+    contain non-binary live variables are skipped. *)
+
+val apply : Problem.t -> cut list -> Problem.t
+(** Appends the cuts as new rows. *)

@@ -1,0 +1,37 @@
+(** Linear expressions over integer-indexed decision variables.
+
+    An expression is a sparse mapping from variable index to coefficient
+    plus a constant term. All combinators are purely functional; building
+    a large sum with [sum] is linear in the total number of terms. *)
+
+type t
+
+val zero : t
+val const : float -> t
+val var : ?coeff:float -> int -> t
+(** [var ~coeff i] is [coeff * x_i] (default coefficient 1). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val neg : t -> t
+val sum : t list -> t
+
+val add_term : t -> int -> float -> t
+(** [add_term e i c] is [e + c * x_i]. *)
+
+val constant : t -> float
+val coeff : t -> int -> float
+(** Coefficient of a variable (0 if absent). *)
+
+val terms : t -> (int * float) list
+(** Non-zero terms in increasing variable order. *)
+
+val num_terms : t -> int
+val map_vars : (int -> int) -> t -> t
+(** Renames variables; coefficients of colliding names are summed. *)
+
+val eval : (int -> float) -> t -> float
+(** Evaluates under an assignment. *)
+
+val pp : (int -> string) -> Format.formatter -> t -> unit

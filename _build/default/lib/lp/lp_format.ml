@@ -1,0 +1,387 @@
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let term_string first coeff name =
+  let sign = if coeff >= 0.0 then (if first then "" else " + ") else " - " in
+  let a = Float.abs coeff in
+  if a = 1.0 then Printf.sprintf "%s%s" sign name
+  else Printf.sprintf "%s%.12g %s" sign a name
+
+let to_string (p : Problem.t) =
+  let buf = Buffer.create 4096 in
+  let name j = sanitize p.Problem.col_names.(j) in
+  Buffer.add_string buf
+    (if p.Problem.maximize_input then "Maximize\n" else "Minimize\n");
+  Buffer.add_string buf " obj:";
+  let first = ref true in
+  for j = 0 to p.Problem.ncols - 1 do
+    (* obj is stored negated for maximization problems *)
+    let c = if p.Problem.maximize_input then -.p.Problem.obj.(j) else p.Problem.obj.(j) in
+    if c <> 0.0 then begin
+      Buffer.add_string buf (" " ^ String.trim (term_string !first c (name j)));
+      first := false
+    end
+  done;
+  if !first then Buffer.add_string buf " 0 x0_dummy";
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "Subject To\n";
+  for r = 0 to p.Problem.nrows - 1 do
+    let idx, v = p.Problem.rows.(r) in
+    let lhs =
+      let b = Buffer.create 64 in
+      let first = ref true in
+      Array.iteri
+        (fun k j ->
+          Buffer.add_string b (term_string !first v.(k) (name j));
+          first := false)
+        idx;
+      if !first then Buffer.add_string b "0 x0_dummy";
+      Buffer.contents b
+    in
+    let rn = sanitize p.Problem.row_names.(r) in
+    let lo = p.Problem.row_lb.(r) and hi = p.Problem.row_ub.(r) in
+    if lo = hi then
+      Buffer.add_string buf (Printf.sprintf " %s: %s = %.12g\n" rn lhs lo)
+    else begin
+      if Float.is_finite hi then
+        Buffer.add_string buf (Printf.sprintf " %s_u: %s <= %.12g\n" rn lhs hi);
+      if Float.is_finite lo then
+        Buffer.add_string buf (Printf.sprintf " %s_l: %s >= %.12g\n" rn lhs lo)
+    end
+  done;
+  Buffer.add_string buf "Bounds\n";
+  for j = 0 to p.Problem.ncols - 1 do
+    let lo = p.Problem.col_lb.(j) and hi = p.Problem.col_ub.(j) in
+    let n = name j in
+    if lo = hi then Buffer.add_string buf (Printf.sprintf " %s = %.12g\n" n lo)
+    else begin
+      match (Float.is_finite lo, Float.is_finite hi) with
+      | true, true ->
+          Buffer.add_string buf (Printf.sprintf " %.12g <= %s <= %.12g\n" lo n hi)
+      | true, false ->
+          if lo <> 0.0 then Buffer.add_string buf (Printf.sprintf " %s >= %.12g\n" n lo)
+      | false, true ->
+          Buffer.add_string buf (Printf.sprintf " -inf <= %s <= %.12g\n" n hi)
+      | false, false -> Buffer.add_string buf (Printf.sprintf " %s free\n" n)
+    end
+  done;
+  let generals =
+    List.filter
+      (fun j -> p.Problem.kind.(j) = Problem.Integer)
+      (Mm_util.Ints.range p.Problem.ncols)
+  and binaries =
+    List.filter
+      (fun j -> p.Problem.kind.(j) = Problem.Binary)
+      (Mm_util.Ints.range p.Problem.ncols)
+  in
+  if generals <> [] then begin
+    Buffer.add_string buf "Generals\n";
+    List.iter (fun j -> Buffer.add_string buf (" " ^ name j ^ "\n")) generals
+  end;
+  if binaries <> [] then begin
+    Buffer.add_string buf "Binaries\n";
+    List.iter (fun j -> Buffer.add_string buf (" " ^ name j ^ "\n")) binaries
+  end;
+  Buffer.add_string buf "End\n";
+  Buffer.contents buf
+
+let write p path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+(* ---- parser ------------------------------------------------------------ *)
+
+(* The parser works on a token stream with line tracking. Tokens:
+   numbers, names, the operators + - <= >= = < >, and section keywords
+   (recognized case-insensitively at line starts). Constraint names are
+   tokens ending in ':'. *)
+
+type tok = { t_line : int; t_text : string }
+
+exception Parse_error of string
+
+let perr line fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let tokenize text =
+  let out = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      (* strip LP comments *)
+      let line =
+        match String.index_opt line '\\' with
+        | Some k -> String.sub line 0 k
+        | None -> line
+      in
+      (* pad operators so they split cleanly *)
+      let buf = Buffer.create (String.length line + 8) in
+      String.iteri
+        (fun k c ->
+          match c with
+          | '+' | '-' ->
+              Buffer.add_char buf ' ';
+              Buffer.add_char buf c;
+              Buffer.add_char buf ' '
+          | '<' | '>' | '=' ->
+              (* keep <=, >= together by padding around runs *)
+              if k > 0 && (line.[k - 1] = '<' || line.[k - 1] = '>') && c = '='
+              then Buffer.add_char buf c
+              else begin
+                Buffer.add_char buf ' ';
+                Buffer.add_char buf c
+              end
+          | c -> Buffer.add_char buf c)
+        line;
+      (* re-attach '=' to preceding '<'/'>' produced a token like "<=";
+         now split on whitespace *)
+      String.split_on_char ' ' (Buffer.contents buf)
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.iter (fun t ->
+             if t <> "" then out := { t_line = lineno; t_text = t } :: !out))
+    (String.split_on_char '\n' text);
+  List.rev !out
+
+let lower = String.lowercase_ascii
+
+(* merge multi-word section keywords into single markers *)
+let rec mark_sections = function
+  | a :: b :: rest when lower a.t_text = "subject" && lower b.t_text = "to" ->
+      { a with t_text = "#constraints" } :: mark_sections rest
+  | a :: b :: rest when lower a.t_text = "such" && lower b.t_text = "that" ->
+      { a with t_text = "#constraints" } :: mark_sections rest
+  | a :: rest -> (
+      let marker =
+        match lower a.t_text with
+        | "minimize" | "min" | "minimise" -> Some "#min"
+        | "maximize" | "max" | "maximise" -> Some "#max"
+        | "st" | "s.t." | "st." -> Some "#constraints"
+        | "bounds" | "bound" -> Some "#bounds"
+        | "generals" | "general" | "integers" | "integer" | "gen" -> Some "#generals"
+        | "binaries" | "binary" | "bin" -> Some "#binaries"
+        | "end" -> Some "#end"
+        | _ -> None
+      in
+      match marker with
+      | Some m -> { a with t_text = m } :: mark_sections rest
+      | None -> a :: mark_sections rest)
+  | [] -> []
+
+let is_number s =
+  match float_of_string_opt s with Some _ -> true | None -> false
+
+let is_relop s = List.mem s [ "<="; ">="; "="; "<"; ">" ]
+
+(* parse a linear expression from the stream until a relop or section
+   marker; returns (terms, constant, rest) *)
+let parse_expr toks =
+  let terms = ref [] and const = ref 0.0 in
+  let rec loop sign coeff toks =
+    match toks with
+    | [] -> (toks, false)
+    | t :: rest -> (
+        let s = t.t_text in
+        if String.length s > 0 && s.[0] = '#' then (toks, false)
+        else if is_relop s then (toks, true)
+        else if String.length s > 0 && s.[String.length s - 1] = ':' then (toks, false)
+        else
+          match s with
+          | "+" -> loop 1.0 None rest
+          | "-" -> loop (sign *. -1.0) None rest
+          | _ ->
+              if is_number s then begin
+                match coeff with
+                | None -> loop sign (Some (float_of_string s)) rest
+                | Some c ->
+                    (* two numbers in a row: the first was a constant *)
+                    const := !const +. (sign *. c);
+                    loop sign (Some (float_of_string s)) rest
+              end
+              else begin
+                let c = Option.value coeff ~default:1.0 in
+                terms := (s, sign *. c) :: !terms;
+                loop 1.0 None rest
+              end)
+  in
+  let rest, saw_relop = loop 1.0 None toks in
+  (* a dangling numeric coefficient is a constant term *)
+  (List.rev !terms, !const, rest, saw_relop)
+
+let parse text =
+  try
+    let toks = mark_sections (tokenize text) in
+    let model = Model.create ~name:"lp" () in
+    let vars : (string, Model.var) Hashtbl.t = Hashtbl.create 64 in
+    let kinds : (string, Problem.var_kind) Hashtbl.t = Hashtbl.create 64 in
+    let bounds : (string, float * float) Hashtbl.t = Hashtbl.create 64 in
+    let var name =
+      match Hashtbl.find_opt vars name with
+      | Some v -> v
+      | None ->
+          let v = Model.add_var model ~name Problem.Continuous in
+          Hashtbl.replace vars name v;
+          v
+    in
+    let expr_of terms =
+      Expr.sum (List.map (fun (name, c) -> Expr.var ~coeff:c (var name)) terms)
+    in
+    let strip_label toks =
+      match toks with
+      | t :: rest
+        when String.length t.t_text > 0
+             && t.t_text.[String.length t.t_text - 1] = ':'
+             && not (is_relop t.t_text) ->
+          (Some (String.sub t.t_text 0 (String.length t.t_text - 1)), rest)
+      | _ -> (None, toks)
+    in
+    let sense = ref Model.Minimize in
+    let seen_objective = ref false in
+    let rec sections toks =
+      match toks with
+      | [] -> ()
+      | t :: rest -> (
+          match t.t_text with
+          | "#min" | "#max" ->
+              sense := (if t.t_text = "#max" then Model.Maximize else Model.Minimize);
+              if !seen_objective then perr t.t_line "duplicate objective section";
+              seen_objective := true;
+              let _, rest = strip_label rest in
+              let terms, _const, rest, saw_relop = parse_expr rest in
+              if saw_relop then perr t.t_line "relational operator in objective";
+              Model.set_objective model !sense (expr_of terms);
+              sections rest
+          | "#constraints" -> constraints rest
+          | "#bounds" -> bounds_section rest
+          | "#generals" -> kind_section Problem.Integer rest
+          | "#binaries" -> kind_section Problem.Binary rest
+          | "#end" -> ()
+          | s -> perr t.t_line "unexpected token %S" s)
+    and constraints toks =
+      match toks with
+      | [] -> ()
+      | t :: _ when String.length t.t_text > 0 && t.t_text.[0] = '#' ->
+          sections toks
+      | toks -> (
+          let name, toks = strip_label toks in
+          let terms, _const, rest, saw_relop = parse_expr toks in
+          match rest with
+          | op :: more when saw_relop -> (
+              (* negative right-hand sides: glue the split unary minus *)
+              let more =
+                match more with
+                | m :: a :: rest2 when m.t_text = "-" ->
+                    { a with t_text = "-" ^ a.t_text } :: rest2
+                | more -> more
+              in
+              match more with
+              | rhs :: more2 when is_number rhs.t_text ->
+                  let rhsv = float_of_string rhs.t_text in
+                  let e = expr_of terms in
+                  (match op.t_text with
+                  | "<=" | "<" -> Model.add_le model ?name e rhsv
+                  | ">=" | ">" -> Model.add_ge model ?name e rhsv
+                  | "=" -> Model.add_eq model ?name e rhsv
+                  | o -> perr op.t_line "bad operator %S" o);
+                  constraints more2
+              | _ -> perr op.t_line "expected numeric right-hand side")
+          | t :: _ -> perr t.t_line "expected relational operator"
+          | [] -> perr 0 "truncated constraint")
+    and bounds_section toks =
+      (* the tokenizer splits unary minus off numbers; glue it back *)
+      let toks =
+        match toks with
+        | m :: a :: rest when m.t_text = "-" ->
+            { a with t_text = "-" ^ a.t_text } :: rest
+        | toks -> toks
+      in
+      match toks with
+      | [] -> ()
+      | t :: _ when String.length t.t_text > 0 && t.t_text.[0] = '#' ->
+          sections toks
+      | toks -> (
+          (* forms: NUM <= x <= NUM | x <= NUM | x >= NUM | x = NUM |
+             x free | -inf <= x <= NUM *)
+          let num s =
+            match lower s with
+            | "-inf" | "-infinity" -> Some neg_infinity
+            | "inf" | "+inf" | "infinity" | "+infinity" -> Some infinity
+            | _ -> float_of_string_opt s
+          in
+          let get name = Option.value (Hashtbl.find_opt bounds name) ~default:(0.0, infinity) in
+          match toks with
+          | a :: b :: rest when lower b.t_text = "free" ->
+              Hashtbl.replace bounds a.t_text (neg_infinity, infinity);
+              ignore (var a.t_text);
+              bounds_section rest
+          | a :: op :: b :: rest
+            when is_relop op.t_text && num a.t_text <> None && not (is_number b.t_text)
+            -> (
+              (* NUM <= x [<= NUM] *)
+              let lo = Option.get (num a.t_text) in
+              let name = b.t_text in
+              ignore (var name);
+              let _, hi0 = get name in
+              match rest with
+              | op2 :: c :: rest2 when is_relop op2.t_text && num c.t_text <> None ->
+                  Hashtbl.replace bounds name (lo, Option.get (num c.t_text));
+                  bounds_section rest2
+              | _ ->
+                  Hashtbl.replace bounds name (lo, hi0);
+                  bounds_section rest)
+          | a :: op :: b :: rest when is_relop op.t_text && num b.t_text <> None ->
+              (* x <= NUM | x >= NUM | x = NUM *)
+              let name = a.t_text in
+              ignore (var name);
+              let lo0, hi0 = get name in
+              let v = Option.get (num b.t_text) in
+              (match op.t_text with
+              | "<=" | "<" -> Hashtbl.replace bounds name (lo0, v)
+              | ">=" | ">" -> Hashtbl.replace bounds name (v, hi0)
+              | _ -> Hashtbl.replace bounds name (v, v));
+              bounds_section rest
+          | t :: _ -> perr t.t_line "bad bounds entry near %S" t.t_text
+          | [] -> ())
+    and kind_section kind toks =
+      match toks with
+      | [] -> ()
+      | t :: _ when String.length t.t_text > 0 && t.t_text.[0] = '#' ->
+          sections toks
+      | t :: rest ->
+          ignore (var t.t_text);
+          Hashtbl.replace kinds t.t_text kind;
+          kind_section kind rest
+    in
+    sections toks;
+    if Hashtbl.length vars = 0 then Error "no variables"
+    else begin
+      let p = Model.to_problem model in
+      Hashtbl.iter
+        (fun name v ->
+          let lo, hi =
+            Option.value (Hashtbl.find_opt bounds name) ~default:(0.0, infinity)
+          in
+          let kind = Option.value (Hashtbl.find_opt kinds name) ~default:Problem.Continuous in
+          let lo, hi =
+            match kind with
+            | Problem.Binary when not (Hashtbl.mem bounds name) -> (0.0, 1.0)
+            | _ -> (lo, hi)
+          in
+          p.Problem.col_lb.(v) <- lo;
+          p.Problem.col_ub.(v) <- hi;
+          p.Problem.kind.(v) <- kind)
+        vars;
+      Ok p
+    end
+  with Parse_error e -> Error e
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error e -> Error e

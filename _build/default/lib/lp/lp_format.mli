@@ -1,0 +1,24 @@
+(** Writer for the CPLEX LP text format.
+
+    The paper's authors solved their formulations with CPLEX; this writer
+    lets every model built here be dumped in the format CPLEX consumes,
+    both as a debugging aid and as a bridge for anyone who wants to
+    cross-check with an external solver. *)
+
+val to_string : Problem.t -> string
+(** Renders the problem in CPLEX LP format (Minimize/Maximize section,
+    Subject To, Bounds, Generals/Binaries, End). *)
+
+val write : Problem.t -> string -> unit
+(** [write p path] writes {!to_string} to a file. *)
+
+val parse : string -> (Problem.t, string) result
+(** Parses CPLEX LP text (the subset this writer emits plus common
+    variations): one objective section (Minimize/Maximize, also MIN/MAX),
+    Subject To (also ST / S.T. / SUCH THAT) with named or anonymous
+    constraints that may span lines, Bounds (including [x free],
+    [-inf <= x], [x = v]), Generals/Integers and Binaries/Binary
+    sections, End. Comments start with [\ ]. Errors carry a line
+    number. *)
+
+val of_file : string -> (Problem.t, string) result

@@ -1,0 +1,136 @@
+type var = int
+type sense = Minimize | Maximize
+
+type con = { c_name : string; c_lo : float; c_hi : float; c_expr : Expr.t }
+
+type vdecl = {
+  v_name : string;
+  v_lb : float;
+  v_ub : float;
+  v_obj : float;
+  v_kind : Problem.var_kind;
+}
+
+type t = {
+  m_name : string;
+  mutable vars : vdecl list; (* reversed *)
+  mutable nvars : int;
+  mutable cons : con list; (* reversed *)
+  mutable ncons : int;
+  mutable obj : Expr.t;
+  mutable sense : sense;
+}
+
+let create ?(name = "model") () =
+  {
+    m_name = name;
+    vars = [];
+    nvars = 0;
+    cons = [];
+    ncons = 0;
+    obj = Expr.zero;
+    sense = Minimize;
+  }
+
+let add_var t ?name ?(lb = 0.0) ?(ub = infinity) ?(obj = 0.0) kind =
+  let idx = t.nvars in
+  let lb, ub =
+    match kind with Problem.Binary -> (Float.max lb 0.0, Float.min ub 1.0) | _ -> (lb, ub)
+  in
+  if lb > ub then invalid_arg "Model.add_var: lb > ub";
+  let v_name = match name with Some n -> n | None -> Printf.sprintf "x%d" idx in
+  t.vars <- { v_name; v_lb = lb; v_ub = ub; v_obj = obj; v_kind = kind } :: t.vars;
+  t.nvars <- idx + 1;
+  idx
+
+let binary t ?name ?obj () = add_var t ?name ?obj Problem.Binary
+let num_vars t = t.nvars
+let num_constraints t = t.ncons
+
+let var_name t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.var_name";
+  (List.nth t.vars (t.nvars - 1 - v)).v_name
+
+let add_con t name lo hi expr =
+  let c_name =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" t.ncons
+  in
+  let k = Expr.constant expr in
+  t.cons <-
+    { c_name; c_lo = lo -. k; c_hi = hi -. k; c_expr = Expr.sub expr (Expr.const k) }
+    :: t.cons;
+  t.ncons <- t.ncons + 1
+
+let add_le t ?name expr rhs = add_con t name neg_infinity rhs expr
+let add_ge t ?name expr rhs = add_con t name rhs infinity expr
+let add_eq t ?name expr rhs = add_con t name rhs rhs expr
+
+let add_range t ?name lo expr hi =
+  if lo > hi then invalid_arg "Model.add_range: lo > hi";
+  add_con t name lo hi expr
+
+let set_objective t sense expr =
+  t.sense <- sense;
+  t.obj <- expr
+
+let add_objective_term t expr = t.obj <- Expr.add t.obj expr
+let objective_sense t = t.sense
+
+let to_problem t =
+  let n = t.nvars and m = t.ncons in
+  let vars = Array.of_list (List.rev t.vars) in
+  let cons = Array.of_list (List.rev t.cons) in
+  let flip = if t.sense = Maximize then -1.0 else 1.0 in
+  let obj = Array.make n 0.0 in
+  Array.iteri (fun j v -> obj.(j) <- flip *. v.v_obj) vars;
+  List.iter
+    (fun (j, c) ->
+      if j >= n then invalid_arg "Model.to_problem: objective uses unknown variable";
+      obj.(j) <- obj.(j) +. (flip *. c))
+    (Expr.terms t.obj);
+  let row_entries = Array.map (fun c -> Expr.terms c.c_expr) cons in
+  Array.iter
+    (List.iter (fun (j, _) ->
+         if j >= n then invalid_arg "Model.to_problem: constraint uses unknown variable"))
+    row_entries;
+  let rows =
+    Array.map
+      (fun entries ->
+        let idx = Array.of_list (List.map fst entries) in
+        let v = Array.of_list (List.map snd entries) in
+        (idx, v))
+      row_entries
+  in
+  (* transpose to columns *)
+  let col_counts = Array.make n 0 in
+  Array.iter
+    (fun (idx, _) -> Array.iter (fun j -> col_counts.(j) <- col_counts.(j) + 1) idx)
+    rows;
+  let col_idx = Array.init n (fun j -> Array.make col_counts.(j) 0) in
+  let col_val = Array.init n (fun j -> Array.make col_counts.(j) 0.0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun r (idx, v) ->
+      Array.iteri
+        (fun k j ->
+          col_idx.(j).(fill.(j)) <- r;
+          col_val.(j).(fill.(j)) <- v.(k);
+          fill.(j) <- fill.(j) + 1)
+        idx)
+    rows;
+  {
+    Problem.ncols = n;
+    nrows = m;
+    obj;
+    obj_const = flip *. Expr.constant t.obj;
+    maximize_input = t.sense = Maximize;
+    col_lb = Array.map (fun v -> v.v_lb) vars;
+    col_ub = Array.map (fun v -> v.v_ub) vars;
+    kind = Array.map (fun v -> v.v_kind) vars;
+    row_lb = Array.map (fun c -> c.c_lo) cons;
+    row_ub = Array.map (fun c -> c.c_hi) cons;
+    cols = Array.init n (fun j -> (col_idx.(j), col_val.(j)));
+    rows;
+    col_names = Array.map (fun v -> v.v_name) vars;
+    row_names = Array.map (fun c -> c.c_name) cons;
+  }

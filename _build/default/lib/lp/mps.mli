@@ -1,0 +1,23 @@
+(** Reader/writer for the (free-format) MPS interchange format.
+
+    MPS is the lingua franca of 1990s-2000s MIP solvers — including the
+    CPLEX the paper used — so every model built here can be exported for
+    cross-checking and external MPS models can be solved with this
+    repository's solver.
+
+    Supported sections: NAME, ROWS (N/L/G/E), COLUMNS (with
+    INTORG/INTEND integrality markers), RHS, RANGES, BOUNDS
+    (UP/LO/FX/FR/MI/PL/BV/UI/LI), ENDATA. One objective row (the first
+    N row); free rows beyond the first are rejected. *)
+
+val to_string : Problem.t -> string
+(** Serializes; range rows are written as L rows plus a RANGES entry.
+    Maximization problems are written as their minimization normal form
+    with a comment noting the flip (MPS has no sense marker). *)
+
+val write : Problem.t -> string -> unit
+
+val parse : string -> (Problem.t, string) result
+(** Parses free-format MPS text; errors carry a line number. *)
+
+val of_file : string -> (Problem.t, string) result

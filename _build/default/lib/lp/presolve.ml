@@ -1,0 +1,228 @@
+type outcome =
+  | Infeasible
+  | Unbounded
+  | Reduced of Problem.t * (float array -> float array)
+
+exception Proved_infeasible
+exception Proved_unbounded
+
+let feas_tol = 1e-9
+
+(* Working state: mutable copies of bounds plus alive masks. *)
+type work = {
+  p : Problem.t;
+  lb : float array;
+  ub : float array;
+  fixed : float option array; (* fixed value for dead columns *)
+  row_alive : bool array;
+  row_lb : float array;
+  row_ub : float array;
+}
+
+let round_integer_bounds w =
+  for j = 0 to w.p.Problem.ncols - 1 do
+    match w.p.Problem.kind.(j) with
+    | Problem.Continuous -> ()
+    | Problem.Integer | Problem.Binary ->
+        if Float.is_finite w.lb.(j) then w.lb.(j) <- Float.ceil (w.lb.(j) -. feas_tol);
+        if Float.is_finite w.ub.(j) then w.ub.(j) <- Float.floor (w.ub.(j) +. feas_tol);
+        if w.lb.(j) > w.ub.(j) +. feas_tol then raise Proved_infeasible
+  done
+
+(* A column is alive while not fixed. *)
+let alive_col w j = w.fixed.(j) = None
+
+let fix_col w j v =
+  if v < w.lb.(j) -. 1e-7 || v > w.ub.(j) +. 1e-7 then raise Proved_infeasible;
+  w.fixed.(j) <- Some v;
+  (* move the contribution into the row bounds *)
+  let idx, coefs = w.p.Problem.cols.(j) in
+  Array.iteri
+    (fun k r ->
+      if w.row_alive.(r) then begin
+        let c = coefs.(k) *. v in
+        if Float.is_finite w.row_lb.(r) then w.row_lb.(r) <- w.row_lb.(r) -. c;
+        if Float.is_finite w.row_ub.(r) then w.row_ub.(r) <- w.row_ub.(r) -. c
+      end)
+    idx
+
+let row_live_entries w r =
+  let idx, coefs = w.p.Problem.rows.(r) in
+  let out = ref [] in
+  for k = Array.length idx - 1 downto 0 do
+    if alive_col w idx.(k) then out := (idx.(k), coefs.(k)) :: !out
+  done;
+  !out
+
+let one_pass w =
+  let changed = ref false in
+  (* integer bounds may have been tightened to fractional values by the
+     previous pass; round them before anything fixes a variable *)
+  round_integer_bounds w;
+  (* fixed variables (lb = ub) *)
+  for j = 0 to w.p.Problem.ncols - 1 do
+    if alive_col w j && w.ub.(j) -. w.lb.(j) <= feas_tol then begin
+      fix_col w j w.lb.(j);
+      changed := true
+    end
+  done;
+  (* rows: empty and singleton *)
+  for r = 0 to w.p.Problem.nrows - 1 do
+    if w.row_alive.(r) then begin
+      match row_live_entries w r with
+      | [] ->
+          if w.row_lb.(r) > feas_tol || w.row_ub.(r) < -.feas_tol then
+            raise Proved_infeasible;
+          w.row_alive.(r) <- false;
+          changed := true
+      | [ (j, a) ] ->
+          (* a * x_j in [row_lb, row_ub] -> tighten x_j *)
+          let lo, hi =
+            if a > 0.0 then (w.row_lb.(r) /. a, w.row_ub.(r) /. a)
+            else (w.row_ub.(r) /. a, w.row_lb.(r) /. a)
+          in
+          if lo > w.lb.(j) +. feas_tol then begin
+            w.lb.(j) <- lo;
+            changed := true
+          end;
+          if hi < w.ub.(j) -. feas_tol then begin
+            w.ub.(j) <- hi;
+            changed := true
+          end;
+          if w.lb.(j) > w.ub.(j) +. 1e-7 then raise Proved_infeasible;
+          w.row_alive.(r) <- false
+      | _ -> ()
+    end
+  done;
+  (* empty columns: fix at the bound favoured by the objective; rows may
+     have just tightened integer bounds to fractional values, so round
+     them first *)
+  round_integer_bounds w;
+  for j = 0 to w.p.Problem.ncols - 1 do
+    if alive_col w j then begin
+      let live =
+        let idx, _ = w.p.Problem.cols.(j) in
+        Array.exists (fun r -> w.row_alive.(r)) idx
+      in
+      if not live then begin
+        let c = w.p.Problem.obj.(j) in
+        let v =
+          if c > 0.0 then w.lb.(j)
+          else if c < 0.0 then w.ub.(j)
+          else if Float.is_finite w.lb.(j) then w.lb.(j)
+          else if Float.is_finite w.ub.(j) then w.ub.(j)
+          else 0.0
+        in
+        if not (Float.is_finite v) then raise Proved_unbounded;
+        fix_col w j v;
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let rebuild w =
+  let p = w.p in
+  let col_map = Array.make p.Problem.ncols (-1) in
+  let ncols = ref 0 in
+  for j = 0 to p.Problem.ncols - 1 do
+    if alive_col w j then begin
+      col_map.(j) <- !ncols;
+      incr ncols
+    end
+  done;
+  let row_map = Array.make p.Problem.nrows (-1) in
+  let nrows = ref 0 in
+  for r = 0 to p.Problem.nrows - 1 do
+    if w.row_alive.(r) then begin
+      row_map.(r) <- !nrows;
+      incr nrows
+    end
+  done;
+  let ncols = !ncols and nrows = !nrows in
+  let inv_col = Array.make ncols 0 and inv_row = Array.make nrows 0 in
+  Array.iteri (fun j c -> if c >= 0 then inv_col.(c) <- j) col_map;
+  Array.iteri (fun r c -> if c >= 0 then inv_row.(c) <- r) row_map;
+  let obj_const = ref p.Problem.obj_const in
+  Array.iteri
+    (fun j v -> match v with Some x -> obj_const := !obj_const +. (p.Problem.obj.(j) *. x) | None -> ())
+    w.fixed;
+  let rows =
+    Array.init nrows (fun r' ->
+        let entries = row_live_entries w inv_row.(r') in
+        let idx = Array.of_list (List.map (fun (j, _) -> col_map.(j)) entries) in
+        let v = Array.of_list (List.map snd entries) in
+        (idx, v))
+  in
+  (* columns from rows *)
+  let counts = Array.make ncols 0 in
+  Array.iter (fun (idx, _) -> Array.iter (fun j -> counts.(j) <- counts.(j) + 1) idx) rows;
+  let cidx = Array.init ncols (fun j -> Array.make counts.(j) 0) in
+  let cval = Array.init ncols (fun j -> Array.make counts.(j) 0.0) in
+  let fill = Array.make ncols 0 in
+  Array.iteri
+    (fun r (idx, v) ->
+      Array.iteri
+        (fun k j ->
+          cidx.(j).(fill.(j)) <- r;
+          cval.(j).(fill.(j)) <- v.(k);
+          fill.(j) <- fill.(j) + 1)
+        idx)
+    rows;
+  let reduced =
+    {
+      p with
+      Problem.ncols;
+      nrows;
+      obj = Array.init ncols (fun j -> p.Problem.obj.(inv_col.(j)));
+      obj_const = !obj_const;
+      col_lb = Array.init ncols (fun j -> w.lb.(inv_col.(j)));
+      col_ub = Array.init ncols (fun j -> w.ub.(inv_col.(j)));
+      kind = Array.init ncols (fun j -> p.Problem.kind.(inv_col.(j)));
+      row_lb = Array.init nrows (fun r -> w.row_lb.(inv_row.(r)));
+      row_ub = Array.init nrows (fun r -> w.row_ub.(inv_row.(r)));
+      rows;
+      cols = Array.init ncols (fun j -> (cidx.(j), cval.(j)));
+      col_names = Array.init ncols (fun j -> p.Problem.col_names.(inv_col.(j)));
+      row_names = Array.init nrows (fun r -> p.Problem.row_names.(inv_row.(r)));
+    }
+  in
+  let recover x' =
+    let x = Array.make p.Problem.ncols 0.0 in
+    for j = 0 to p.Problem.ncols - 1 do
+      match w.fixed.(j) with
+      | Some v -> x.(j) <- v
+      | None -> x.(j) <- x'.(col_map.(j))
+    done;
+    x
+  in
+  (reduced, recover)
+
+let presolve p =
+  let w =
+    {
+      p;
+      lb = Array.copy p.Problem.col_lb;
+      ub = Array.copy p.Problem.col_ub;
+      fixed = Array.make p.Problem.ncols None;
+      row_alive = Array.make p.Problem.nrows true;
+      row_lb = Array.copy p.Problem.row_lb;
+      row_ub = Array.copy p.Problem.row_ub;
+    }
+  in
+  try
+    round_integer_bounds w;
+    let passes = ref 0 in
+    while one_pass w && !passes < 20 do
+      round_integer_bounds w;
+      incr passes
+    done;
+    let reduced, recover = rebuild w in
+    Reduced (reduced, recover)
+  with
+  | Proved_infeasible -> Infeasible
+  | Proved_unbounded -> Unbounded
+
+let stats_of before after =
+  Printf.sprintf "cols %d->%d, rows %d->%d" before.Problem.ncols
+    after.Problem.ncols before.Problem.nrows after.Problem.nrows

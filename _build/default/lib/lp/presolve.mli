@@ -1,0 +1,19 @@
+(** Presolve reductions applied before the simplex / branch-and-bound.
+
+    Implemented reductions, iterated to a fixpoint (bounded number of
+    passes): integer bound rounding, singleton-row bound tightening,
+    empty-row elimination, fixed-variable substitution, and empty-column
+    fixing. Every reduction preserves the optimal objective value; the
+    returned [recover] function lifts a solution of the reduced problem
+    back to the original variable space. *)
+
+type outcome =
+  | Infeasible  (** presolve proved the problem infeasible *)
+  | Unbounded  (** an empty objective column can improve without limit *)
+  | Reduced of Problem.t * (float array -> float array)
+      (** reduced problem and solution-recovery function *)
+
+val presolve : Problem.t -> outcome
+
+val stats_of : Problem.t -> Problem.t -> string
+(** Human-readable summary "cols a->b, rows c->d" for logging. *)

@@ -1,0 +1,189 @@
+type var_kind = Continuous | Integer | Binary
+
+type t = {
+  ncols : int;
+  nrows : int;
+  obj : float array;
+  obj_const : float;
+  maximize_input : bool;
+  col_lb : float array;
+  col_ub : float array;
+  kind : var_kind array;
+  row_lb : float array;
+  row_ub : float array;
+  cols : (int array * float array) array;
+  rows : (int array * float array) array;
+  col_names : string array;
+  row_names : string array;
+}
+
+let num_integer p =
+  let n = ref 0 in
+  Array.iter (function Integer | Binary -> incr n | Continuous -> ()) p.kind;
+  !n
+
+let row_activity p x r =
+  let idx, v = p.rows.(r) in
+  let acc = ref 0.0 in
+  for k = 0 to Array.length idx - 1 do
+    acc := !acc +. (v.(k) *. x.(idx.(k)))
+  done;
+  !acc
+
+let objective_value p x =
+  let acc = ref p.obj_const in
+  for j = 0 to p.ncols - 1 do
+    acc := !acc +. (p.obj.(j) *. x.(j))
+  done;
+  if p.maximize_input then -. !acc else !acc
+
+let max_violation p x =
+  let viol = ref 0.0 in
+  let clip v lo hi =
+    if v < lo then lo -. v else if v > hi then v -. hi else 0.0
+  in
+  for j = 0 to p.ncols - 1 do
+    viol := Float.max !viol (clip x.(j) p.col_lb.(j) p.col_ub.(j))
+  done;
+  for r = 0 to p.nrows - 1 do
+    viol := Float.max !viol (clip (row_activity p x r) p.row_lb.(r) p.row_ub.(r))
+  done;
+  !viol
+
+let integer_violation p x =
+  let viol = ref 0.0 in
+  for j = 0 to p.ncols - 1 do
+    match p.kind.(j) with
+    | Continuous -> ()
+    | Integer | Binary ->
+        let f = Float.abs (x.(j) -. Float.round x.(j)) in
+        viol := Float.max !viol f
+  done;
+  !viol
+
+let is_feasible ?(tol = 1e-6) p x =
+  max_violation p x <= tol && integer_violation p x <= tol
+
+let validate p =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_sorted what (idx, v) limit =
+    if Array.length idx <> Array.length v then err "%s: index/value mismatch" what
+    else
+      let ok = ref (Ok ()) in
+      for k = 0 to Array.length idx - 1 do
+        if idx.(k) < 0 || idx.(k) >= limit then ok := err "%s: index out of range" what;
+        if k > 0 && idx.(k) <= idx.(k - 1) then ok := err "%s: unsorted indices" what;
+        if not (Float.is_finite v.(k)) then ok := err "%s: non-finite coefficient" what
+      done;
+      !ok
+  in
+  let rec first_error = function
+    | [] -> Ok ()
+    | f :: rest -> ( match f () with Ok () -> first_error rest | e -> e)
+  in
+  first_error
+    [
+      (fun () ->
+        if
+          Array.length p.obj = p.ncols
+          && Array.length p.col_lb = p.ncols
+          && Array.length p.col_ub = p.ncols
+          && Array.length p.kind = p.ncols
+          && Array.length p.cols = p.ncols
+          && Array.length p.col_names = p.ncols
+          && Array.length p.row_lb = p.nrows
+          && Array.length p.row_ub = p.nrows
+          && Array.length p.rows = p.nrows
+          && Array.length p.row_names = p.nrows
+        then Ok ()
+        else err "dimension mismatch");
+      (fun () ->
+        let bad = ref (Ok ()) in
+        for j = 0 to p.ncols - 1 do
+          if p.col_lb.(j) > p.col_ub.(j) then
+            bad := err "column %s: lb > ub" p.col_names.(j)
+        done;
+        !bad);
+      (fun () ->
+        let bad = ref (Ok ()) in
+        for r = 0 to p.nrows - 1 do
+          if p.row_lb.(r) > p.row_ub.(r) then
+            bad := err "row %s: lb > ub" p.row_names.(r)
+        done;
+        !bad);
+      (fun () ->
+        let bad = ref (Ok ()) in
+        Array.iteri
+          (fun j col ->
+            match check_sorted (Printf.sprintf "col %d" j) col p.nrows with
+            | Ok () -> ()
+            | e -> bad := e)
+          p.cols;
+        !bad);
+      (fun () ->
+        let bad = ref (Ok ()) in
+        Array.iteri
+          (fun r row ->
+            match check_sorted (Printf.sprintf "row %d" r) row p.ncols with
+            | Ok () -> ()
+            | e -> bad := e)
+          p.rows;
+        !bad);
+    ]
+
+let extend_rows p extra =
+  let extra =
+    List.map
+      (fun (name, terms, lo, hi) ->
+        let terms = List.sort (fun (a, _) (b, _) -> compare a b) terms in
+        let terms = List.filter (fun (_, c) -> c <> 0.0) terms in
+        (name, terms, lo, hi))
+      extra
+  in
+  let k = List.length extra in
+  let nrows = p.nrows + k in
+  let rows = Array.make nrows ([||], [||]) in
+  Array.blit p.rows 0 rows 0 p.nrows;
+  let row_lb = Array.make nrows 0.0 and row_ub = Array.make nrows 0.0 in
+  Array.blit p.row_lb 0 row_lb 0 p.nrows;
+  Array.blit p.row_ub 0 row_ub 0 p.nrows;
+  let row_names = Array.make nrows "" in
+  Array.blit p.row_names 0 row_names 0 p.nrows;
+  List.iteri
+    (fun i (name, terms, lo, hi) ->
+      let r = p.nrows + i in
+      rows.(r) <-
+        (Array.of_list (List.map fst terms), Array.of_list (List.map snd terms));
+      row_lb.(r) <- lo;
+      row_ub.(r) <- hi;
+      row_names.(r) <- name)
+    extra;
+  (* rebuild columns *)
+  let counts = Array.make p.ncols 0 in
+  Array.iter (fun (idx, _) -> Array.iter (fun j -> counts.(j) <- counts.(j) + 1) idx) rows;
+  let cidx = Array.init p.ncols (fun j -> Array.make counts.(j) 0) in
+  let cval = Array.init p.ncols (fun j -> Array.make counts.(j) 0.0) in
+  let fill = Array.make p.ncols 0 in
+  Array.iteri
+    (fun r (idx, v) ->
+      Array.iteri
+        (fun s j ->
+          cidx.(j).(fill.(j)) <- r;
+          cval.(j).(fill.(j)) <- v.(s);
+          fill.(j) <- fill.(j) + 1)
+        idx)
+    rows;
+  {
+    p with
+    nrows;
+    rows;
+    row_lb;
+    row_ub;
+    row_names;
+    cols = Array.init p.ncols (fun j -> (cidx.(j), cval.(j)));
+  }
+
+let pp_stats fmt p =
+  let nnz = Array.fold_left (fun acc (idx, _) -> acc + Array.length idx) 0 p.cols in
+  Format.fprintf fmt "%d cols (%d integer), %d rows, %d nonzeros" p.ncols
+    (num_integer p) p.nrows nnz

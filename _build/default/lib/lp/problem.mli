@@ -1,0 +1,61 @@
+(** Immutable standard-form problem produced by {!Model.to_problem}.
+
+    minimize [obj . x + obj_const] subject to
+    [row_lb <= A x <= row_ub] and [col_lb <= x <= col_ub],
+    with integrality restrictions given by [kind]. Equality rows have
+    [row_lb = row_ub]; one-sided rows use [infinity]/[neg_infinity].
+    Maximization problems are normalized to minimization at build time. *)
+
+type var_kind = Continuous | Integer | Binary
+
+type t = {
+  ncols : int;
+  nrows : int;
+  obj : float array;
+  obj_const : float;
+  maximize_input : bool;
+      (** true when the user asked to maximize; [obj] is already negated. *)
+  col_lb : float array;
+  col_ub : float array;
+  kind : var_kind array;
+  row_lb : float array;
+  row_ub : float array;
+  cols : (int array * float array) array;
+      (** per column: sorted row indices and matching coefficients *)
+  rows : (int array * float array) array;
+      (** per row: sorted column indices and matching coefficients *)
+  col_names : string array;
+  row_names : string array;
+}
+
+val num_integer : t -> int
+(** Number of columns with kind [Integer] or [Binary]. *)
+
+val row_activity : t -> float array -> int -> float
+(** [row_activity p x r] is the value of row [r] under assignment [x]. *)
+
+val objective_value : t -> float array -> float
+(** Objective under assignment [x], in the user's sense (negated back when
+    the input was a maximization). *)
+
+val max_violation : t -> float array -> float
+(** Largest violation of any row or column bound under [x]; 0 when
+    feasible (ignoring integrality). *)
+
+val integer_violation : t -> float array -> float
+(** Largest distance from integrality over integer columns. *)
+
+val is_feasible : ?tol:float -> t -> float array -> bool
+(** Row/bound feasibility and integrality within [tol] (default 1e-6). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: consistent dimensions, sorted indices, finite
+    coefficients, lb <= ub everywhere. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line size summary: columns (integer count), rows, non-zeros. *)
+
+val extend_rows : t -> (string * (int * float) list * float * float) list -> t
+(** [extend_rows p rows] appends rows given as
+    [(name, terms, lb, ub)]; terms need not be sorted. Used to add
+    cutting planes. *)

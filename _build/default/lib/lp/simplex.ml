@@ -1,0 +1,655 @@
+(* Bounded-variable primal simplex with explicit dense basis inverse.
+
+   Variables 0..n-1 are the structural columns of the problem; variables
+   n..n+m-1 are row slacks with column -e_r, so that every constraint
+   reads  A x - s = 0  with  row_lb <= s <= row_ub.
+
+   [loc.(v)] encodes where variable [v] lives:
+     k >= 0  basic, at basis position k;
+     -1      nonbasic at lower bound;
+     -2      nonbasic at upper bound;
+     -3      nonbasic free (held at value 0).
+
+   Phase I is the composite (artificial-free) method: basic variables
+   outside their bounds get cost +/-1 and the same pivoting machinery
+   drives the total infeasibility to zero. Infeasible basics are blocked
+   at their violated bound during the ratio test, so infeasibility is
+   non-increasing and no new infeasibilities are created. *)
+
+type result = Optimal | Infeasible | Unbounded | Iteration_limit
+
+let feas_tol = 1e-7
+let opt_tol = 1e-7
+let pivot_tol = 1e-8
+let zero_tol = 1e-11
+let refactor_every = 120
+
+type t = {
+  p : Problem.t;
+  n : int;
+  m : int;
+  nt : int;
+  cost : float array;
+  lb : float array;
+  ub : float array;
+  basis : int array;
+  loc : int array;
+  mutable binv : float array array;
+  xval : float array;
+  mutable niter : int;
+  mutable since_refactor : int;
+  mutable degenerate_streak : int;
+  y : float array;
+  alpha : float array;
+  pcost : float array;
+}
+
+(* --- column access ---------------------------------------------------- *)
+
+let col_iter t j f =
+  if j < t.n then begin
+    let idx, v = t.p.Problem.cols.(j) in
+    for k = 0 to Array.length idx - 1 do
+      f idx.(k) v.(k)
+    done
+  end
+  else f (j - t.n) (-1.0)
+
+(* y . A_j *)
+let dot_col t y j =
+  let acc = ref 0.0 in
+  col_iter t j (fun r a -> acc := !acc +. (y.(r) *. a));
+  !acc
+
+(* alpha := binv . A_j *)
+let ftran t j =
+  let m = t.m in
+  Array.fill t.alpha 0 m 0.0;
+  (* alpha_i = sum_r binv.(i).(r) * A_j(r) *)
+  col_iter t j (fun r a ->
+      if a <> 0.0 then
+        for i = 0 to m - 1 do
+          t.alpha.(i) <- t.alpha.(i) +. (t.binv.(i).(r) *. a)
+        done)
+
+(* --- creation and (re)factorization ----------------------------------- *)
+
+let nonbasic_value t v =
+  match t.loc.(v) with
+  | -1 -> t.lb.(v)
+  | -2 -> t.ub.(v)
+  | -3 -> 0.0
+  | _ -> invalid_arg "nonbasic_value: basic"
+
+let compute_basics t =
+  let m = t.m in
+  let b = Array.make m 0.0 in
+  for v = 0 to t.nt - 1 do
+    if t.loc.(v) < 0 then begin
+      let x = nonbasic_value t v in
+      t.xval.(v) <- x;
+      if x <> 0.0 then col_iter t v (fun r a -> b.(r) <- b.(r) -. (a *. x))
+    end
+  done;
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    let row = t.binv.(i) in
+    for r = 0 to m - 1 do
+      acc := !acc +. (row.(r) *. b.(r))
+    done;
+    t.xval.(t.basis.(i)) <- !acc
+  done
+
+exception Singular
+
+let invert_basis t =
+  (* Gauss-Jordan with partial pivoting on the dense basis matrix. *)
+  let m = t.m in
+  let a = Array.make_matrix m m 0.0 in
+  for k = 0 to m - 1 do
+    col_iter t t.basis.(k) (fun r v -> a.(r).(k) <- v)
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
+  for k = 0 to m - 1 do
+    let piv = ref k in
+    for r = k + 1 to m - 1 do
+      if Float.abs a.(r).(k) > Float.abs a.(!piv).(k) then piv := r
+    done;
+    if Float.abs a.(!piv).(k) < 1e-12 then raise Singular;
+    if !piv <> k then begin
+      let tmp = a.(k) in a.(k) <- a.(!piv); a.(!piv) <- tmp;
+      let tmp = inv.(k) in inv.(k) <- inv.(!piv); inv.(!piv) <- tmp
+    end;
+    let d = a.(k).(k) in
+    for c = 0 to m - 1 do
+      a.(k).(c) <- a.(k).(c) /. d;
+      inv.(k).(c) <- inv.(k).(c) /. d
+    done;
+    for r = 0 to m - 1 do
+      if r <> k then begin
+        let f = a.(r).(k) in
+        if f <> 0.0 then
+          for c = 0 to m - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(k).(c));
+            inv.(r).(c) <- inv.(r).(c) -. (f *. inv.(k).(c))
+          done
+      end
+    done
+  done;
+  (* binv must satisfy binv . B = I where column k of B is A_{basis k}.
+     The elimination above produced inv = (P-adjusted) B^{-1} directly. *)
+  t.binv <- inv
+
+let reset_to_slack_basis t =
+  for v = 0 to t.nt - 1 do
+    t.loc.(v) <-
+      (if t.lb.(v) > neg_infinity then -1
+       else if t.ub.(v) < infinity then -2
+       else -3)
+  done;
+  for r = 0 to t.m - 1 do
+    t.basis.(r) <- t.n + r;
+    t.loc.(t.n + r) <- r;
+    for c = 0 to t.m - 1 do
+      t.binv.(r).(c) <- (if r = c then -1.0 else 0.0)
+    done
+  done
+
+let refactor t =
+  (try invert_basis t with Singular -> reset_to_slack_basis t; invert_basis t);
+  compute_basics t;
+  t.since_refactor <- 0
+
+let create p =
+  let n = p.Problem.ncols and m = p.Problem.nrows in
+  let nt = n + m in
+  let lb = Array.make nt 0.0 and ub = Array.make nt 0.0 in
+  Array.blit p.Problem.col_lb 0 lb 0 n;
+  Array.blit p.Problem.col_ub 0 ub 0 n;
+  Array.blit p.Problem.row_lb 0 lb n m;
+  Array.blit p.Problem.row_ub 0 ub n m;
+  let cost = Array.make nt 0.0 in
+  Array.blit p.Problem.obj 0 cost 0 n;
+  let t =
+    {
+      p;
+      n;
+      m;
+      nt;
+      cost;
+      lb;
+      ub;
+      basis = Array.make m 0;
+      loc = Array.make nt (-1);
+      binv = Array.make_matrix m m 0.0;
+      xval = Array.make nt 0.0;
+      niter = 0;
+      since_refactor = 0;
+      degenerate_streak = 0;
+      y = Array.make m 0.0;
+      alpha = Array.make m 0.0;
+      pcost = Array.make nt 0.0;
+    }
+  in
+  reset_to_slack_basis t;
+  compute_basics t;
+  t
+
+(* --- pricing ----------------------------------------------------------- *)
+
+let compute_duals t costs =
+  let m = t.m in
+  for i = 0 to m - 1 do
+    t.y.(i) <- 0.0
+  done;
+  for k = 0 to m - 1 do
+    let c = costs.(t.basis.(k)) in
+    if c <> 0.0 then
+      let row = t.binv.(k) in
+      for i = 0 to m - 1 do
+        t.y.(i) <- t.y.(i) +. (c *. row.(i))
+      done
+  done
+
+(* Select entering variable. Returns (var, sigma) where sigma = +1 when
+   the variable increases from its lower bound and -1 when it decreases
+   from its upper bound; None when no candidate prices out. *)
+let price t costs ~bland =
+  let best = ref (-1) and best_score = ref 0.0 and best_sigma = ref 1.0 in
+  (try
+     for v = 0 to t.nt - 1 do
+       let l = t.loc.(v) in
+       if l < 0 then begin
+         let d = costs.(v) -. dot_col t t.y v in
+         let consider sigma score =
+           if bland then begin
+             best := v;
+             best_sigma := sigma;
+             raise Exit
+           end
+           else if score > !best_score then begin
+             best := v;
+             best_score := score;
+             best_sigma := sigma
+           end
+         in
+         match l with
+         | -1 -> if d < -.opt_tol && t.ub.(v) > t.lb.(v) then consider 1.0 (-.d)
+         | -2 -> if d > opt_tol && t.ub.(v) > t.lb.(v) then consider (-1.0) d
+         | _ ->
+             if d < -.opt_tol then consider 1.0 (-.d)
+             else if d > opt_tol then consider (-1.0) d
+       end
+     done
+   with Exit -> ());
+  if !best < 0 then None else Some (!best, !best_sigma)
+
+(* --- pivoting ---------------------------------------------------------- *)
+
+(* Update the basis inverse after variable [q] enters at position [ip];
+   t.alpha holds binv . A_q. *)
+let update_binv t ip =
+  let m = t.m in
+  let piv = t.alpha.(ip) in
+  let prow = t.binv.(ip) in
+  for c = 0 to m - 1 do
+    prow.(c) <- prow.(c) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> ip then begin
+      let f = t.alpha.(i) in
+      if Float.abs f > zero_tol then
+        let row = t.binv.(i) in
+        for c = 0 to m - 1 do
+          row.(c) <- row.(c) -. (f *. prow.(c))
+        done
+    end
+  done
+
+type ratio_outcome =
+  | Flip of float (* step length hits entering variable's opposite bound *)
+  | Block of int * float * int (* position, step, new loc for leaver *)
+  | NoBlock
+
+(* Ratio test. [phase1] relaxes blocking for infeasible basics: they only
+   block at the bound they currently violate. *)
+let ratio_test t q sigma ~phase1 =
+  let tmax = ref infinity and blocker = ref (-1) and leave_loc = ref (-1) in
+  for i = 0 to t.m - 1 do
+    let d = -.sigma *. t.alpha.(i) in
+    if Float.abs d > pivot_tol then begin
+      let bv = t.basis.(i) in
+      let v = t.xval.(bv) and l = t.lb.(bv) and u = t.ub.(bv) in
+      let candidate bound loc =
+        if Float.is_finite bound then begin
+          let step = Float.max ((bound -. v) /. d) 0.0 in
+          let better =
+            step < !tmax -. 1e-12
+            || (step < !tmax +. 1e-12
+                && (!blocker < 0
+                    || Float.abs d > Float.abs t.alpha.(!blocker)))
+          in
+          (* prefer larger pivot elements among (near-)ties *)
+          if better then begin
+            tmax := Float.min step !tmax;
+            blocker := i;
+            leave_loc := loc
+          end
+        end
+      in
+      if phase1 && v > u +. feas_tol then begin
+        (* infeasible above: blocks only when moving down, at u *)
+        if d < 0.0 then candidate u (-2)
+      end
+      else if phase1 && v < l -. feas_tol then begin
+        if d > 0.0 then candidate l (-1)
+      end
+      else if d > 0.0 then candidate u (-2)
+      else candidate l (-1)
+    end
+  done;
+  let bound_gap = t.ub.(q) -. t.lb.(q) in
+  if Float.is_finite bound_gap && bound_gap <= !tmax then Flip bound_gap
+  else if !blocker >= 0 then Block (!blocker, !tmax, !leave_loc)
+  else NoBlock
+
+let apply_step t q sigma step =
+  (* move entering by sigma*step, basics by -sigma*alpha*step *)
+  if step <> 0.0 then begin
+    t.xval.(q) <- t.xval.(q) +. (sigma *. step);
+    for i = 0 to t.m - 1 do
+      let a = t.alpha.(i) in
+      if Float.abs a > zero_tol then
+        t.xval.(t.basis.(i)) <- t.xval.(t.basis.(i)) -. (sigma *. a *. step)
+    done
+  end
+
+let do_pivot t q sigma ip step leave_loc =
+  apply_step t q sigma step;
+  let leaver = t.basis.(ip) in
+  t.basis.(ip) <- q;
+  t.loc.(q) <- ip;
+  t.loc.(leaver) <- leave_loc;
+  (* snap the leaver exactly onto its bound to kill drift *)
+  t.xval.(leaver) <- nonbasic_value t leaver;
+  update_binv t ip;
+  t.niter <- t.niter + 1;
+  t.since_refactor <- t.since_refactor + 1;
+  if step <= 1e-10 then t.degenerate_streak <- t.degenerate_streak + 1
+  else t.degenerate_streak <- 0;
+  if t.since_refactor >= refactor_every then refactor t
+
+let do_flip t q sigma gap =
+  apply_step t q sigma gap;
+  t.loc.(q) <- (if t.loc.(q) = -1 then -2 else -1);
+  t.xval.(q) <- nonbasic_value t q;
+  t.niter <- t.niter + 1;
+  t.degenerate_streak <- 0
+
+(* --- phases ------------------------------------------------------------ *)
+
+let infeasibility t =
+  let acc = ref 0.0 in
+  for i = 0 to t.m - 1 do
+    let v = t.basis.(i) in
+    let x = t.xval.(v) in
+    if x > t.ub.(v) then acc := !acc +. (x -. t.ub.(v))
+    else if x < t.lb.(v) then acc := !acc +. (t.lb.(v) -. x)
+  done;
+  !acc
+
+let phase1 t limit out_of_time =
+  let rec loop () =
+    if t.niter >= limit || out_of_time () then Iteration_limit
+    else if infeasibility t <= feas_tol *. float_of_int (t.m + 1) then Optimal
+    else begin
+      Array.fill t.pcost 0 t.nt 0.0;
+      for i = 0 to t.m - 1 do
+        let v = t.basis.(i) in
+        let x = t.xval.(v) in
+        if x > t.ub.(v) +. feas_tol then t.pcost.(v) <- 1.0
+        else if x < t.lb.(v) -. feas_tol then t.pcost.(v) <- -1.0
+      done;
+      compute_duals t t.pcost;
+      let bland = t.degenerate_streak > 200 in
+      match price t t.pcost ~bland with
+      | None -> Infeasible
+      | Some (q, sigma) -> (
+          ftran t q;
+          match ratio_test t q sigma ~phase1:true with
+          | Flip gap ->
+              do_flip t q sigma gap;
+              loop ()
+          | Block (ip, step, lloc) ->
+              if Float.abs t.alpha.(ip) < pivot_tol then begin
+                refactor t;
+                loop ()
+              end
+              else begin
+                do_pivot t q sigma ip step lloc;
+                loop ()
+              end
+          | NoBlock ->
+              (* a priced-out phase-1 direction always has a blocking
+                 infeasible basic; numerical drift can break this, so
+                 refactor and retry once before giving up *)
+              if t.since_refactor > 0 then begin
+                refactor t;
+                loop ()
+              end
+              else Infeasible)
+    end
+  in
+  loop ()
+
+let phase2 t limit out_of_time =
+  let rec loop () =
+    if t.niter >= limit || out_of_time () then Iteration_limit
+    else begin
+      compute_duals t t.cost;
+      let bland = t.degenerate_streak > 200 in
+      match price t t.cost ~bland with
+      | None -> Optimal
+      | Some (q, sigma) -> (
+          ftran t q;
+          match ratio_test t q sigma ~phase1:false with
+          | Flip gap ->
+              do_flip t q sigma gap;
+              loop ()
+          | Block (ip, step, lloc) ->
+              if Float.abs t.alpha.(ip) < pivot_tol then begin
+                refactor t;
+                loop ()
+              end
+              else begin
+                do_pivot t q sigma ip step lloc;
+                loop ()
+              end
+          | NoBlock -> Unbounded)
+    end
+  in
+  loop ()
+
+(* --- dual simplex ------------------------------------------------------ *)
+
+(* Reduced cost of one nonbasic variable under the phase-2 objective,
+   assuming t.y holds the duals. *)
+let reduced_cost t v = t.cost.(v) -. dot_col t t.y v
+
+let is_dual_feasible t =
+  compute_duals t t.cost;
+  let ok = ref true in
+  for v = 0 to t.nt - 1 do
+    if !ok && t.loc.(v) < 0 then begin
+      let d = reduced_cost t v in
+      match t.loc.(v) with
+      | -1 -> if d < -1e-6 && t.ub.(v) > t.lb.(v) then ok := false
+      | -2 -> if d > 1e-6 && t.ub.(v) > t.lb.(v) then ok := false
+      | _ -> if Float.abs d > 1e-6 then ok := false
+    end
+  done;
+  !ok
+
+(* One dual simplex run from the current (dual-feasible) basis.
+   Restores primal feasibility while keeping dual feasibility; ends
+   Optimal, Infeasible (primal), or Iteration_limit. *)
+let dual_phase t limit out_of_time =
+  let exception Numerical_trouble in
+  try
+    let rec loop () =
+      if t.niter >= limit || out_of_time () then Iteration_limit
+      else begin
+        (* most-violated basic variable leaves *)
+        let leave = ref (-1) and worst = ref feas_tol and increase = ref false in
+        for i = 0 to t.m - 1 do
+          let v = t.basis.(i) in
+          let x = t.xval.(v) in
+          if x < t.lb.(v) -. !worst then begin
+            leave := i;
+            worst := t.lb.(v) -. x;
+            increase := true
+          end
+          else if x > t.ub.(v) +. !worst then begin
+            leave := i;
+            worst := x -. t.ub.(v);
+            increase := false
+          end
+        done;
+        if !leave < 0 then Optimal
+        else begin
+          let ip = !leave in
+          let rho = t.binv.(ip) in
+          compute_duals t t.cost;
+          (* entering variable: dual ratio test over sign-eligible
+             nonbasic columns *)
+          let best = ref (-1) and best_ratio = ref infinity and best_mag = ref 0.0 in
+          for v = 0 to t.nt - 1 do
+            if t.loc.(v) < 0 && t.ub.(v) > t.lb.(v) then begin
+              let a = dot_col t rho v in
+              if Float.abs a > pivot_tol then begin
+                let eligible =
+                  match t.loc.(v) with
+                  | -1 -> if !increase then a < 0.0 else a > 0.0
+                  | -2 -> if !increase then a > 0.0 else a < 0.0
+                  | _ -> true (* free variables can move either way *)
+                in
+                if eligible then begin
+                  let d = reduced_cost t v in
+                  let ratio = Float.abs d /. Float.abs a in
+                  if
+                    ratio < !best_ratio -. 1e-12
+                    || (ratio < !best_ratio +. 1e-12 && Float.abs a > !best_mag)
+                  then begin
+                    best := v;
+                    best_ratio := ratio;
+                    best_mag := Float.abs a
+                  end
+                end
+              end
+            end
+          done;
+          if !best < 0 then Infeasible
+          else begin
+            let q = !best in
+            ftran t q;
+            if Float.abs t.alpha.(ip) < pivot_tol then raise Numerical_trouble;
+            let leaver = t.basis.(ip) in
+            let leave_loc = if !increase then -1 else -2 in
+            t.basis.(ip) <- q;
+            t.loc.(q) <- ip;
+            t.loc.(leaver) <- leave_loc;
+            update_binv t ip;
+            t.niter <- t.niter + 1;
+            t.since_refactor <- t.since_refactor + 1;
+            if t.since_refactor >= refactor_every then refactor t
+            else compute_basics t;
+            loop ()
+          end
+        end
+      end
+    in
+    compute_basics t;
+    loop ()
+  with Numerical_trouble ->
+    refactor t;
+    Iteration_limit
+
+let solve ?iteration_limit ?deadline ?(prefer_dual = false) t =
+  let limit =
+    t.niter
+    + (match iteration_limit with
+      | Some l -> l
+      | None -> 50_000 + (20 * (t.m + t.n)))
+  in
+  let out_of_time =
+    match deadline with
+    | None -> fun () -> false
+    | Some d ->
+        let counter = ref 0 in
+        fun () ->
+          incr counter;
+          if !counter land 63 = 0 then Unix.gettimeofday () > d else false
+  in
+  t.degenerate_streak <- 0;
+  refactor t;
+  let primal_path () =
+    match phase1 t limit out_of_time with
+    | Optimal ->
+        let r = phase2 t limit out_of_time in
+        if r = Optimal && infeasibility t > feas_tol *. float_of_int (t.m + 1)
+        then begin
+          (* numerical drift re-introduced infeasibility: one clean retry *)
+          refactor t;
+          match phase1 t limit out_of_time with
+          | Optimal -> phase2 t limit out_of_time
+          | other -> other
+        end
+        else r
+    | other -> other
+  in
+  if prefer_dual && is_dual_feasible t then begin
+    (* give the dual method a bounded head start; any trouble falls back
+       to the safe primal two-phase path *)
+    let dual_limit = min limit (t.niter + 2_000 + (4 * t.m)) in
+    match dual_phase t dual_limit out_of_time with
+    | Optimal ->
+        (* confirm with a (normally zero-pivot) primal phase-2 pass *)
+        if infeasibility t <= feas_tol *. float_of_int (t.m + 1) then
+          phase2 t limit out_of_time
+        else primal_path ()
+    | Infeasible -> Infeasible
+    | Unbounded | Iteration_limit ->
+        if out_of_time () || t.niter >= limit then Iteration_limit
+        else primal_path ()
+  end
+  else primal_path ()
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let objective t =
+  let acc = ref t.p.Problem.obj_const in
+  for j = 0 to t.n - 1 do
+    acc := !acc +. (t.cost.(j) *. t.xval.(j))
+  done;
+  !acc
+
+let primal t = Array.sub t.xval 0 t.n
+
+let reduced_costs t =
+  compute_duals t t.cost;
+  Array.init t.n (fun j -> t.cost.(j) -. dot_col t t.y j)
+
+let duals t =
+  compute_duals t t.cost;
+  Array.copy t.y
+
+let iterations t = t.niter
+
+let set_bounds t j lb ub =
+  if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds";
+  if lb > ub then invalid_arg "Simplex.set_bounds: lb > ub";
+  t.lb.(j) <- lb;
+  t.ub.(j) <- ub;
+  if t.loc.(j) < 0 then begin
+    (* keep the nonbasic variable on a valid bound *)
+    (match t.loc.(j) with
+    | -1 -> if not (Float.is_finite lb) then t.loc.(j) <- (if Float.is_finite ub then -2 else -3)
+    | -2 -> if not (Float.is_finite ub) then t.loc.(j) <- (if Float.is_finite lb then -1 else -3)
+    | _ -> ());
+    t.xval.(j) <- nonbasic_value t j
+  end
+
+let get_bounds t j =
+  if j < 0 || j >= t.n then invalid_arg "Simplex.get_bounds";
+  (t.lb.(j), t.ub.(j))
+
+let save_bounds t = (Array.sub t.lb 0 t.n, Array.sub t.ub 0 t.n)
+
+let restore_bounds t (lb, ub) =
+  if Array.length lb <> t.n || Array.length ub <> t.n then
+    invalid_arg "Simplex.restore_bounds";
+  Array.blit lb 0 t.lb 0 t.n;
+  Array.blit ub 0 t.ub 0 t.n;
+  for j = 0 to t.n - 1 do
+    if t.loc.(j) < 0 then t.xval.(j) <- nonbasic_value t j
+  done
+
+let basis_snapshot t = (Array.copy t.basis, Array.copy t.loc)
+
+let restore_basis t (basis, loc) =
+  if Array.length basis <> t.m || Array.length loc <> t.nt then
+    invalid_arg "Simplex.restore_basis";
+  Array.blit basis 0 t.basis 0 t.m;
+  Array.blit loc 0 t.loc 0 t.nt;
+  (* bounds may have changed since the snapshot: snap nonbasic statuses *)
+  for v = 0 to t.nt - 1 do
+    if t.loc.(v) < 0 then begin
+      (match t.loc.(v) with
+      | -1 when not (Float.is_finite t.lb.(v)) ->
+          t.loc.(v) <- (if Float.is_finite t.ub.(v) then -2 else -3)
+      | -2 when not (Float.is_finite t.ub.(v)) ->
+          t.loc.(v) <- (if Float.is_finite t.lb.(v) then -1 else -3)
+      | _ -> ());
+      t.xval.(v) <- nonbasic_value t v
+    end
+  done

@@ -1,0 +1,69 @@
+(** Bounded-variable primal simplex over the continuous relaxation of a
+    {!Problem.t}.
+
+    The implementation keeps an explicit dense basis inverse, updated by
+    product-form pivots and periodically refactorized, with a composite
+    (artificial-free) phase I. Variable bounds are owned by the solver
+    state and may be tightened between solves, which is how
+    {!Branch_bound} warm-starts node relaxations from the parent basis.
+
+    Integrality restrictions in the problem are ignored here. *)
+
+type t
+
+type result =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit  (** ran out of pivots; solution is not meaningful *)
+
+val create : Problem.t -> t
+(** Builds solver state with the slack basis. *)
+
+val solve :
+  ?iteration_limit:int -> ?deadline:float -> ?prefer_dual:bool -> t -> result
+(** Optimizes from the current basis and bounds. Default iteration limit
+    is [50_000 + 20 * (rows + cols)]. [deadline] is an absolute
+    [Unix.gettimeofday] instant; passing it yields [Iteration_limit]
+    once the clock runs out.
+
+    [prefer_dual] (default false) first attempts the dual simplex from
+    the current basis. After tightening variable bounds on an optimal
+    basis — the branch-and-bound re-solve pattern — the basis stays dual
+    feasible and the dual method restores primal feasibility in a few
+    pivots; when the basis is not dual feasible (or the dual run hits
+    numerical trouble) the primal two-phase method runs as usual. *)
+
+val objective : t -> float
+(** Objective value of the last solve, in the minimization sense used
+    internally (callers converting for maximization should use
+    {!Problem.objective_value} on {!primal}). *)
+
+val primal : t -> float array
+(** Values of the structural variables (length [ncols]). *)
+
+val reduced_costs : t -> float array
+(** Reduced costs of structural variables at the final basis. *)
+
+val duals : t -> float array
+(** Row dual multipliers at the final basis. *)
+
+val iterations : t -> int
+(** Total pivots performed since creation. *)
+
+val set_bounds : t -> int -> float -> float -> unit
+(** [set_bounds t j lb ub] overrides the bounds of structural variable
+    [j]. The basis is kept; nonbasic variables are snapped into range. *)
+
+val get_bounds : t -> int -> float * float
+
+val save_bounds : t -> float array * float array
+(** Snapshot of all structural bounds (copies). *)
+
+val restore_bounds : t -> float array * float array -> unit
+
+val basis_snapshot : t -> int array * int array
+(** Opaque basis state: (basis positions, variable statuses). *)
+
+val restore_basis : t -> int array * int array -> unit
+(** Restores a snapshot taken on the same problem. *)

@@ -1,0 +1,148 @@
+let src = Logs.Src.create "mm_lp.solver" ~doc:"solver facade"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type options = {
+  presolve : bool;
+  cuts : bool;
+  cut_rounds : int;
+  max_cuts_per_round : int;
+  bb : Branch_bound.options;
+}
+
+let default_options =
+  {
+    presolve = true;
+    cuts = true;
+    cut_rounds = 3;
+    max_cuts_per_round = 50;
+    bb = Branch_bound.default_options;
+  }
+
+let quick_options ?time_limit () =
+  {
+    default_options with
+    bb = { Branch_bound.default_options with time_limit };
+  }
+
+type stats = {
+  presolved_from : int * int;
+  presolved_to : int * int;
+  cuts_added : int;
+}
+
+type result = { mip : Branch_bound.result; stats : stats }
+
+(* Root cut loop: repeatedly solve the LP relaxation and add violated
+   cover cuts. Cuts are valid for all integer points, so they are kept
+   as ordinary rows for the branch-and-bound run. *)
+let add_root_cuts options p =
+  let deadline =
+    Option.map
+      (fun tl -> Unix.gettimeofday () +. tl)
+      options.bb.Branch_bound.time_limit
+  in
+  let rec loop p round added =
+    if round >= options.cut_rounds then (p, added)
+    else begin
+      let sx = Simplex.create p in
+      match Simplex.solve ?deadline sx with
+      | Simplex.Optimal ->
+          let x = Simplex.primal sx in
+          if Problem.integer_violation p x <= 1e-6 then (p, added)
+          else begin
+            let cuts = Cuts.separate p x ~max_cuts:options.max_cuts_per_round in
+            if cuts = [] then (p, added)
+            else begin
+              Log.debug (fun m ->
+                  m "cut round %d: %d cover cuts" round (List.length cuts));
+              loop (Cuts.apply p cuts) (round + 1) (added + List.length cuts)
+            end
+          end
+      | _ -> (p, added)
+    end
+  in
+  loop p 0 0
+
+let infeasible_result p t0 =
+  {
+    Branch_bound.status = Branch_bound.Infeasible;
+    solution = None;
+    objective = None;
+    best_bound = (if p.Problem.maximize_input then neg_infinity else infinity);
+    nodes = 0;
+    simplex_iterations = 0;
+    time = Unix.gettimeofday () -. t0;
+  }
+
+let unbounded_result p t0 =
+  {
+    Branch_bound.status = Branch_bound.Unbounded;
+    solution = None;
+    objective = None;
+    best_bound = (if p.Problem.maximize_input then infinity else neg_infinity);
+    nodes = 0;
+    simplex_iterations = 0;
+    time = Unix.gettimeofday () -. t0;
+  }
+
+let solve ?(options = default_options) p =
+  let t0 = Unix.gettimeofday () in
+  let before = (p.Problem.ncols, p.Problem.nrows) in
+  let reduced, recover =
+    if options.presolve then
+      match Presolve.presolve p with
+      | Presolve.Infeasible -> (None, fun x -> x)
+      | Presolve.Unbounded -> (Some `Unbounded, fun x -> x)
+      | Presolve.Reduced (q, r) -> (Some (`Problem q), r)
+    else (Some (`Problem p), fun x -> x)
+  in
+  match reduced with
+  | None ->
+      {
+        mip = infeasible_result p t0;
+        stats = { presolved_from = before; presolved_to = (0, 0); cuts_added = 0 };
+      }
+  | Some `Unbounded ->
+      {
+        mip = unbounded_result p t0;
+        stats = { presolved_from = before; presolved_to = (0, 0); cuts_added = 0 };
+      }
+  | Some (`Problem q) ->
+      let q, cuts_added =
+        if options.cuts && Problem.num_integer q > 0 then add_root_cuts options q
+        else (q, 0)
+      in
+      Log.debug (fun m ->
+          m "solving %a (%d cuts)" Problem.pp_stats q cuts_added);
+      (* the time limit covers presolve + cuts + branch and bound: hand
+         the tree search only what remains *)
+      let bb_options =
+        match options.bb.Branch_bound.time_limit with
+        | None -> options.bb
+        | Some tl ->
+            let spent = Unix.gettimeofday () -. t0 in
+            {
+              options.bb with
+              Branch_bound.time_limit = Some (Float.max 1.0 (tl -. spent));
+            }
+      in
+      let r = Branch_bound.solve ~options:bb_options q in
+      let solution = Option.map recover r.Branch_bound.solution in
+      let objective =
+        (* recompute on the original problem so that presolve's constant
+           folding cannot skew reporting *)
+        Option.map (fun x -> Problem.objective_value p x) solution
+      in
+      let time = Unix.gettimeofday () -. t0 in
+      {
+        mip = { r with Branch_bound.solution; objective; time };
+        stats =
+          {
+            presolved_from = before;
+            presolved_to = (q.Problem.ncols, q.Problem.nrows);
+            cuts_added;
+          };
+      }
+
+let solve_model ?options m = solve ?options (Model.to_problem m)

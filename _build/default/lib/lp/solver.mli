@@ -1,0 +1,31 @@
+(** High-level solve facade: presolve, root cutting planes, then
+    branch-and-bound. This is the entry point the memory mapper uses. *)
+
+type options = {
+  presolve : bool;  (** default true *)
+  cuts : bool;  (** root knapsack cover cuts, default true *)
+  cut_rounds : int;  (** default 3 *)
+  max_cuts_per_round : int;  (** default 50 *)
+  bb : Branch_bound.options;
+}
+
+val default_options : options
+
+val quick_options : ?time_limit:float -> unit -> options
+(** Options with a wall-clock limit, for benchmark harnesses. *)
+
+type stats = {
+  presolved_from : int * int;  (** columns, rows before presolve *)
+  presolved_to : int * int;
+  cuts_added : int;
+}
+
+type result = { mip : Branch_bound.result; stats : stats }
+
+val solve : ?options:options -> Problem.t -> result
+(** Solves to proven optimality unless limits are set. The solution in
+    [mip.solution] is expressed in the {e original} variable space
+    (presolve recovery already applied). *)
+
+val solve_model : ?options:options -> Model.t -> result
+(** [solve_model m] freezes and solves the model. *)

@@ -1,0 +1,1 @@
+lib/mapping/complete_ilp.ml: Array Branch_bound Cost Expr Global_ilp Ints List Mm_arch Mm_design Mm_lp Mm_util Model Preprocess Printf Problem Solver Unix

@@ -1,0 +1,1 @@
+lib/mapping/complete_ilp.mli: Cost Global_ilp Mm_arch Mm_design Mm_lp Preprocess

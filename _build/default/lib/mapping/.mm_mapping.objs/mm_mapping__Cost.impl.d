@@ -1,0 +1,1 @@
+lib/mapping/cost.ml: Mm_arch Mm_design Mm_util Preprocess

@@ -1,0 +1,1 @@
+lib/mapping/cost.mli: Mm_arch Mm_design Preprocess

@@ -1,0 +1,1 @@
+lib/mapping/detailed.ml: Array Global_ilp Hashtbl Ints List Mm_arch Mm_design Mm_util Option Preprocess Printf

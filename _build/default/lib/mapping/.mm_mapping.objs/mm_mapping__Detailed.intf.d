@@ -1,0 +1,1 @@
+lib/mapping/detailed.mli: Global_ilp Mm_arch Mm_design Preprocess

@@ -1,0 +1,1 @@
+lib/mapping/detailed_ilp.ml: Array Branch_bound Detailed Expr Global_ilp Ints List Mm_arch Mm_design Mm_lp Mm_util Model Preprocess Printf Problem Solver

@@ -1,0 +1,1 @@
+lib/mapping/detailed_ilp.mli: Detailed Global_ilp Mm_arch Mm_design Mm_lp Preprocess

@@ -1,0 +1,1 @@
+lib/mapping/global_ilp.ml: Array Branch_bound Cost Expr List Mm_arch Mm_design Mm_lp Mm_util Model Preprocess Printf Problem Solver Unix

@@ -1,0 +1,1 @@
+lib/mapping/global_ilp.mli: Cost Mm_arch Mm_design Mm_lp Preprocess

@@ -1,0 +1,1 @@
+lib/mapping/mapper.ml: Complete_ilp Cost Detailed Detailed_ilp Global_ilp Mm_lp Preprocess Printf Unix

@@ -1,0 +1,1 @@
+lib/mapping/mapper.mli: Cost Detailed Global_ilp Mm_arch Mm_design Mm_lp Preprocess

@@ -1,0 +1,1 @@
+lib/mapping/preprocess.ml: Ints List Mm_arch Mm_design Mm_util

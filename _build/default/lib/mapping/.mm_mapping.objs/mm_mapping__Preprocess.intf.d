@@ -1,0 +1,1 @@
+lib/mapping/preprocess.mli: Mm_arch Mm_design

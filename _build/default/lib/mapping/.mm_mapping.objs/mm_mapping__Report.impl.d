@@ -1,0 +1,1 @@
+lib/mapping/report.ml: Array Buffer Cost Detailed Global_ilp Ints List Mapper Mm_arch Mm_design Mm_util Preprocess Printf String Table

@@ -1,0 +1,1 @@
+lib/mapping/report.mli: Cost Detailed Global_ilp Mapper Mm_arch Mm_design Preprocess

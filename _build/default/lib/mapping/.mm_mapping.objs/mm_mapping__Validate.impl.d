@@ -1,0 +1,1 @@
+lib/mapping/validate.ml: Array Detailed Global_ilp Hashtbl Ints List Mm_arch Mm_design Mm_util Option Preprocess Printf

@@ -1,0 +1,1 @@
+lib/mapping/validate.mli: Detailed Global_ilp Mm_arch Mm_design Preprocess

@@ -1,0 +1,242 @@
+open Mm_lp
+open Mm_util
+
+type build = {
+  model : Model.t;
+  problem : Problem.t;
+  z : Model.var array array;
+  num_x : int;
+  num_y : int;
+}
+
+type stats = {
+  ilp : Solver.result;
+  build_seconds : float;
+  solve_seconds : float;
+  num_x : int;
+  num_y : int;
+}
+
+let build ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
+    ?port_model ?(disaggregated_linking = false) (board : Mm_arch.Board.t)
+    (design : Mm_design.Design.t) =
+  let m = Mm_design.Design.num_segments design in
+  let n = Mm_arch.Board.num_types board in
+  let model = Model.create ~name:"complete_mapping" () in
+  let coeffs =
+    Array.init m (fun d ->
+        Array.init n (fun t ->
+            Preprocess.coeffs ?port_model
+              (Mm_design.Design.segment design d)
+              (Mm_arch.Board.bank_type board t)))
+  in
+  let feasible d t =
+    let bt = Mm_arch.Board.bank_type board t in
+    let c = coeffs.(d).(t) in
+    c.Preprocess.cp <= Mm_arch.Bank_type.total_ports bt
+    && Preprocess.consumed_bits c <= Mm_arch.Bank_type.total_capacity_bits bt
+  in
+  let infeasible_seg =
+    List.find_opt
+      (fun d -> not (List.exists (feasible d) (Ints.range n)))
+      (Ints.range m)
+  in
+  match infeasible_seg with
+  | Some d ->
+      Error
+        (Printf.sprintf "segment %d (%s) fits no bank type" d
+           (Mm_design.Design.segment design d).Mm_design.Segment.name)
+  | None ->
+      let z =
+        Array.init m (fun d ->
+            Array.init n (fun t ->
+                Model.add_var model
+                  ~name:(Printf.sprintf "z_%d_%d" d t)
+                  ~ub:(if feasible d t then 1.0 else 0.0)
+                  Problem.Binary))
+      in
+      (* X variables: one per (segment, type, instance, port) *)
+      let num_x = ref 0 in
+      let x =
+        Array.init m (fun d ->
+            Array.init n (fun t ->
+                let bt = Mm_arch.Board.bank_type board t in
+                let it = bt.Mm_arch.Bank_type.instances
+                and pt = bt.Mm_arch.Bank_type.ports in
+                Array.init it (fun i ->
+                    Array.init pt (fun p ->
+                        incr num_x;
+                        Model.add_var model
+                          ~name:(Printf.sprintf "x_%d_%d_%d_%d" d t i p)
+                          ~ub:(if feasible d t then 1.0 else 0.0)
+                          Problem.Binary))))
+      in
+      (* Y variables for multi-configuration types *)
+      let num_y = ref 0 in
+      let y =
+        Array.init n (fun t ->
+            let bt = Mm_arch.Board.bank_type board t in
+            if not (Mm_arch.Bank_type.is_multi_config bt) then [||]
+            else
+              Array.init bt.Mm_arch.Bank_type.instances (fun i ->
+                  Array.init bt.Mm_arch.Bank_type.ports (fun p ->
+                      Array.init (Mm_arch.Bank_type.num_configs bt) (fun c ->
+                          incr num_y;
+                          Model.add_var model
+                            ~name:(Printf.sprintf "y_%d_%d_%d_%d" t i p c)
+                            Problem.Binary))))
+      in
+      (* uniqueness *)
+      for d = 0 to m - 1 do
+        Model.add_eq model
+          ~name:(Printf.sprintf "uniq_%d" d)
+          (Expr.sum (List.map (fun t -> Expr.var z.(d).(t)) (Ints.range n)))
+          1.0
+      done;
+      (* port demand: sum over instances/ports of X equals CP.Z *)
+      for d = 0 to m - 1 do
+        for t = 0 to n - 1 do
+          let bt = Mm_arch.Board.bank_type board t in
+          let terms = ref [ Expr.var ~coeff:(-.float_of_int coeffs.(d).(t).Preprocess.cp) z.(d).(t) ] in
+          for i = 0 to bt.Mm_arch.Bank_type.instances - 1 do
+            for p = 0 to bt.Mm_arch.Bank_type.ports - 1 do
+              terms := Expr.var x.(d).(t).(i).(p) :: !terms
+            done
+          done;
+          Model.add_eq model
+            ~name:(Printf.sprintf "demand_%d_%d" d t)
+            (Expr.sum !terms) 0.0
+        done
+      done;
+      (* optional disaggregated linking: X <= Z per variable *)
+      if disaggregated_linking then
+        for d = 0 to m - 1 do
+          for t = 0 to n - 1 do
+            let bt = Mm_arch.Board.bank_type board t in
+            for i = 0 to bt.Mm_arch.Bank_type.instances - 1 do
+              for p = 0 to bt.Mm_arch.Bank_type.ports - 1 do
+                Model.add_le model
+                  ~name:(Printf.sprintf "link_%d_%d_%d_%d" d t i p)
+                  (Expr.sub (Expr.var x.(d).(t).(i).(p)) (Expr.var z.(d).(t)))
+                  0.0
+              done
+            done
+          done
+        done;
+      (* port exclusivity *)
+      for t = 0 to n - 1 do
+        let bt = Mm_arch.Board.bank_type board t in
+        for i = 0 to bt.Mm_arch.Bank_type.instances - 1 do
+          for p = 0 to bt.Mm_arch.Bank_type.ports - 1 do
+            Model.add_le model
+              ~name:(Printf.sprintf "excl_%d_%d_%d" t i p)
+              (Expr.sum (List.map (fun d -> Expr.var x.(d).(t).(i).(p)) (Ints.range m)))
+              1.0
+          done
+        done
+      done;
+      (* per-instance capacity: each consumed port carries the segment's
+         average bits-per-port *)
+      for t = 0 to n - 1 do
+        let bt = Mm_arch.Board.bank_type board t in
+        for i = 0 to bt.Mm_arch.Bank_type.instances - 1 do
+          let terms = ref [] in
+          for d = 0 to m - 1 do
+            let c = coeffs.(d).(t) in
+            let bpp =
+              float_of_int (Preprocess.consumed_bits c)
+              /. float_of_int (max c.Preprocess.cp 1)
+            in
+            for p = 0 to bt.Mm_arch.Bank_type.ports - 1 do
+              terms := Expr.var ~coeff:bpp x.(d).(t).(i).(p) :: !terms
+            done
+          done;
+          Model.add_le model
+            ~name:(Printf.sprintf "icap_%d_%d" t i)
+            (Expr.sum !terms)
+            (float_of_int (Mm_arch.Bank_type.capacity_bits bt))
+        done
+      done;
+      (* configuration activation for multi-config types *)
+      for t = 0 to n - 1 do
+        let bt = Mm_arch.Board.bank_type board t in
+        if Mm_arch.Bank_type.is_multi_config bt then
+          for i = 0 to bt.Mm_arch.Bank_type.instances - 1 do
+            for p = 0 to bt.Mm_arch.Bank_type.ports - 1 do
+              let configs =
+                List.map (fun c -> Expr.var y.(t).(i).(p).(c))
+                  (Ints.range (Mm_arch.Bank_type.num_configs bt))
+              in
+              Model.add_le model
+                ~name:(Printf.sprintf "cfg1_%d_%d_%d" t i p)
+                (Expr.sum configs) 1.0;
+              (* a used port must have a configuration selected *)
+              Model.add_le model
+                ~name:(Printf.sprintf "cfg2_%d_%d_%d" t i p)
+                (Expr.sub
+                   (Expr.sum (List.map (fun d -> Expr.var x.(d).(t).(i).(p)) (Ints.range m)))
+                   (Expr.sum configs))
+                0.0
+            done
+          done
+      done;
+      (* objective: identical to the global model, over Z only *)
+      let obj =
+        Expr.sum
+          (List.concat_map
+             (fun d ->
+               let seg = Mm_design.Design.segment design d in
+               List.map
+                 (fun t ->
+                   let bt = Mm_arch.Board.bank_type board t in
+                   Expr.var
+                     ~coeff:
+                       (Cost.assignment_cost weights access_model coeffs.(d).(t)
+                          seg bt)
+                     z.(d).(t))
+                 (Ints.range n))
+             (Ints.range m))
+      in
+      Model.set_objective model Model.Minimize obj;
+      let problem = Model.to_problem model in
+      Ok { model; problem; z; num_x = !num_x; num_y = !num_y }
+
+let solve ?weights ?access_model ?port_model ?solver_options
+    ?disaggregated_linking board design =
+  let t0 = Unix.gettimeofday () in
+  match
+    build ?weights ?access_model ?port_model ?disaggregated_linking board design
+  with
+  | Error _ -> Error (Global_ilp.No_feasible_type 0, None)
+  | Ok b ->
+      let t1 = Unix.gettimeofday () in
+      let result = Solver.solve ?options:solver_options b.problem in
+      let t2 = Unix.gettimeofday () in
+      let stats =
+        {
+          ilp = result;
+          build_seconds = t1 -. t0;
+          solve_seconds = t2 -. t1;
+          num_x = b.num_x;
+          num_y = b.num_y;
+        }
+      in
+      (match result.Solver.mip.Branch_bound.solution with
+      | Some x ->
+          let m = Array.length b.z in
+          let assignment =
+            Array.init m (fun d ->
+                let n = Array.length b.z.(d) in
+                let rec find t =
+                  if t >= n then
+                    failwith "Complete_ilp.solve: no type chosen"
+                  else if x.(b.z.(d).(t)) > 0.5 then t
+                  else find (t + 1)
+                in
+                find 0)
+          in
+          Ok (assignment, stats)
+      | None -> (
+          match result.Solver.mip.Branch_bound.status with
+          | Branch_bound.Infeasible -> Error (Global_ilp.Ilp_infeasible, Some stats)
+          | _ -> Error (Global_ilp.Ilp_limit, Some stats)))

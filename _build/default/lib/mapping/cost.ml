@@ -1,0 +1,41 @@
+type weights = { latency : float; pin_delay : float; pin_io : float }
+
+let default_weights = { latency = 1.0; pin_delay = 1.0; pin_io = 1.0 }
+let latency_only = { latency = 1.0; pin_delay = 0.0; pin_io = 0.0 }
+let pins_only = { latency = 0.0; pin_delay = 1.0; pin_io = 1.0 }
+
+type access_model = Uniform | Profiled
+
+let latency_cost model (seg : Mm_design.Segment.t) (bt : Mm_arch.Bank_type.t) =
+  match model with
+  | Uniform ->
+      float_of_int
+        (seg.Mm_design.Segment.depth * Mm_arch.Bank_type.round_trip_latency bt)
+  | Profiled ->
+      float_of_int
+        ((seg.Mm_design.Segment.reads * bt.Mm_arch.Bank_type.read_latency)
+        + (seg.Mm_design.Segment.writes * bt.Mm_arch.Bank_type.write_latency))
+
+let pin_delay_cost model (seg : Mm_design.Segment.t) (bt : Mm_arch.Bank_type.t)
+    =
+  let accesses =
+    match model with
+    | Uniform -> seg.Mm_design.Segment.depth
+    | Profiled -> Mm_design.Segment.accesses seg
+  in
+  float_of_int
+    (accesses * Mm_arch.Bank_type.pins_from bt seg.Mm_design.Segment.pu)
+
+let pin_io_cost (c : Preprocess.t) (seg : Mm_design.Segment.t)
+    (bt : Mm_arch.Bank_type.t) =
+  let address_pins =
+    if c.Preprocess.cd <= 1 then 0 else Mm_util.Ints.ilog2_ceil c.Preprocess.cd
+  in
+  float_of_int
+    ((address_pins + c.Preprocess.cw)
+    * Mm_arch.Bank_type.pins_from bt seg.Mm_design.Segment.pu)
+
+let assignment_cost w model c seg bt =
+  (w.latency *. latency_cost model seg bt)
+  +. (w.pin_delay *. pin_delay_cost model seg bt)
+  +. (w.pin_io *. pin_io_cost c seg bt)

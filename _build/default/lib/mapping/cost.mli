@@ -1,0 +1,47 @@
+(** The global-mapping objective (Section 4.1.3): a weighted sum of
+    latency, pin-delay and pin-I/O cost components. *)
+
+type weights = {
+  latency : float;  (** α1: weight of the access-latency term *)
+  pin_delay : float;  (** α2: weight of the pin-traversal delay term *)
+  pin_io : float;  (** α3: weight of the pin-count (I/O) term *)
+}
+
+val default_weights : weights
+(** All three components weighted 1. *)
+
+val latency_only : weights
+val pins_only : weights
+
+type access_model =
+  | Uniform
+      (** the paper's assumption: reads = writes = number of words, so
+          the latency term is [Dd * (RLt + WLt)] *)
+  | Profiled
+      (** use the segment's profiled access counts:
+          [reads*RLt + writes*WLt] *)
+
+val latency_cost :
+  access_model -> Mm_design.Segment.t -> Mm_arch.Bank_type.t -> float
+(** Clock cycles spent in memory accesses if the segment lives on this
+    type. *)
+
+val pin_delay_cost :
+  access_model -> Mm_design.Segment.t -> Mm_arch.Bank_type.t -> float
+(** [accesses * Tt]: pin traversals are assumed inversely proportional
+    to achievable clock speed. On multi-PU boards [Tt] is the distance
+    from the segment's owning processing unit. *)
+
+val pin_io_cost :
+  Preprocess.t -> Mm_design.Segment.t -> Mm_arch.Bank_type.t -> float
+(** [(ceil(log2 CDdt) + CWdt) * Tt]: address plus data pins needed when
+    the bank is off-chip; [Tt] taken from the segment's owning PU. *)
+
+val assignment_cost :
+  weights ->
+  access_model ->
+  Preprocess.t ->
+  Mm_design.Segment.t ->
+  Mm_arch.Bank_type.t ->
+  float
+(** The objective coefficient of [Z_dt]. *)

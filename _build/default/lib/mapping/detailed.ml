@@ -1,0 +1,285 @@
+open Mm_util
+
+type part = Full | Width_strip | Depth_strip | Corner
+
+type fragment = {
+  segment : int;
+  part : part;
+  config : Mm_arch.Config.t;
+  words : int;
+  rounded_words : int;
+  ports_needed : int;
+  footprint_bits : int;
+}
+
+let make_fragment ~segment ~part ~config ~words ~ports =
+  let rounded_words = Ints.ceil_pow2 words in
+  {
+    segment;
+    part;
+    config;
+    words;
+    rounded_words;
+    ports_needed = ports;
+    footprint_bits = rounded_words * config.Mm_arch.Config.width;
+  }
+
+let fragments_of ?port_model ~segment (seg : Mm_design.Segment.t)
+    (bt : Mm_arch.Bank_type.t) =
+  let consumed_ports ~words ~bank_depth ~ports =
+    Preprocess.consumed_ports ?model:port_model ~words ~bank_depth ~ports ()
+  in
+  let c = Preprocess.coeffs ?port_model seg bt in
+  let pt = bt.Mm_arch.Bank_type.ports in
+  let alpha = c.Preprocess.alpha in
+  let da = alpha.Mm_arch.Config.depth and wa = alpha.Mm_arch.Config.width in
+  let dd = seg.Mm_design.Segment.depth and wd = seg.Mm_design.Segment.width in
+  let full_cols = wd / wa and full_rows = dd / da in
+  let d_rem = dd mod da in
+  let fulls =
+    List.init (full_rows * full_cols) (fun _ ->
+        make_fragment ~segment ~part:Full ~config:alpha ~words:da ~ports:pt)
+  in
+  let width_strips =
+    match c.Preprocess.beta with
+    | None -> []
+    | Some b ->
+        List.init full_rows (fun _ ->
+            make_fragment ~segment ~part:Width_strip ~config:b ~words:da
+              ~ports:
+                (consumed_ports ~words:da ~bank_depth:b.Mm_arch.Config.depth
+                   ~ports:pt))
+  in
+  let depth_strips =
+    if d_rem = 0 then []
+    else
+      List.init full_cols (fun _ ->
+          make_fragment ~segment ~part:Depth_strip ~config:alpha ~words:d_rem
+            ~ports:(consumed_ports ~words:d_rem ~bank_depth:da ~ports:pt))
+  in
+  let corner =
+    match c.Preprocess.beta with
+    | None -> []
+    | Some b ->
+        if d_rem = 0 then []
+        else
+          [
+            make_fragment ~segment ~part:Corner ~config:b ~words:d_rem
+              ~ports:
+                (consumed_ports ~words:d_rem ~bank_depth:b.Mm_arch.Config.depth
+                   ~ports:pt);
+          ]
+  in
+  fulls @ width_strips @ depth_strips @ corner
+
+type placement = {
+  fragment : fragment;
+  type_index : int;
+  instance : int;
+  first_port : int;
+  offset_bits : int;
+  shared : bool;
+}
+
+type t = { assignment : Global_ilp.assignment; placements : placement list }
+type failure = { type_index : int; segment : int; reason : string }
+
+(* One physical instance being filled. Slots are regions of address
+   space holding one fragment shape, possibly shared by several
+   lifetime-disjoint segments. *)
+type slot = {
+  s_config : Mm_arch.Config.t;
+  s_rounded : int;
+  s_offset : int;
+  s_first_port : int;
+  s_ports : int;
+  mutable s_owners : int list;
+}
+
+type inst_state = {
+  mutable free_ports : int;
+  mutable next_port : int;
+  mutable free_bits : int;
+  mutable next_offset : int;
+  mutable slots : slot list;
+}
+
+exception Fail of failure
+
+let run ?port_model ?(allow_overlap = true) ?(allow_port_sharing = false)
+    (board : Mm_arch.Board.t) (design : Mm_design.Design.t)
+    (assignment : Global_ilp.assignment) =
+  let m = Mm_design.Design.num_segments design in
+  if Array.length assignment <> m then
+    invalid_arg "Detailed.run: assignment arity";
+  let conflicts = design.Mm_design.Design.conflicts in
+  let placements = ref [] in
+  try
+    for t = 0 to Mm_arch.Board.num_types board - 1 do
+      let bt = Mm_arch.Board.bank_type board t in
+      let segs = List.filter (fun d -> assignment.(d) = t) (Ints.range m) in
+      if segs <> [] then begin
+        let fragments =
+          List.concat_map
+            (fun d ->
+              fragments_of ?port_model ~segment:d
+                (Mm_design.Design.segment design d) bt)
+            segs
+        in
+        (* decreasing footprint, then decreasing ports: keeps offsets
+           aligned (each placed size divides everything placed before) *)
+        let fragments =
+          List.sort
+            (fun a b ->
+              match compare b.footprint_bits a.footprint_bits with
+              | 0 -> compare b.ports_needed a.ports_needed
+              | c -> c)
+            fragments
+        in
+        let cap = Mm_arch.Bank_type.capacity_bits bt in
+        let insts =
+          Array.init bt.Mm_arch.Bank_type.instances (fun _ ->
+              {
+                free_ports = bt.Mm_arch.Bank_type.ports;
+                next_port = 0;
+                free_bits = cap;
+                next_offset = 0;
+                slots = [];
+              })
+        in
+        let place f =
+          (* 1. overlap onto an existing compatible slot *)
+          let try_overlap () =
+            if not allow_overlap then None
+            else begin
+              let compatible slot =
+                Mm_arch.Config.equal slot.s_config f.config
+                && slot.s_rounded = f.rounded_words
+                && List.for_all
+                     (fun owner ->
+                       not (Mm_design.Conflict.conflicts conflicts owner f.segment))
+                     slot.s_owners
+              in
+              let rec scan i =
+                if i >= Array.length insts then None
+                else begin
+                  let st = insts.(i) in
+                  (* with port sharing the slot's ports are reused, so no
+                     free ports are needed; without it the fragment still
+                     claims its own ports *)
+                  if allow_port_sharing || st.free_ports >= f.ports_needed then
+                    match List.find_opt compatible st.slots with
+                    | Some slot -> Some (i, st, slot)
+                    | None -> scan (i + 1)
+                  else scan (i + 1)
+                end
+              in
+              scan 0
+            end
+          in
+          (* 2. open a new slot on the first instance with room *)
+          let try_fresh () =
+            let rec scan i =
+              if i >= Array.length insts then None
+              else begin
+                let st = insts.(i) in
+                if st.free_ports >= f.ports_needed && st.free_bits >= f.footprint_bits
+                then Some (i, st)
+                else scan (i + 1)
+              end
+            in
+            scan 0
+          in
+          match try_overlap () with
+          | Some (i, st, slot) ->
+              slot.s_owners <- f.segment :: slot.s_owners;
+              let first_port =
+                if allow_port_sharing then slot.s_first_port
+                else begin
+                  let p = st.next_port in
+                  st.next_port <- st.next_port + f.ports_needed;
+                  st.free_ports <- st.free_ports - f.ports_needed;
+                  p
+                end
+              in
+              placements :=
+                {
+                  fragment = f;
+                  type_index = t;
+                  instance = i;
+                  first_port;
+                  offset_bits = slot.s_offset;
+                  shared = true;
+                }
+                :: !placements
+          | None -> (
+              match try_fresh () with
+              | Some (i, st) ->
+                  let offset = st.next_offset in
+                  let slot =
+                    {
+                      s_config = f.config;
+                      s_rounded = f.rounded_words;
+                      s_offset = offset;
+                      s_first_port = st.next_port;
+                      s_ports = f.ports_needed;
+                      s_owners = [ f.segment ];
+                    }
+                  in
+                  st.slots <- slot :: st.slots;
+                  st.next_offset <- offset + f.footprint_bits;
+                  st.free_bits <- st.free_bits - f.footprint_bits;
+                  let first_port = st.next_port in
+                  st.next_port <- st.next_port + f.ports_needed;
+                  st.free_ports <- st.free_ports - f.ports_needed;
+                  placements :=
+                    {
+                      fragment = f;
+                      type_index = t;
+                      instance = i;
+                      first_port;
+                      offset_bits = offset;
+                      shared = false;
+                    }
+                    :: !placements
+              | None ->
+                  raise
+                    (Fail
+                       {
+                         type_index = t;
+                         segment = f.segment;
+                         reason =
+                           Printf.sprintf
+                             "no instance of %s has %d free port(s) and %d free \
+                              bit(s)"
+                             bt.Mm_arch.Bank_type.name f.ports_needed
+                             f.footprint_bits;
+                       }))
+        in
+        List.iter place fragments
+      end
+    done;
+    Ok { assignment; placements = List.rev !placements }
+  with Fail f -> Error f
+
+let instances_used t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (p : placement) -> Hashtbl.replace tbl (p.type_index, p.instance) ())
+    t.placements;
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (ti, _) () ->
+      Hashtbl.replace counts ti
+        (1 + Option.value (Hashtbl.find_opt counts ti) ~default:0))
+    tbl;
+  List.sort compare (Hashtbl.fold (fun ti c acc -> (ti, c) :: acc) counts [])
+
+let fragmentation t =
+  let per_segment = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace per_segment p.fragment.segment
+        (1 + Option.value (Hashtbl.find_opt per_segment p.fragment.segment) ~default:0))
+    t.placements;
+  Hashtbl.fold (fun _ c acc -> acc + (c - 1)) per_segment 0

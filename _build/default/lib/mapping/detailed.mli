@@ -1,0 +1,87 @@
+(** Detailed memory mapping (Section 4.2): after global mapping fixes
+    the bank type of every segment, place concrete fragments onto
+    concrete instances and ports.
+
+    Each segment is cut into fragments following the Fig. 2 rectangle:
+    fully-used instances at the α configuration, a width-remainder
+    column at β, a depth-remainder row at α and a corner at β, with all
+    fragment depths rounded to powers of two (Fig. 3) so that fractions
+    of an instance can be addressed without extra logic. Fragments are
+    placed first-fit in order of decreasing footprint, which keeps every
+    per-instance offset naturally aligned; segments with disjoint
+    lifetimes may share address space (on distinct ports — the paper
+    maps at most one segment per port).
+
+    Detailed mapping cannot change the global objective — every instance
+    of a type is identical — so this stage only pursues secondary goals
+    (fragmentation; see also {!Detailed_ilp}). *)
+
+type part =
+  | Full  (** fully-used instance at α *)
+  | Width_strip  (** width-remainder column fragment at β *)
+  | Depth_strip  (** depth-remainder row fragment at α *)
+  | Corner  (** depth-and-width remainder at β *)
+
+type fragment = {
+  segment : int;
+  part : part;
+  config : Mm_arch.Config.t;
+  words : int;  (** words of actual data *)
+  rounded_words : int;  (** power-of-two storage actually reserved *)
+  ports_needed : int;  (** Fig. 3 consumed ports *)
+  footprint_bits : int;  (** [rounded_words * config.width] *)
+}
+
+val fragments_of :
+  ?port_model:Preprocess.port_model ->
+  segment:int ->
+  Mm_design.Segment.t ->
+  Mm_arch.Bank_type.t ->
+  fragment list
+(** The Fig. 2 decomposition. Invariants (tested): the summed
+    [ports_needed] equals [CP_dt] and the summed [footprint_bits]
+    equals [CW_dt * CD_dt]. *)
+
+type placement = {
+  fragment : fragment;
+  type_index : int;
+  instance : int;  (** 0-based within the type *)
+  first_port : int;  (** first of [ports_needed] consecutive ports *)
+  offset_bits : int;  (** start of the fragment's address space *)
+  shared : bool;  (** true when overlapped onto an existing slot *)
+}
+
+type t = {
+  assignment : Global_ilp.assignment;
+  placements : placement list;
+}
+
+type failure = {
+  type_index : int;
+  segment : int;
+  reason : string;
+}
+
+val run :
+  ?port_model:Preprocess.port_model ->
+  ?allow_overlap:bool ->
+  ?allow_port_sharing:bool ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  Global_ilp.assignment ->
+  (t, failure) result
+(** Greedy first-fit-decreasing placement. [allow_overlap] (default
+    true) lets lifetime-disjoint segments share storage.
+    [allow_port_sharing] (default false) is the paper's Section 6
+    arbitration extension: segments sharing a slot also reuse its ports
+    (their accesses can never collide, so no arbitration hardware is
+    required); pair it with [Global_ilp.build ~arbitration:true] and
+    validate with [Validate.check ~arbitration:true]. *)
+
+val instances_used : t -> (int * int) list
+(** Per bank type, the number of instances holding at least one
+    fragment. *)
+
+val fragmentation : t -> int
+(** Number of fragments in excess of one per segment — the secondary
+    metric the paper's detailed mapper minimizes. *)

@@ -1,0 +1,156 @@
+open Mm_lp
+open Mm_util
+
+type options = {
+  solver_options : Solver.options;
+  symmetry_breaking : bool;
+  port_model : Preprocess.port_model;
+}
+
+let default_options =
+  {
+    solver_options = Solver.default_options;
+    symmetry_breaking = true;
+    port_model = Preprocess.Fig3;
+  }
+
+(* Turn a per-instance fragment list into placements: decreasing
+   footprint order keeps offsets power-of-two aligned, as in the greedy
+   placer. *)
+let placements_of_instance ~type_index ~instance fragments =
+  let sorted =
+    List.sort
+      (fun (a : Detailed.fragment) (b : Detailed.fragment) ->
+        compare b.Detailed.footprint_bits a.Detailed.footprint_bits)
+      fragments
+  in
+  let offset = ref 0 and port = ref 0 in
+  List.map
+    (fun (f : Detailed.fragment) ->
+      let p =
+        {
+          Detailed.fragment = f;
+          type_index;
+          instance;
+          first_port = !port;
+          offset_bits = !offset;
+          shared = false;
+        }
+      in
+      offset := !offset + f.Detailed.footprint_bits;
+      port := !port + f.Detailed.ports_needed;
+      p)
+    sorted
+
+let run ?(options = default_options) (board : Mm_arch.Board.t)
+    (design : Mm_design.Design.t) (assignment : Global_ilp.assignment) =
+  let m = Mm_design.Design.num_segments design in
+  if Array.length assignment <> m then
+    invalid_arg "Detailed_ilp.run: assignment arity";
+  let all_placements = ref [] in
+  let failure = ref None in
+  let ntypes = Mm_arch.Board.num_types board in
+  let t = ref 0 in
+  while !failure = None && !t < ntypes do
+    let ti = !t in
+    incr t;
+    let bt = Mm_arch.Board.bank_type board ti in
+    let segs = List.filter (fun d -> assignment.(d) = ti) (Ints.range m) in
+    if segs <> [] then begin
+      let fragments =
+        List.concat_map
+          (fun d ->
+            Detailed.fragments_of ~port_model:options.port_model ~segment:d
+              (Mm_design.Design.segment design d) bt)
+          segs
+      in
+      let nf = List.length fragments in
+      let ni = bt.Mm_arch.Bank_type.instances in
+      let frag_arr = Array.of_list fragments in
+      let model = Model.create ~name:(Printf.sprintf "detailed_%s" bt.Mm_arch.Bank_type.name) () in
+      let a =
+        Array.init nf (fun f ->
+            Array.init ni (fun i ->
+                Model.add_var model ~name:(Printf.sprintf "a_%d_%d" f i)
+                  Problem.Binary))
+      in
+      let used =
+        Array.init ni (fun i ->
+            Model.add_var model ~name:(Printf.sprintf "used_%d" i)
+              ~obj:1.0 Problem.Binary)
+      in
+      for f = 0 to nf - 1 do
+        Model.add_eq model
+          ~name:(Printf.sprintf "place_%d" f)
+          (Expr.sum (List.map (fun i -> Expr.var a.(f).(i)) (Ints.range ni)))
+          1.0
+      done;
+      for i = 0 to ni - 1 do
+        Model.add_le model
+          ~name:(Printf.sprintf "ports_%d" i)
+          (Expr.sum
+             (List.map
+                (fun f ->
+                  Expr.var
+                    ~coeff:(float_of_int frag_arr.(f).Detailed.ports_needed)
+                    a.(f).(i))
+                (Ints.range nf)))
+          (float_of_int bt.Mm_arch.Bank_type.ports);
+        Model.add_le model
+          ~name:(Printf.sprintf "cap_%d" i)
+          (Expr.sum
+             (List.map
+                (fun f ->
+                  Expr.var
+                    ~coeff:(float_of_int frag_arr.(f).Detailed.footprint_bits)
+                    a.(f).(i))
+                (Ints.range nf)))
+          (float_of_int (Mm_arch.Bank_type.capacity_bits bt));
+        (* link: any placement on i forces used_i *)
+        Model.add_le model
+          ~name:(Printf.sprintf "link_%d" i)
+          (Expr.sub
+             (Expr.sum (List.map (fun f -> Expr.var a.(f).(i)) (Ints.range nf)))
+             (Expr.var ~coeff:(float_of_int nf) used.(i)))
+          0.0
+      done;
+      if options.symmetry_breaking then
+        for i = 0 to ni - 2 do
+          Model.add_le model
+            ~name:(Printf.sprintf "sym_%d" i)
+            (Expr.sub (Expr.var used.(i + 1)) (Expr.var used.(i)))
+            0.0
+        done;
+      let result = Solver.solve ~options:options.solver_options (Model.to_problem model) in
+      match result.Solver.mip.Branch_bound.solution with
+      | Some x ->
+          for i = 0 to ni - 1 do
+            let here =
+              List.filter_map
+                (fun f -> if x.(a.(f).(i)) > 0.5 then Some frag_arr.(f) else None)
+                (Ints.range nf)
+            in
+            if here <> [] then
+              all_placements :=
+                placements_of_instance ~type_index:ti ~instance:i here
+                @ !all_placements
+          done
+      | None ->
+          failure :=
+            Some
+              {
+                Detailed.type_index = ti;
+                segment = (match segs with d :: _ -> d | [] -> 0);
+                reason =
+                  Printf.sprintf "detailed ILP for type %s: %s"
+                    bt.Mm_arch.Bank_type.name
+                    (match result.Solver.mip.Branch_bound.status with
+                    | Branch_bound.Infeasible -> "infeasible"
+                    | Branch_bound.Unknown -> "limit without incumbent"
+                    | _ -> "no solution");
+              }
+    end
+  done;
+  match !failure with
+  | Some f -> Error f
+  | None -> Ok { Detailed.assignment; placements = List.rev !all_placements }

@@ -1,0 +1,219 @@
+open Mm_lp
+
+type assignment = int array
+
+type build = {
+  model : Model.t;
+  problem : Problem.t;
+  z : Model.var array array;
+  coeffs : Preprocess.t array array;
+}
+
+type error = No_feasible_type of int | Ilp_infeasible | Ilp_limit
+
+type stats = {
+  ilp : Solver.result;
+  build_seconds : float;
+  solve_seconds : float;
+}
+
+let capacity_cliques (design : Mm_design.Design.t) =
+  let n = Mm_design.Design.num_segments design in
+  match design.Mm_design.Design.lifetimes with
+  | Some lt -> Mm_design.Lifetime.maximal_cliques lt
+  | None ->
+      let c = design.Mm_design.Design.conflicts in
+      if Mm_design.Conflict.is_complete c then [ Mm_util.Ints.range n ]
+      else Mm_design.Conflict.max_cliques_greedy c
+
+let build ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
+    ?port_model ?(arbitration = false) ?(forbidden = [])
+    (board : Mm_arch.Board.t) (design : Mm_design.Design.t) =
+  let m = Mm_design.Design.num_segments design in
+  let n = Mm_arch.Board.num_types board in
+  let model = Model.create ~name:"global_mapping" () in
+  let coeffs =
+    Array.init m (fun d ->
+        Array.init n (fun t ->
+            Preprocess.coeffs ?port_model
+              (Mm_design.Design.segment design d)
+              (Mm_arch.Board.bank_type board t)))
+  in
+  let feasible d t =
+    let bt = Mm_arch.Board.bank_type board t in
+    let c = coeffs.(d).(t) in
+    c.Preprocess.cp <= Mm_arch.Bank_type.total_ports bt
+    && Preprocess.consumed_bits c <= Mm_arch.Bank_type.total_capacity_bits bt
+  in
+  let no_type =
+    List.find_opt
+      (fun d -> not (List.exists (feasible d) (Mm_util.Ints.range n)))
+      (Mm_util.Ints.range m)
+  in
+  match no_type with
+  | Some d ->
+      Error
+        (Printf.sprintf "segment %d (%s) fits no bank type" d
+           (Mm_design.Design.segment design d).Mm_design.Segment.name)
+  | None ->
+      (* infeasible pairs keep their variable (the formulation size stays
+         faithful to the paper) but are fixed at zero through bounds *)
+      let z =
+        Array.init m (fun d ->
+            Array.init n (fun t ->
+                let seg = Mm_design.Design.segment design d in
+                let bt = Mm_arch.Board.bank_type board t in
+                let ub = if feasible d t then 1.0 else 0.0 in
+                Model.add_var model
+                  ~name:
+                    (Printf.sprintf "z_%s_%s" seg.Mm_design.Segment.name
+                       bt.Mm_arch.Bank_type.name)
+                  ~ub Problem.Binary))
+      in
+      (* uniqueness *)
+      for d = 0 to m - 1 do
+        Model.add_eq model
+          ~name:(Printf.sprintf "uniq_%d" d)
+          (Expr.sum (List.map (fun t -> Expr.var z.(d).(t)) (Mm_util.Ints.range n)))
+          1.0
+      done;
+      (* ports: globally by default; per lifetime clique when the
+         arbitration extension allows disjoint segments to share ports *)
+      let cliques = capacity_cliques design in
+      let port_groups =
+        if arbitration then cliques else [ Mm_util.Ints.range m ]
+      in
+      List.iteri
+        (fun q group ->
+          for t = 0 to n - 1 do
+            let bt = Mm_arch.Board.bank_type board t in
+            let e =
+              Expr.sum
+                (List.map
+                   (fun d ->
+                     Expr.var ~coeff:(float_of_int coeffs.(d).(t).Preprocess.cp)
+                       z.(d).(t))
+                   group)
+            in
+            Model.add_le model
+              ~name:(Printf.sprintf "ports_%s_q%d" bt.Mm_arch.Bank_type.name q)
+              e
+              (float_of_int (Mm_arch.Bank_type.total_ports bt))
+          done)
+        port_groups;
+      (* capacity, per lifetime clique *)
+      List.iteri
+        (fun q clique ->
+          for t = 0 to n - 1 do
+            let bt = Mm_arch.Board.bank_type board t in
+            let e =
+              Expr.sum
+                (List.map
+                   (fun d ->
+                     Expr.var
+                       ~coeff:(float_of_int (Preprocess.consumed_bits coeffs.(d).(t)))
+                       z.(d).(t))
+                   clique)
+            in
+            Model.add_le model
+              ~name:(Printf.sprintf "cap_%s_q%d" bt.Mm_arch.Bank_type.name q)
+              e
+              (float_of_int (Mm_arch.Bank_type.total_capacity_bits bt))
+          done)
+        cliques;
+      (* no-good cuts from failed detailed-mapping attempts *)
+      List.iteri
+        (fun k assignment ->
+          if Array.length assignment <> m then
+            invalid_arg "Global_ilp.build: forbidden assignment arity";
+          let e =
+            Expr.sum
+              (List.map (fun d -> Expr.var z.(d).(assignment.(d))) (Mm_util.Ints.range m))
+          in
+          Model.add_le model
+            ~name:(Printf.sprintf "nogood_%d" k)
+            e
+            (float_of_int (m - 1)))
+        forbidden;
+      (* objective *)
+      let obj =
+        Expr.sum
+          (List.concat_map
+             (fun d ->
+               let seg = Mm_design.Design.segment design d in
+               List.map
+                 (fun t ->
+                   let bt = Mm_arch.Board.bank_type board t in
+                   Expr.var
+                     ~coeff:
+                       (Cost.assignment_cost weights access_model coeffs.(d).(t)
+                          seg bt)
+                     z.(d).(t))
+                 (Mm_util.Ints.range n))
+             (Mm_util.Ints.range m))
+      in
+      Model.set_objective model Model.Minimize obj;
+      let problem = Model.to_problem model in
+      Ok { model; problem; z; coeffs }
+
+let assignment_of_solution b x =
+  let m = Array.length b.z in
+  Array.init m (fun d ->
+      let n = Array.length b.z.(d) in
+      let rec find t =
+        if t >= n then failwith "Global_ilp.assignment_of_solution: no type chosen"
+        else if x.(b.z.(d).(t)) > 0.5 then t
+        else find (t + 1)
+      in
+      find 0)
+
+let assignment_cost ?(weights = Cost.default_weights)
+    ?(access_model = Cost.Uniform) ?port_model (board : Mm_arch.Board.t)
+    (design : Mm_design.Design.t) (a : assignment) =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun d t ->
+      let seg = Mm_design.Design.segment design d in
+      let bt = Mm_arch.Board.bank_type board t in
+      let c = Preprocess.coeffs ?port_model seg bt in
+      total := !total +. Cost.assignment_cost weights access_model c seg bt)
+    a;
+  !total
+
+let solve ?weights ?access_model ?port_model ?arbitration ?solver_options
+    ?forbidden board design =
+  let t0 = Unix.gettimeofday () in
+  match build ?weights ?access_model ?port_model ?arbitration ?forbidden board design with
+  | Error msg ->
+      ignore msg;
+      let d =
+        (* recover the segment index from the build error *)
+        let rec find d =
+          if d >= Mm_design.Design.num_segments design then 0
+          else if
+            not
+              (List.exists
+                 (fun t ->
+                   Preprocess.fits ?port_model
+                     (Mm_design.Design.segment design d)
+                     (Mm_arch.Board.bank_type board t))
+                 (Mm_util.Ints.range (Mm_arch.Board.num_types board)))
+          then d
+          else find (d + 1)
+        in
+        find 0
+      in
+      Error (No_feasible_type d, None)
+  | Ok b ->
+      let t1 = Unix.gettimeofday () in
+      let result = Solver.solve ?options:solver_options b.problem in
+      let t2 = Unix.gettimeofday () in
+      let stats =
+        { ilp = result; build_seconds = t1 -. t0; solve_seconds = t2 -. t1 }
+      in
+      (match result.Solver.mip.Branch_bound.solution with
+      | Some x -> Ok (assignment_of_solution b x, stats)
+      | None -> (
+          match result.Solver.mip.Branch_bound.status with
+          | Branch_bound.Infeasible -> Error (Ilp_infeasible, Some stats)
+          | _ -> Error (Ilp_limit, Some stats)))

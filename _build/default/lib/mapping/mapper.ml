@@ -1,0 +1,148 @@
+type method_ = Global_detailed | Complete_flat
+type detailed_engine = Greedy | Ilp
+
+type options = {
+  weights : Cost.weights;
+  access_model : Cost.access_model;
+  port_model : Preprocess.port_model;
+  arbitration : bool;
+  solver_options : Mm_lp.Solver.options;
+  max_retries : int;
+  allow_overlap : bool;
+  detailed : detailed_engine;
+}
+
+let default_options =
+  {
+    weights = Cost.default_weights;
+    access_model = Cost.Uniform;
+    port_model = Preprocess.Fig3;
+    arbitration = false;
+    solver_options = Mm_lp.Solver.default_options;
+    max_retries = 5;
+    allow_overlap = true;
+    detailed = Greedy;
+  }
+
+type outcome = {
+  method_ : method_;
+  assignment : Global_ilp.assignment;
+  mapping : Detailed.t;
+  objective : float;
+  retries : int;
+  ilp_seconds : float;
+  detailed_seconds : float;
+  total_seconds : float;
+  ilp_result : Mm_lp.Solver.result;
+}
+
+type error =
+  | Unmappable of string
+  | Retries_exhausted of int
+  | Solver_limit
+
+let error_to_string = function
+  | Unmappable msg -> Printf.sprintf "unmappable: %s" msg
+  | Retries_exhausted n -> Printf.sprintf "detailed mapping failed after %d retries" n
+  | Solver_limit -> "ILP solver hit its budget before finding an assignment"
+
+let run_detailed options board design assignment =
+  match options.detailed with
+  | Greedy ->
+      Detailed.run ~port_model:options.port_model
+        ~allow_overlap:options.allow_overlap
+        ~allow_port_sharing:options.arbitration board design assignment
+  | Ilp -> (
+      match
+        Detailed_ilp.run
+          ~options:
+            {
+              Detailed_ilp.solver_options = options.solver_options;
+              symmetry_breaking = true;
+              port_model = options.port_model;
+            }
+          board design assignment
+      with
+      | Ok t -> Ok t
+      | Error _ ->
+          (* the ILP placer has no overlap support; the greedy placer is
+             strictly more permissive, so fall back before giving up *)
+          Detailed.run ~port_model:options.port_model
+            ~allow_overlap:options.allow_overlap
+            ~allow_port_sharing:options.arbitration board design assignment)
+
+let run ?(method_ = Global_detailed) ?(options = default_options) board design =
+  let t0 = Unix.gettimeofday () in
+  let ilp_seconds = ref 0.0 and detailed_seconds = ref 0.0 in
+  let finish ~retries ~assignment ~mapping ~ilp_result =
+    let objective =
+      Global_ilp.assignment_cost ~weights:options.weights
+        ~access_model:options.access_model ~port_model:options.port_model
+        board design assignment
+    in
+    Ok
+      {
+        method_;
+        assignment;
+        mapping;
+        objective;
+        retries;
+        ilp_seconds = !ilp_seconds;
+        detailed_seconds = !detailed_seconds;
+        total_seconds = Unix.gettimeofday () -. t0;
+        ilp_result;
+      }
+  in
+  match method_ with
+  | Complete_flat -> (
+      match
+        Complete_ilp.solve ~weights:options.weights
+          ~access_model:options.access_model ~port_model:options.port_model
+          ~solver_options:options.solver_options board design
+      with
+      | Error (Global_ilp.No_feasible_type d, _) ->
+          Error (Unmappable (Printf.sprintf "segment %d fits no bank type" d))
+      | Error (Global_ilp.Ilp_infeasible, _) ->
+          Error (Unmappable "complete ILP infeasible")
+      | Error (Global_ilp.Ilp_limit, _) -> Error Solver_limit
+      | Ok (assignment, stats) -> (
+          ilp_seconds := stats.Complete_ilp.build_seconds +. stats.Complete_ilp.solve_seconds;
+          let td = Unix.gettimeofday () in
+          match run_detailed options board design assignment with
+          | Ok mapping ->
+              detailed_seconds := Unix.gettimeofday () -. td;
+              finish ~retries:0 ~assignment ~mapping ~ilp_result:stats.Complete_ilp.ilp
+          | Error f ->
+              Error
+                (Unmappable
+                   (Printf.sprintf "flat solution not placeable: %s" f.Detailed.reason))))
+  | Global_detailed ->
+      let rec attempt retries forbidden =
+        if retries > options.max_retries then Error (Retries_exhausted retries)
+        else
+          match
+            Global_ilp.solve ~weights:options.weights
+              ~access_model:options.access_model
+              ~port_model:options.port_model ~arbitration:options.arbitration
+              ~solver_options:options.solver_options ~forbidden board design
+          with
+          | Error (Global_ilp.No_feasible_type d, _) ->
+              Error (Unmappable (Printf.sprintf "segment %d fits no bank type" d))
+          | Error (Global_ilp.Ilp_infeasible, _) ->
+              if forbidden = [] then Error (Unmappable "global ILP infeasible")
+              else Error (Retries_exhausted retries)
+          | Error (Global_ilp.Ilp_limit, _) -> Error Solver_limit
+          | Ok (assignment, stats) -> (
+              ilp_seconds :=
+                !ilp_seconds +. stats.Global_ilp.build_seconds
+                +. stats.Global_ilp.solve_seconds;
+              let td = Unix.gettimeofday () in
+              match run_detailed options board design assignment with
+              | Ok mapping ->
+                  detailed_seconds := !detailed_seconds +. (Unix.gettimeofday () -. td);
+                  finish ~retries ~assignment ~mapping ~ilp_result:stats.Global_ilp.ilp
+              | Error _ ->
+                  detailed_seconds := !detailed_seconds +. (Unix.gettimeofday () -. td);
+                  attempt (retries + 1) (assignment :: forbidden))
+      in
+      attempt 0 []

@@ -1,0 +1,57 @@
+(** End-to-end mapping pipeline.
+
+    [Global_detailed] (the paper's contribution) runs the global ILP,
+    then the detailed placer; when detailed mapping fails — the paper's
+    Section 4.1 acknowledges this can require iterating — the failing
+    assignment is excluded with a no-good cut and the global ILP is
+    re-solved, up to [max_retries] times.
+
+    [Complete_flat] runs the baseline flat ILP (the earlier "complete
+    memory mapper" the paper compares against) and places with the same
+    detailed machinery for reporting purposes. *)
+
+type method_ = Global_detailed | Complete_flat
+
+type detailed_engine = Greedy | Ilp
+
+type options = {
+  weights : Cost.weights;
+  access_model : Cost.access_model;
+  port_model : Preprocess.port_model;  (** default [Fig3] *)
+  arbitration : bool;
+      (** Section 6 extension: lifetime-disjoint segments may share
+          ports (global port constraints per clique, detailed port
+          sharing). Default false — the paper's model. *)
+  solver_options : Mm_lp.Solver.options;
+  max_retries : int;  (** global/detailed retry budget, default 5 *)
+  allow_overlap : bool;  (** lifetime-aware storage sharing, default true *)
+  detailed : detailed_engine;  (** default Greedy *)
+}
+
+val default_options : options
+
+type outcome = {
+  method_ : method_;
+  assignment : Global_ilp.assignment;
+  mapping : Detailed.t;
+  objective : float;  (** cost of the assignment under the options' weights *)
+  retries : int;  (** global/detailed iterations beyond the first *)
+  ilp_seconds : float;  (** ILP build + solve time (the Table 3 metric) *)
+  detailed_seconds : float;
+  total_seconds : float;
+  ilp_result : Mm_lp.Solver.result;
+}
+
+type error =
+  | Unmappable of string  (** a segment fits nowhere, or ILP infeasible *)
+  | Retries_exhausted of int  (** detailed mapping kept failing *)
+  | Solver_limit  (** hit a time/node budget before an incumbent *)
+
+val run :
+  ?method_:method_ ->
+  ?options:options ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  (outcome, error) result
+
+val error_to_string : error -> string

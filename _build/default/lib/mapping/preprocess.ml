@@ -1,0 +1,109 @@
+open Mm_util
+
+type port_model = Fig3 | Improved
+
+let consumed_ports ?(model = Fig3) ~words ~bank_depth ~ports () =
+  if words < 0 || bank_depth <= 0 || ports <= 0 then
+    invalid_arg "Preprocess.consumed_ports";
+  if words = 0 then 0
+  else begin
+    (* round the fragment depth to the closest power of two (Fig. 3),
+       take the fraction of the instance it occupies, and charge a
+       proportional number of ports: rounded up by the paper's
+       algorithm, down (but at least one) by the improved variant *)
+    let depth = Ints.ceil_pow2 words in
+    if depth >= bank_depth then ports
+    else
+      match model with
+      | Fig3 -> Ints.ceil_div (depth * ports) bank_depth
+      | Improved -> max 1 (depth * ports / bank_depth)
+  end
+
+type t = {
+  alpha : Mm_arch.Config.t;
+  beta : Mm_arch.Config.t option;
+  fp : int;
+  wp : int;
+  dp : int;
+  wdp : int;
+  cp : int;
+  cw : int;
+  cd : int;
+}
+
+let coeffs ?(port_model = Fig3) (seg : Mm_design.Segment.t)
+    (bt : Mm_arch.Bank_type.t) =
+  let consumed_ports ~words ~bank_depth ~ports =
+    consumed_ports ~model:port_model ~words ~bank_depth ~ports ()
+  in
+  let dd = seg.Mm_design.Segment.depth and wd = seg.Mm_design.Segment.width in
+  let pt = bt.Mm_arch.Bank_type.ports in
+  let alpha = Mm_arch.Bank_type.config_with_width_at_least bt wd in
+  let da = alpha.Mm_arch.Config.depth and wa = alpha.Mm_arch.Config.width in
+  let full_cols = wd / wa and w_rem = wd mod wa in
+  let full_rows = dd / da and d_rem = dd mod da in
+  let beta =
+    if w_rem = 0 then None
+    else Some (Mm_arch.Bank_type.config_with_width_at_least bt w_rem)
+  in
+  let fp = full_rows * full_cols * pt in
+  let wp =
+    match beta with
+    | None -> 0
+    | Some b ->
+        full_rows
+        * consumed_ports ~words:da ~bank_depth:b.Mm_arch.Config.depth ~ports:pt
+  in
+  let dp =
+    if d_rem = 0 then 0
+    else full_cols * consumed_ports ~words:d_rem ~bank_depth:da ~ports:pt
+  in
+  let wdp =
+    match beta with
+    | None -> 0
+    | Some b ->
+        if d_rem = 0 then 0
+        else consumed_ports ~words:d_rem ~bank_depth:b.Mm_arch.Config.depth ~ports:pt
+  in
+  let cw =
+    (full_cols * wa)
+    + match beta with None -> 0 | Some b -> b.Mm_arch.Config.width
+  in
+  let cd = (full_rows * da) + if d_rem = 0 then 0 else Ints.ceil_pow2 d_rem in
+  { alpha; beta; fp; wp; dp; wdp; cp = fp + wp + dp + wdp; cw; cd }
+
+let consumed_bits t = t.cw * t.cd
+
+let fits ?port_model seg bt =
+  let c = coeffs ?port_model seg bt in
+  c.cp <= Mm_arch.Bank_type.total_ports bt
+  && consumed_bits c <= Mm_arch.Bank_type.total_capacity_bits bt
+
+let allocation_options ?model ~ports ~depth () =
+  if ports <= 0 || depth <= 0 then invalid_arg "Preprocess.allocation_options";
+  if not (Ints.is_pow2 depth) then
+    invalid_arg "Preprocess.allocation_options: depth must be a power of two";
+  let sizes =
+    (* 0 plus powers of two up to depth *)
+    let rec powers p = if p > depth then [] else p :: powers (2 * p) in
+    0 :: powers 1
+  in
+  let rec enum remaining maximum budget =
+    if remaining = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun w ->
+          if w <= maximum && w <= budget then
+            List.map (fun rest -> w :: rest) (enum (remaining - 1) w (budget - w))
+          else [])
+        sizes
+  in
+  let options = enum ports depth depth in
+  let accepted alloc =
+    Ints.sum_by
+      (fun w -> consumed_ports ?model ~words:w ~bank_depth:depth ~ports ())
+      alloc
+    <= ports
+  in
+  List.map (fun alloc -> (alloc, accepted alloc)) (List.sort compare options)
+  |> List.rev

@@ -1,0 +1,69 @@
+(** ILP pre-processing (Section 4.1.1): the per-(segment, bank-type)
+    coefficients that let the global formulation stay small while
+    guaranteeing a successful detailed mapping.
+
+    For a segment of [Dd] words by [Wd] bits on a bank type, the segment
+    is laid out as a rectangle of instances (Fig. 2): the width is split
+    into full strips of the α configuration (smallest width >= [Wd], or
+    the widest available) plus a remainder strip at the β configuration
+    (smallest width covering the remainder); the depth is split into
+    full-α-depth rows plus a remainder row rounded up to a power of two
+    so that no address-generation logic is needed (Fig. 3). *)
+
+type port_model =
+  | Fig3
+      (** the paper's algorithm: [ceil (rounded/bank_depth * ports)].
+          Exact for 2 ports, over-estimates beyond (it rejects the
+          Table 2 option (8,8,0) on a 3-port bank). *)
+  | Improved
+      (** the Section 6 future-work refinement:
+          [max 1 (floor (rounded/bank_depth * ports))]. No waste for
+          [ports > 2] — (8,8,0) is accepted — at the price of the
+          storage constraint becoming load-bearing (under Fig. 3 the
+          port budget implies it) and of the detailed-mapping guarantee
+          weakening to "retry on failure". *)
+
+val consumed_ports :
+  ?model:port_model -> words:int -> bank_depth:int -> ports:int -> unit -> int
+(** Number of ports a fragment of [words] words consumes on an instance
+    whose selected configuration has [bank_depth] words. The fragment
+    depth is first rounded up to a power of two (Fig. 3); the charge
+    then follows [model] (default [Fig3]); it is 0 when [words] is 0
+    and [ports] for full-or-larger fragments under either model. *)
+
+type t = {
+  alpha : Mm_arch.Config.t;  (** α configuration *)
+  beta : Mm_arch.Config.t option;
+      (** β configuration; [None] when α's width divides the segment
+          width exactly *)
+  fp : int;  (** ports consumed by fully-used instances *)
+  wp : int;  (** ports consumed by the width-remainder column *)
+  dp : int;  (** ports consumed by the depth-remainder row *)
+  wdp : int;  (** ports consumed by the corner instance *)
+  cp : int;  (** [CPdt = fp + wp + dp + wdp] *)
+  cw : int;  (** [CWdt]: consumed width in bits *)
+  cd : int;  (** [CDdt]: consumed depth in words *)
+}
+
+val coeffs :
+  ?port_model:port_model -> Mm_design.Segment.t -> Mm_arch.Bank_type.t -> t
+(** Computes all Section 4.1.1 parameters for one (segment, type) pair
+    under the given port model (default [Fig3]). *)
+
+val consumed_bits : t -> int
+(** [cw * cd], the storage footprint charged by the capacity
+    constraint. *)
+
+val fits :
+  ?port_model:port_model -> Mm_design.Segment.t -> Mm_arch.Bank_type.t -> bool
+(** True when the type has enough total ports and storage for the
+    segment alone — the precondition for [Z_dt] to be allowed. *)
+
+val allocation_options :
+  ?model:port_model -> ports:int -> depth:int -> unit -> (int list * bool) list
+(** Reproduces Table 2: all ways of allocating a [depth]-word instance
+    among [ports] ports as a decreasing sequence of power-of-two (or
+    zero) word counts summing to at most [depth]. The boolean tells
+    whether {!consumed_ports} accepts the allocation (total consumed
+    ports within [ports]); the paper notes [(8, 8, 0)] is rejected for
+    a 3-port 16-word bank. *)

@@ -1,0 +1,195 @@
+open Mm_util
+
+let part_name = function
+  | Detailed.Full -> "full"
+  | Detailed.Width_strip -> "w-strip"
+  | Detailed.Depth_strip -> "d-strip"
+  | Detailed.Corner -> "corner"
+
+let assignment_summary ?port_model board design (a : Global_ilp.assignment) =
+  let m = Mm_design.Design.num_segments design in
+  let tbl =
+    Table.create ~title:"Assignment summary"
+      [
+        ("bank type", Table.Left);
+        ("segments", Table.Right);
+        ("ports used", Table.Right);
+        ("port budget", Table.Right);
+        ("bits used", Table.Right);
+        ("bit budget", Table.Right);
+      ]
+  in
+  for t = 0 to Mm_arch.Board.num_types board - 1 do
+    let bt = Mm_arch.Board.bank_type board t in
+    let segs = List.filter (fun d -> a.(d) = t) (Ints.range m) in
+    let coeff d =
+      Preprocess.coeffs ?port_model (Mm_design.Design.segment design d) bt
+    in
+    let ports = Ints.sum_by (fun d -> (coeff d).Preprocess.cp) segs in
+    let bits = Ints.sum_by (fun d -> Preprocess.consumed_bits (coeff d)) segs in
+    Table.add_row tbl
+      [
+        bt.Mm_arch.Bank_type.name;
+        string_of_int (List.length segs);
+        string_of_int ports;
+        string_of_int (Mm_arch.Bank_type.total_ports bt);
+        string_of_int bits;
+        string_of_int (Mm_arch.Bank_type.total_capacity_bits bt);
+      ]
+  done;
+  Table.render tbl
+
+let placement_table board design (t : Detailed.t) =
+  let tbl =
+    Table.create ~title:"Detailed placement"
+      [
+        ("type", Table.Left);
+        ("inst", Table.Right);
+        ("segment", Table.Left);
+        ("part", Table.Left);
+        ("config", Table.Left);
+        ("words", Table.Right);
+        ("ports", Table.Left);
+        ("offset", Table.Right);
+        ("shared", Table.Left);
+      ]
+  in
+  let sorted =
+    List.sort
+      (fun (p : Detailed.placement) (q : Detailed.placement) ->
+        compare
+          (p.Detailed.type_index, p.Detailed.instance, p.Detailed.offset_bits)
+          (q.Detailed.type_index, q.Detailed.instance, q.Detailed.offset_bits))
+      t.Detailed.placements
+  in
+  List.iter
+    (fun (p : Detailed.placement) ->
+      let f = p.Detailed.fragment in
+      let bt = Mm_arch.Board.bank_type board p.Detailed.type_index in
+      let seg = Mm_design.Design.segment design f.Detailed.segment in
+      Table.add_row tbl
+        [
+          bt.Mm_arch.Bank_type.name;
+          string_of_int p.Detailed.instance;
+          seg.Mm_design.Segment.name;
+          part_name f.Detailed.part;
+          Mm_arch.Config.to_string f.Detailed.config;
+          Printf.sprintf "%d/%d" f.Detailed.words f.Detailed.rounded_words;
+          Printf.sprintf "%d..%d" p.Detailed.first_port
+            (p.Detailed.first_port + f.Detailed.ports_needed - 1);
+          string_of_int p.Detailed.offset_bits;
+          (if p.Detailed.shared then "yes" else "");
+        ])
+    sorted;
+  Table.render tbl
+
+let cost_breakdown ?(weights = Cost.default_weights)
+    ?(access_model = Cost.Uniform) board design (a : Global_ilp.assignment) =
+  let tbl =
+    Table.create ~title:"Cost breakdown (Section 4.1.3 objective)"
+      [
+        ("segment", Table.Left);
+        ("type", Table.Left);
+        ("latency", Table.Right);
+        ("pin delay", Table.Right);
+        ("pin I/O", Table.Right);
+        ("weighted", Table.Right);
+      ]
+  in
+  let totals = ref (0.0, 0.0, 0.0, 0.0) in
+  Array.iteri
+    (fun d t ->
+      let seg = Mm_design.Design.segment design d in
+      let bt = Mm_arch.Board.bank_type board t in
+      let c = Preprocess.coeffs seg bt in
+      let lat = Cost.latency_cost access_model seg bt in
+      let pd = Cost.pin_delay_cost access_model seg bt in
+      let pio = Cost.pin_io_cost c seg bt in
+      let w = Cost.assignment_cost weights access_model c seg bt in
+      let l0, p0, i0, w0 = !totals in
+      totals := (l0 +. lat, p0 +. pd, i0 +. pio, w0 +. w);
+      Table.add_row tbl
+        [
+          seg.Mm_design.Segment.name;
+          bt.Mm_arch.Bank_type.name;
+          Printf.sprintf "%.0f" lat;
+          Printf.sprintf "%.0f" pd;
+          Printf.sprintf "%.0f" pio;
+          Printf.sprintf "%.1f" w;
+        ])
+    a;
+  Table.add_rule tbl;
+  let l, p, i, w = !totals in
+  Table.add_row tbl
+    [
+      "TOTAL";
+      "";
+      Printf.sprintf "%.0f" l;
+      Printf.sprintf "%.0f" p;
+      Printf.sprintf "%.0f" i;
+      Printf.sprintf "%.1f" w;
+    ];
+  Table.render tbl
+
+let lifetime_chart (design : Mm_design.Design.t) =
+  match design.Mm_design.Design.lifetimes with
+  | None -> ""
+  | Some lt ->
+      let n = Mm_design.Design.num_segments design in
+      let horizon =
+        1 + Ints.max_by (fun i -> (Mm_design.Lifetime.interval lt i).Mm_design.Lifetime.death)
+              (Ints.range n)
+      in
+      let width = 60 in
+      let scale t = t * (width - 1) / max 1 (horizon - 1) in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "Segment lifetimes (0 .. %d control steps)\n" (horizon - 1));
+      let name_width =
+        Ints.max_by
+          (fun i ->
+            String.length (Mm_design.Design.segment design i).Mm_design.Segment.name)
+          (Ints.range n)
+      in
+      for i = 0 to n - 1 do
+        let iv = Mm_design.Lifetime.interval lt i in
+        let a = scale iv.Mm_design.Lifetime.birth
+        and b = scale iv.Mm_design.Lifetime.death in
+        let row =
+          String.init width (fun c ->
+              if c < a || c > b then '.' else if c = a || c = b then '|' else '=')
+        in
+        let name = (Mm_design.Design.segment design i).Mm_design.Segment.name in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s %s [%d, %d]\n" name_width name row
+             iv.Mm_design.Lifetime.birth iv.Mm_design.Lifetime.death)
+      done;
+      Buffer.contents buf
+
+let outcome board design (o : Mapper.outcome) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "Method: %s\n"
+       (match o.Mapper.method_ with
+       | Mapper.Global_detailed -> "global/detailed (this paper)"
+       | Mapper.Complete_flat -> "complete flat ILP (baseline [9])"));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Objective: %.1f | retries: %d | ILP: %.3fs | detailed: %.3fs | total: %.3fs\n"
+       o.Mapper.objective o.Mapper.retries o.Mapper.ilp_seconds
+       o.Mapper.detailed_seconds o.Mapper.total_seconds);
+  Buffer.add_string buf
+    (Printf.sprintf "Fragmentation: %d extra fragment(s); instances used: %s\n\n"
+       (Detailed.fragmentation o.Mapper.mapping)
+       (String.concat ", "
+          (List.map
+             (fun (t, c) ->
+               Printf.sprintf "%s=%d"
+                 (Mm_arch.Board.bank_type board t).Mm_arch.Bank_type.name c)
+             (Detailed.instances_used o.Mapper.mapping))));
+  Buffer.add_string buf (assignment_summary board design o.Mapper.assignment);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (cost_breakdown board design o.Mapper.assignment);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (placement_table board design o.Mapper.mapping);
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Human-readable reports of mapping outcomes. *)
+
+val assignment_summary :
+  ?port_model:Preprocess.port_model ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  Global_ilp.assignment ->
+  string
+(** One line per bank type: segments assigned, ports and bits consumed
+    against the budget (port charges per the chosen model). *)
+
+val placement_table :
+  Mm_arch.Board.t -> Mm_design.Design.t -> Detailed.t -> string
+(** Instance-by-instance placement listing (segment, fragment kind,
+    configuration, words, ports, offset). *)
+
+val cost_breakdown :
+  ?weights:Cost.weights ->
+  ?access_model:Cost.access_model ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  Global_ilp.assignment ->
+  string
+(** Latency / pin-delay / pin-I/O cost per segment and the weighted
+    total (the Section 4.1.3 objective). *)
+
+val lifetime_chart : Mm_design.Design.t -> string
+(** ASCII Gantt chart of segment lifetimes (empty string when the design
+    carries no lifetime information). *)
+
+val outcome : Mm_arch.Board.t -> Mm_design.Design.t -> Mapper.outcome -> string
+(** Full report: summary, costs, placements, timing. *)

@@ -1,0 +1,249 @@
+open Mm_util
+
+type violation = { code : string; message : string }
+
+let v code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+let fragment_key (f : Detailed.fragment) =
+  ( f.Detailed.segment,
+    f.Detailed.part,
+    f.Detailed.config,
+    f.Detailed.words,
+    f.Detailed.rounded_words,
+    f.Detailed.ports_needed )
+
+let check ?port_model ?(arbitration = false) (board : Mm_arch.Board.t)
+    (design : Mm_design.Design.t) (t : Detailed.t) =
+  let out = ref [] in
+  let add x = out := x :: !out in
+  let m = Mm_design.Design.num_segments design in
+  let assignment = t.Detailed.assignment in
+  (* completeness: multiset of placed fragments = expected decomposition *)
+  for d = 0 to m - 1 do
+    let bt = Mm_arch.Board.bank_type board assignment.(d) in
+    let expected =
+      List.sort compare
+        (List.map fragment_key
+           (Detailed.fragments_of ?port_model ~segment:d
+              (Mm_design.Design.segment design d) bt))
+    in
+    let placed =
+      List.sort compare
+        (List.filter_map
+           (fun (p : Detailed.placement) ->
+             if p.Detailed.fragment.Detailed.segment = d then
+               Some (fragment_key p.Detailed.fragment)
+             else None)
+           t.Detailed.placements)
+    in
+    if expected <> placed then
+      add (v "completeness" "segment %d: placed fragments differ from decomposition" d)
+  done;
+  (* per-placement typing and port-range checks *)
+  List.iter
+    (fun (p : Detailed.placement) ->
+      let f = p.Detailed.fragment in
+      let d = f.Detailed.segment in
+      if p.Detailed.type_index <> assignment.(d) then
+        add (v "typing" "segment %d placed on type %d, assigned %d" d
+               p.Detailed.type_index assignment.(d));
+      let bt = Mm_arch.Board.bank_type board p.Detailed.type_index in
+      if p.Detailed.instance < 0 || p.Detailed.instance >= bt.Mm_arch.Bank_type.instances
+      then add (v "instance" "segment %d: instance %d out of range" d p.Detailed.instance);
+      if
+        p.Detailed.first_port < 0
+        || p.Detailed.first_port + f.Detailed.ports_needed
+           > bt.Mm_arch.Bank_type.ports
+      then
+        add (v "ports" "segment %d: port range [%d, %d) exceeds %d ports" d
+               p.Detailed.first_port
+               (p.Detailed.first_port + f.Detailed.ports_needed)
+               bt.Mm_arch.Bank_type.ports);
+      if not (Ints.is_pow2 f.Detailed.rounded_words) then
+        add (v "pow2" "segment %d: fragment depth %d not a power of two" d
+               f.Detailed.rounded_words);
+      if f.Detailed.rounded_words < f.Detailed.words then
+        add (v "pow2" "segment %d: rounded depth below actual words" d);
+      (* Fig. 3 port count *)
+      let expected_ports =
+        Preprocess.consumed_ports ?model:port_model ~words:f.Detailed.words
+          ~bank_depth:f.Detailed.config.Mm_arch.Config.depth
+          ~ports:bt.Mm_arch.Bank_type.ports ()
+      in
+      if expected_ports <> f.Detailed.ports_needed then
+        add (v "fig3" "segment %d: fragment consumes %d ports, Fig. 3 says %d" d
+               f.Detailed.ports_needed expected_ports);
+      if p.Detailed.offset_bits mod f.Detailed.footprint_bits <> 0 then
+        add (v "align" "segment %d: offset %d not aligned to %d" d
+               p.Detailed.offset_bits f.Detailed.footprint_bits))
+    t.Detailed.placements;
+  (* per-instance: port exclusivity, capacity, overlap legality *)
+  let by_instance = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Detailed.placement) ->
+      let key = (p.Detailed.type_index, p.Detailed.instance) in
+      Hashtbl.replace by_instance key
+        (p :: Option.value (Hashtbl.find_opt by_instance key) ~default:[]))
+    t.Detailed.placements;
+  Hashtbl.iter
+    (fun (ti, ii) ps ->
+      let bt = Mm_arch.Board.bank_type board ti in
+      (* ports must be pairwise disjoint; under the arbitration
+         extension, lifetime-disjoint segments may share ports *)
+      let ranges =
+        List.map
+          (fun (p : Detailed.placement) ->
+            ( p.Detailed.first_port,
+              p.Detailed.first_port + p.Detailed.fragment.Detailed.ports_needed,
+              p.Detailed.fragment.Detailed.segment ))
+          ps
+      in
+      let rec pairwise = function
+        | [] -> ()
+        | (a0, a1, da) :: rest ->
+            List.iter
+              (fun (b0, b1, db) ->
+                if a0 < b1 && b0 < a1 then begin
+                  let allowed =
+                    arbitration && da <> db
+                    && not
+                         (Mm_design.Conflict.conflicts
+                            design.Mm_design.Design.conflicts da db)
+                  in
+                  if not allowed then
+                    add
+                      (v "port-overlap"
+                         "type %d instance %d: port ranges of segments %d and %d overlap"
+                         ti ii da db)
+                end)
+              rest;
+            pairwise rest
+      in
+      pairwise ranges;
+      (* distinct ports used (shared ports charged once) *)
+      let used = Array.make bt.Mm_arch.Bank_type.ports false in
+      List.iter
+        (fun (p0, p1, _) ->
+          for p = max 0 p0 to min (Array.length used) p1 - 1 do
+            used.(p) <- true
+          done)
+        ranges;
+      let total_ports = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 used in
+      if total_ports > bt.Mm_arch.Bank_type.ports then
+        add (v "port-capacity" "type %d instance %d: %d ports used of %d" ti ii
+               total_ports bt.Mm_arch.Bank_type.ports);
+      (* distinct address slots: group by offset *)
+      let slots = Hashtbl.create 8 in
+      List.iter
+        (fun (p : Detailed.placement) ->
+          Hashtbl.replace slots p.Detailed.offset_bits
+            (p
+            :: Option.value (Hashtbl.find_opt slots p.Detailed.offset_bits) ~default:[])
+            )
+        ps;
+      let slot_list =
+        List.sort compare (Hashtbl.fold (fun off ps acc -> (off, ps) :: acc) slots [])
+      in
+      (* capacity: each distinct slot charged once, and slots disjoint *)
+      let conflicts = design.Mm_design.Design.conflicts in
+      let total_bits = ref 0 in
+      let rec walk = function
+        | [] -> ()
+        | (off, (ps : Detailed.placement list)) :: rest ->
+            let sizes =
+              List.sort_uniq compare
+                (List.map
+                   (fun (p : Detailed.placement) ->
+                     p.Detailed.fragment.Detailed.footprint_bits)
+                   ps)
+            in
+            (match sizes with
+            | [ size ] ->
+                total_bits := !total_bits + size;
+                (* sharers must be pairwise non-conflicting *)
+                let owners =
+                  List.map
+                    (fun (p : Detailed.placement) -> p.Detailed.fragment.Detailed.segment)
+                    ps
+                in
+                let rec pairs = function
+                  | [] -> ()
+                  | a :: more ->
+                      List.iter
+                        (fun b ->
+                          if a <> b && Mm_design.Conflict.conflicts conflicts a b then
+                            add
+                              (v "overlap"
+                                 "type %d instance %d: conflicting segments %d and %d share a slot"
+                                 ti ii a b))
+                        more;
+                      pairs more
+                in
+                pairs owners;
+                (* disjoint from the next slot *)
+                (match rest with
+                | (off2, _) :: _ ->
+                    if off + size > off2 then
+                      add (v "slot-overlap" "type %d instance %d: slots at %d and %d overlap"
+                             ti ii off off2)
+                | [] -> ())
+            | _ ->
+                add (v "slot-shape" "type %d instance %d: shared slot with mixed sizes" ti ii));
+            walk rest
+      in
+      walk slot_list;
+      if !total_bits > Mm_arch.Bank_type.capacity_bits bt then
+        add (v "capacity" "type %d instance %d: %d bits used of %d" ti ii !total_bits
+               (Mm_arch.Bank_type.capacity_bits bt)))
+    by_instance;
+  List.rev !out
+
+let is_legal ?port_model ?arbitration board design t =
+  check ?port_model ?arbitration board design t = []
+
+let assignment_feasible ?port_model (board : Mm_arch.Board.t)
+    (design : Mm_design.Design.t) (a : Global_ilp.assignment) =
+  let out = ref [] in
+  let add x = out := x :: !out in
+  let m = Mm_design.Design.num_segments design in
+  let n = Mm_arch.Board.num_types board in
+  if Array.length a <> m then [ v "arity" "assignment arity mismatch" ]
+  else begin
+    Array.iteri
+      (fun d t ->
+        if t < 0 || t >= n then add (v "range" "segment %d: type %d out of range" d t))
+      a;
+    if !out = [] then begin
+      for t = 0 to n - 1 do
+        let bt = Mm_arch.Board.bank_type board t in
+        let assigned = List.filter (fun d -> a.(d) = t) (Ints.range m) in
+        let ports =
+          Ints.sum_by
+            (fun d ->
+              (Preprocess.coeffs ?port_model (Mm_design.Design.segment design d) bt)
+                .Preprocess.cp)
+            assigned
+        in
+        if ports > Mm_arch.Bank_type.total_ports bt then
+          add (v "ports" "type %d: %d consumed ports of %d" t ports
+                 (Mm_arch.Bank_type.total_ports bt));
+        List.iter
+          (fun clique ->
+            let bits =
+              Ints.sum_by
+                (fun d ->
+                  if a.(d) = t then
+                    Preprocess.consumed_bits
+                      (Preprocess.coeffs ?port_model
+                         (Mm_design.Design.segment design d) bt)
+                  else 0)
+                clique
+            in
+            if bits > Mm_arch.Bank_type.total_capacity_bits bt then
+              add (v "capacity" "type %d: clique uses %d bits of %d" t bits
+                     (Mm_arch.Bank_type.total_capacity_bits bt)))
+          (Global_ilp.capacity_cliques design)
+      done
+    end;
+    List.rev !out
+  end

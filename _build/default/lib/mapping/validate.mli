@@ -1,0 +1,46 @@
+(** Legality checker for complete mappings — the invariants the paper's
+    pre-processing is designed to guarantee (Sections 4.1.1, 4.2, 6).
+
+    Checks, per placement set:
+    - completeness: every segment's full Fig. 2 fragment decomposition
+      is placed exactly once;
+    - typing: every fragment sits on the bank type chosen by global
+      mapping, on a valid instance index;
+    - ports: consecutive port ranges within the instance's port count,
+      no two fragments sharing a port (the paper's no-arbitration rule),
+      Fig. 3 consumed-port counts respected;
+    - space: per-instance footprints within capacity, fragment offsets
+      aligned to their power-of-two size, distinct slots disjoint;
+    - overlap: fragments may alias the same address range only when all
+      owners are pairwise lifetime-compatible (non-conflicting). *)
+
+type violation = { code : string; message : string }
+
+val check :
+  ?port_model:Preprocess.port_model ->
+  ?arbitration:bool ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  Detailed.t ->
+  violation list
+(** Empty list = legal mapping. [arbitration] (default false) permits
+    port ranges to overlap between lifetime-disjoint segments — the
+    Section 6 extension; distinct ports are then charged once. *)
+
+val is_legal :
+  ?port_model:Preprocess.port_model ->
+  ?arbitration:bool ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  Detailed.t ->
+  bool
+
+val assignment_feasible :
+  ?port_model:Preprocess.port_model ->
+  Mm_arch.Board.t ->
+  Mm_design.Design.t ->
+  Global_ilp.assignment ->
+  violation list
+(** Checks the global-level constraints only (uniqueness implicit,
+    ports, capacity per lifetime clique) for an assignment, without a
+    detailed placement. *)

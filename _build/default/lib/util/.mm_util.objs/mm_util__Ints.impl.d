@@ -1,0 +1,1 @@
+lib/util/ints.ml: Fun List

@@ -1,0 +1,72 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> (0.0, 1.0, 0.0, 1.0)
+  | _ ->
+      let lo l = List.fold_left min infinity l
+      and hi l = List.fold_left max neg_infinity l in
+      let x0 = lo xs and x1 = hi xs and y0 = lo ys and y1 = hi ys in
+      let pad a b = if a = b then (a -. 1.0, b +. 1.0) else (a, b) in
+      let x0, x1 = pad x0 x1 and y0, y1 = pad y0 y1 in
+      (x0, x1, y0, y1)
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") series
+    =
+  let x0, x1, y0, y1 = bounds series in
+  let canvas = Array.make_matrix height width ' ' in
+  let to_col x =
+    int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1)))
+  in
+  let to_row y =
+    height - 1
+    - int_of_float
+        (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
+  in
+  let draw s =
+    (* connect consecutive points with interpolated glyphs *)
+    let plot x y =
+      let c = to_col x and r = to_row y in
+      if r >= 0 && r < height && c >= 0 && c < width then canvas.(r).(c) <- s.glyph
+    in
+    let rec segments = function
+      | (xa, ya) :: ((xb, yb) :: _ as rest) ->
+          let steps = max 1 (abs (to_col xb - to_col xa)) in
+          for k = 0 to steps do
+            let f = float_of_int k /. float_of_int steps in
+            plot (xa +. (f *. (xb -. xa))) (ya +. (f *. (yb -. ya)))
+          done;
+          segments rest
+      | [ (x, y) ] -> plot x y
+      | [] -> ()
+    in
+    segments s.points
+  in
+  (* draw in reverse so that the first series wins ties *)
+  List.iter draw (List.rev series);
+  let buf = Buffer.create ((width + 12) * (height + 4)) in
+  if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+  for r = 0 to height - 1 do
+    let y = y1 -. (float_of_int r /. float_of_int (height - 1) *. (y1 -. y0)) in
+    Buffer.add_string buf (Printf.sprintf "%10.1f |" y);
+    Buffer.add_string buf (String.init width (fun c -> canvas.(r).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%11s%-8.1f%s%8.1f\n" "" x0
+       (String.make (max 1 (width - 16)) ' ')
+       x1);
+  if x_label <> "" then
+    Buffer.add_string buf (String.make 11 ' ' ^ x_label ^ "\n");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12s = %s\n" (String.make 1 s.glyph) s.label))
+    series;
+  Buffer.contents buf

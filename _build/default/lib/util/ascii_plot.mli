@@ -1,0 +1,15 @@
+(** Minimal ASCII line-plot renderer, used to reproduce the paper's
+    Figure 4 in terminal output. *)
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Renders series on a shared canvas with linear axes; each point is
+    drawn with its series glyph, ties resolved by series order. Default
+    canvas is 72x20 characters. *)

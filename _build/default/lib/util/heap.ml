@@ -1,0 +1,65 @@
+type 'a t = {
+  prio : 'a -> float;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create prio = { prio; data = [||]; len = 0 }
+let size h = h.len
+let is_empty h = h.len = 0
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio h.data.(i) < h.prio h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.prio h.data.(l) < h.prio h.data.(!smallest) then smallest := l;
+  if r < h.len && h.prio h.data.(r) < h.prio h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  if h.len = Array.length h.data then begin
+    let cap = max 16 (2 * h.len) in
+    let data = Array.make cap x in
+    Array.blit h.data 0 data 0 h.len;
+    h.data <- data
+  end;
+  h.data.(h.len) <- x;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let peek h = if h.len = 0 then None else Some h.data.(0)
+let min_priority h = if h.len = 0 then None else Some (h.prio h.data.(0))
+let to_list h = Array.to_list (Array.sub h.data 0 h.len)
+
+let filter_in_place h keep =
+  let kept = List.filter keep (to_list h) in
+  h.len <- 0;
+  List.iter (push h) kept

@@ -1,0 +1,24 @@
+(** Imperative binary min-heap with a caller-supplied priority function. *)
+
+type 'a t
+
+val create : ('a -> float) -> 'a t
+(** [create priority] builds an empty heap ordered by ascending priority. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns a minimum-priority element. *)
+
+val peek : 'a t -> 'a option
+
+val min_priority : 'a t -> float option
+(** Priority of the minimum element without removing it. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Keeps only elements satisfying the predicate. *)

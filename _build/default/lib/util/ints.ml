@@ -1,0 +1,42 @@
+let ceil_div a b =
+  if a < 0 || b <= 0 then invalid_arg "Ints.ceil_div";
+  (a + b - 1) / b
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let ceil_pow2 n =
+  if n < 0 then invalid_arg "Ints.ceil_pow2";
+  let rec loop p = if p >= n then p else loop (p * 2) in
+  loop 1
+
+let floor_pow2 n =
+  if n < 1 then invalid_arg "Ints.floor_pow2";
+  let rec loop p = if p * 2 > n then p else loop (p * 2) in
+  loop 1
+
+let ilog2_floor n =
+  if n < 1 then invalid_arg "Ints.ilog2_floor";
+  let rec loop acc n = if n = 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n
+
+let ilog2_ceil n =
+  if n < 1 then invalid_arg "Ints.ilog2_ceil";
+  let f = ilog2_floor n in
+  if is_pow2 n then f else f + 1
+
+let sum xs = List.fold_left ( + ) 0 xs
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+let max_by f xs = List.fold_left (fun acc x -> max acc (f x)) 0 xs
+let range n = List.init n Fun.id
+
+let checked_add a b =
+  let c = a + b in
+  if (a >= 0) = (b >= 0) && (c >= 0) <> (a >= 0) then
+    failwith "Ints.checked_add: overflow"
+  else c
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let c = a * b in
+    if c / b <> a then failwith "Ints.checked_mul: overflow" else c

@@ -1,0 +1,43 @@
+(** Small integer arithmetic helpers used throughout the mapper.
+
+    All functions operate on non-negative native integers unless stated
+    otherwise; preconditions are enforced with [assert] or
+    [Invalid_argument]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceiling (a / b)]. Requires [a >= 0], [b > 0]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is [true] iff [n] is a positive power of two. *)
+
+val ceil_pow2 : int -> int
+(** [ceil_pow2 n] is the smallest power of two [>= n]. [ceil_pow2 0 = 1].
+    Requires [n >= 0]. This is the [pow(2)] rounding used by the
+    [consumed_ports] algorithm (Fig. 3 of the paper). *)
+
+val floor_pow2 : int -> int
+(** [floor_pow2 n] is the largest power of two [<= n]. Requires [n >= 1]. *)
+
+val ilog2_ceil : int -> int
+(** [ilog2_ceil n] is [ceiling (log2 n)]. Requires [n >= 1]. *)
+
+val ilog2_floor : int -> int
+(** [ilog2_floor n] is [floor (log2 n)]. Requires [n >= 1]. *)
+
+val sum : int list -> int
+(** Sum of a list, left fold. *)
+
+val sum_by : ('a -> int) -> 'a list -> int
+(** [sum_by f xs] is [sum (map f xs)] without the intermediate list. *)
+
+val max_by : ('a -> int) -> 'a list -> int
+(** Maximum of [f x] over the list; 0 for the empty list. *)
+
+val range : int -> int list
+(** [range n] is [[0; 1; ...; n-1]]. *)
+
+val checked_mul : int -> int -> int
+(** Overflow-checked multiplication; raises [Failure] on overflow. *)
+
+val checked_add : int -> int -> int
+(** Overflow-checked addition; raises [Failure] on overflow. *)

@@ -1,0 +1,32 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every workload generator in the repository takes one of these so that
+    experiments are reproducible bit-for-bit across runs and machines,
+    independently of the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. *)
+
+val split : t -> t
+(** [split t] derives an independent child stream and advances [t]. *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

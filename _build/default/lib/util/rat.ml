@@ -1,0 +1,86 @@
+type t = { n : int; d : int }
+
+exception Overflow
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let cadd a b =
+  let c = a + b in
+  if (a >= 0) = (b >= 0) && (c >= 0) <> (a >= 0) then raise Overflow else c
+
+let cmul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let c = a * b in
+    if c / b <> a then raise Overflow else c
+
+let make n d =
+  if d = 0 then raise Division_by_zero;
+  let s = if d < 0 then -1 else 1 in
+  let n = cmul s n and d = cmul s d in
+  let g = gcd (abs n) d in
+  if g = 0 then { n = 0; d = 1 } else { n = n / g; d = d / g }
+
+let of_int n = { n; d = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num r = r.n
+let den r = r.d
+let add a b = make (cadd (cmul a.n b.d) (cmul b.n a.d)) (cmul a.d b.d)
+let neg a = { a with n = -a.n }
+let sub a b = add a (neg b)
+let mul a b = make (cmul a.n b.n) (cmul a.d b.d)
+
+let div a b =
+  if b.n = 0 then raise Division_by_zero;
+  make (cmul a.n b.d) (cmul a.d b.n)
+
+let abs a = { a with n = Stdlib.abs a.n }
+let sign a = compare a.n 0
+
+let compare a b =
+  (* a.n/a.d ? b.n/b.d  <=>  a.n*b.d ? b.n*a.d  (denominators positive) *)
+  Stdlib.compare (cmul a.n b.d) (cmul b.n a.d)
+
+let equal a b = a.n = b.n && a.d = b.d
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let to_float a = float_of_int a.n /. float_of_int a.d
+
+let floor a =
+  if a.n >= 0 then a.n / a.d
+  else
+    let q = a.n / a.d in
+    if q * a.d = a.n then q else q - 1
+
+let ceil a = -floor (neg a)
+let is_integer a = a.d = 1
+
+let of_float_approx ?(max_den = 1_000_000) x =
+  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  else begin
+    (* Continued-fraction expansion; convergents p/q with q <= max_den. *)
+    let neg_input = x < 0.0 in
+    let x = Float.abs x in
+    let rec loop x (p0, q0) (p1, q1) steps =
+      if steps = 0 then (p1, q1)
+      else
+        let a = int_of_float (Float.floor x) in
+        let p2 = cadd (cmul a p1) p0 and q2 = cadd (cmul a q1) q0 in
+        if q2 > max_den then (p1, q1)
+        else
+          let frac = x -. Float.of_int a in
+          if frac < 1e-12 then (p2, q2)
+          else loop (1.0 /. frac) (p1, q1) (p2, q2) (steps - 1)
+    in
+    (* convergent recurrence p_k = a_k p_{k-1} + p_{k-2} seeded with
+       (p_{-2}, q_{-2}) = (0, 1) and (p_{-1}, q_{-1}) = (1, 0) *)
+    let p, q = loop x (0, 1) (1, 0) 64 in
+    let r = make p (Stdlib.max q 1) in
+    if neg_input then neg r else r
+  end
+
+let to_string a =
+  if a.d = 1 then string_of_int a.n else Printf.sprintf "%d/%d" a.n a.d
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

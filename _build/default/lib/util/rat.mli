@@ -1,0 +1,46 @@
+(** Exact rational numbers over native integers.
+
+    Used by validators and tests where floating-point tolerances would be
+    unacceptable. Every operation normalizes (gcd-reduced, positive
+    denominator) and checks for native-int overflow, raising [Overflow]
+    rather than silently wrapping. This is sufficient for the mapper's
+    validation work, whose magnitudes are tiny; it is not a bignum. *)
+
+type t
+
+exception Overflow
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    Raises [Division_by_zero] if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float : t -> float
+val of_float_approx : ?max_den:int -> float -> t
+(** Best rational approximation with denominator [<= max_den]
+    (default 1_000_000), by continued fractions. *)
+
+val floor : t -> int
+val ceil : t -> int
+val is_integer : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,75 @@
+type align = Left | Right | Center
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  { title; headers = List.map fst cols; aligns = List.map snd cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+        let l = (width - n) / 2 in
+        String.make l ' ' ^ s ^ String.make (width - n - l) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update = function
+    | Rule -> ()
+    | Cells cs ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cs
+  in
+  List.iter update rows;
+  let buf = Buffer.create 1024 in
+  let rule ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells aligns =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  rule '-';
+  line t.headers (List.map (fun _ -> Center) t.headers);
+  rule '=';
+  List.iter
+    (function Rule -> rule '-' | Cells cs -> line cs t.aligns)
+    rows;
+  rule '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for reports and benchmark output. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; raises [Invalid_argument] on arity mismatch. *)
+
+val add_rule : t -> unit
+(** Appends a horizontal rule between rows. *)
+
+val render : t -> string
+(** Renders the table with box-drawing rules, padded per column. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

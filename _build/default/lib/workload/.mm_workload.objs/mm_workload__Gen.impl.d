@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Char Ints List Mm_arch Mm_design Mm_mapping Mm_util Printf Prng Seq

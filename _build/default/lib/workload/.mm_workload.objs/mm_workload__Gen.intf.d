@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Mm_arch Mm_design Mm_util

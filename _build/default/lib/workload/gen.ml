@@ -1,0 +1,216 @@
+open Mm_util
+
+type spec = {
+  segments : int;
+  banks : int;
+  ports : int;
+  configs : int;
+  seed : int;
+}
+
+(* Compose the board from four instance pools:
+     a: on-chip dual-port 5-config  -> (banks a, ports 2a, configs 10a)
+     b: on-chip single-port 5-config -> (b, b, 5b)
+     c: off-chip single-port fixed   -> (c, c, 0)
+     d: off-chip dual-port fixed     -> (d, 2d, 0)
+   and solve  a+b+c+d = B,  2a+b+c+2d = P,  10a+5b = C  exactly. *)
+let solve_pools spec =
+  let b_target = spec.banks
+  and p_target = spec.ports
+  and c_target = spec.configs in
+  if c_target mod 5 <> 0 then
+    invalid_arg "Gen.board_of_spec: configs must be a multiple of 5";
+  if p_target < b_target then
+    invalid_arg "Gen.board_of_spec: ports < banks";
+  let cfg_units = c_target / 5 in
+  (* 2a + b = cfg_units,  a + d = P - B,  c = B - a - b - d *)
+  let rec try_a a =
+    if a < 0 then invalid_arg "Gen.board_of_spec: no pool composition"
+    else begin
+      let b = cfg_units - (2 * a) in
+      let d = p_target - b_target - a in
+      let c = b_target - a - b - d in
+      if b >= 0 && c >= 0 && d >= 0 then (a, b, c, d) else try_a (a - 1)
+    end
+  in
+  try_a (min (cfg_units / 2) (p_target - b_target))
+
+(* Split an instance pool into at most [max_types] named types with
+   varied performance parameters; totals are preserved because every
+   instance of the pool contributes identically. *)
+let split_pool rng count max_types =
+  if count = 0 then []
+  else begin
+    let k = min max_types (max 1 (min count (1 + Prng.int rng max_types))) in
+    let cuts = Array.make k (count / k) in
+    for i = 0 to (count mod k) - 1 do
+      cuts.(i) <- cuts.(i) + 1
+    done;
+    Array.to_list (Array.of_seq (Seq.filter (fun c -> c > 0) (Array.to_seq cuts)))
+  end
+
+let board_of_spec spec =
+  let a, b, c, d = solve_pools spec in
+  let rng = Prng.create (spec.seed * 7919) in
+  let cfg depth width = Mm_arch.Config.make ~depth ~width in
+  let virtex_cfgs =
+    [ cfg 4096 1; cfg 2048 2; cfg 1024 4; cfg 512 8; cfg 256 16 ]
+  in
+  let altera_cfgs = [ cfg 2048 1; cfg 1024 2; cfg 512 4; cfg 256 8; cfg 128 16 ] in
+  let types = ref [] in
+  let add t = types := t :: !types in
+  List.iteri
+    (fun k n ->
+      add
+        (Mm_arch.Bank_type.make
+           ~name:(Printf.sprintf "blockram%c" (Char.chr (Char.code 'A' + k)))
+           ~instances:n ~ports:2 ~configs:virtex_cfgs ~read_latency:1
+           ~write_latency:(1 + (k mod 2))
+           ~pins_traversed:0))
+    (split_pool rng a 3);
+  List.iteri
+    (fun k n ->
+      add
+        (Mm_arch.Bank_type.make
+           ~name:(Printf.sprintf "eab%c" (Char.chr (Char.code 'A' + k)))
+           ~instances:n ~ports:1 ~configs:altera_cfgs ~read_latency:1
+           ~write_latency:1 ~pins_traversed:0))
+    (split_pool rng b 2);
+  List.iteri
+    (fun k n ->
+      let depth = 16384 lsl (k mod 3) in
+      add
+        (Mm_arch.Bank_type.make
+           ~name:(Printf.sprintf "sram%c" (Char.chr (Char.code 'A' + k)))
+           ~instances:n ~ports:1
+           ~configs:[ cfg depth 32 ]
+           ~read_latency:(2 + (k mod 3))
+           ~write_latency:(3 + (k mod 2))
+           ~pins_traversed:(2 + (2 * (k mod 2)))))
+    (split_pool rng c 3);
+  List.iteri
+    (fun k n ->
+      add
+        (Mm_arch.Bank_type.make
+           ~name:(Printf.sprintf "dpram%c" (Char.chr (Char.code 'A' + k)))
+           ~instances:n ~ports:2
+           ~configs:[ cfg 32768 16 ]
+           ~read_latency:2 ~write_latency:2 ~pins_traversed:2))
+    (split_pool rng d 2);
+  Mm_arch.Board.make ~name:(Printf.sprintf "synthetic-%d" spec.seed)
+    (List.rev !types)
+
+let smallest_onchip_capacity board =
+  let cap = ref max_int in
+  for t = 0 to Mm_arch.Board.num_types board - 1 do
+    let bt = Mm_arch.Board.bank_type board t in
+    if Mm_arch.Bank_type.is_on_chip bt then
+      cap := min !cap (Mm_arch.Bank_type.capacity_bits bt)
+  done;
+  if !cap = max_int then 4096 else !cap
+
+let fits_somewhere board seg =
+  List.exists
+    (fun t -> Mm_mapping.Preprocess.fits seg (Mm_arch.Board.bank_type board t))
+    (Ints.range (Mm_arch.Board.num_types board))
+
+let make_segment ?(fill = 0.35) board rng ~name ~large =
+  let widths = [ 1; 2; 4; 8; 8; 16; 16; 32 ] in
+  let width = Prng.pick rng widths in
+  let base = smallest_onchip_capacity board in
+  let scale bits =
+    max 32 (int_of_float (float_of_int bits *. fill /. 0.35))
+  in
+  let target_bits =
+    scale
+      (if large then base * Prng.int_in rng 4 16
+       else base * Prng.int_in rng 1 8 / 8)
+  in
+  let depth = max 4 (target_bits / width) in
+  let reads = depth * Prng.int_in rng 1 4 in
+  let writes = depth * Prng.int_in rng 1 2 in
+  let rec shrink depth =
+    let seg = Mm_design.Segment.make ~reads ~writes ~name ~depth ~width () in
+    if fits_somewhere board seg || depth <= 4 then seg else shrink (depth / 2)
+  in
+  shrink depth
+
+let design_of_spec ?(fill = 0.35) spec board =
+  let rng = Prng.create (spec.seed * 104729) in
+  let m = spec.segments in
+  let segments =
+    List.init m (fun i ->
+        let large = Prng.float rng 1.0 < 0.25 in
+        make_segment ~fill board rng ~name:(Printf.sprintf "ds%d" i) ~large)
+  in
+  (* lifetime intervals over a virtual schedule horizon *)
+  let horizon = 120 in
+  let ivals =
+    Array.of_list
+      (List.map
+         (fun _ ->
+           let birth = Prng.int_in rng 0 (horizon - 30) in
+           let len = Prng.int_in rng 15 70 in
+           { Mm_design.Lifetime.birth; death = min (horizon - 1) (birth + len) })
+         segments)
+  in
+  Mm_design.Design.make
+    ~lifetimes:(Mm_design.Lifetime.make ivals)
+    ~name:(Printf.sprintf "synthetic-%d-%d" spec.segments spec.seed)
+    segments
+
+let instance ?fill spec =
+  let board = board_of_spec spec in
+  let design = design_of_spec ?fill spec board in
+  (board, design)
+
+let random_board rng =
+  let cfg depth width = Mm_arch.Config.make ~depth ~width in
+  let onchip =
+    Mm_arch.Bank_type.make ~name:"onchip"
+      ~instances:(Prng.int_in rng 2 8)
+      ~ports:(Prng.int_in rng 1 3)
+      ~configs:[ cfg 512 1; cfg 256 2; cfg 128 4; cfg 64 8 ]
+      ~read_latency:1 ~write_latency:1 ~pins_traversed:0
+  in
+  let offchip =
+    Mm_arch.Bank_type.make ~name:"offchip"
+      ~instances:(Prng.int_in rng 1 4)
+      ~ports:1
+      ~configs:[ cfg 8192 16 ]
+      ~read_latency:(Prng.int_in rng 2 4)
+      ~write_latency:(Prng.int_in rng 2 5)
+      ~pins_traversed:2
+  in
+  let extra =
+    if Prng.bool rng then
+      [
+        Mm_arch.Bank_type.make ~name:"dualport"
+          ~instances:(Prng.int_in rng 1 3)
+          ~ports:2
+          ~configs:[ cfg 1024 8 ]
+          ~read_latency:2 ~write_latency:2 ~pins_traversed:2;
+      ]
+    else []
+  in
+  Mm_arch.Board.make ~name:"random" ([ onchip; offchip ] @ extra)
+
+let random_design rng ~segments board =
+  let segs =
+    List.init segments (fun i ->
+        let large = Prng.float rng 1.0 < 0.2 in
+        make_segment board rng ~name:(Printf.sprintf "s%d" i) ~large)
+  in
+  let horizon = 60 in
+  let ivals =
+    Array.of_list
+      (List.map
+         (fun _ ->
+           let birth = Prng.int_in rng 0 (horizon - 10) in
+           let len = Prng.int_in rng 5 40 in
+           { Mm_design.Lifetime.birth; death = min (horizon - 1) (birth + len) })
+         segs)
+  in
+  Mm_design.Design.make
+    ~lifetimes:(Mm_design.Lifetime.make ivals)
+    ~name:"random" segs

@@ -1,0 +1,43 @@
+(** Seeded synthetic workload generation.
+
+    The paper evaluates on "designs of various sizes" characterized only
+    by four complexity parameters (Table 3): number of logical segments,
+    total physical banks, total ports summed over all instances, and
+    total configuration settings summed over all multi-configuration
+    ports. This generator builds boards hitting those totals {e exactly}
+    and designs sized to fill a target fraction of board capacity, so
+    the regenerated ILPs have the same dimensions as the paper's. *)
+
+type spec = {
+  segments : int;
+  banks : int;  (** Σ It *)
+  ports : int;  (** Σ It·Pt *)
+  configs : int;  (** Σ over multi-config ports of Ct *)
+  seed : int;
+}
+
+val board_of_spec : spec -> Mm_arch.Board.t
+(** Composes bank types from four templates (dual-port multi-config
+    on-chip, single-port multi-config on-chip, single- and dual-port
+    fixed-config off-chip) so that {!Mm_arch.Board.total_banks},
+    [total_ports] and [total_configs] equal the spec exactly; pools are
+    split into a few types with varied latencies and pin distances.
+    Raises [Invalid_argument] when no composition exists (e.g. [configs]
+    not a multiple of 5, or [ports < banks]). *)
+
+val design_of_spec : ?fill:float -> spec -> Mm_arch.Board.t -> Mm_design.Design.t
+(** Random segments (power-of-two-friendly widths 1-32, depths 8-2048)
+    filling about [fill] (default 0.35) of the board capacity, each
+    guaranteed to fit at least one bank type; lifetime intervals are
+    generated over a virtual schedule horizon so the conflict graph is a
+    non-trivial interval graph. *)
+
+val instance : ?fill:float -> spec -> Mm_arch.Board.t * Mm_design.Design.t
+(** [board_of_spec] + [design_of_spec]. *)
+
+val random_board : Mm_util.Prng.t -> Mm_arch.Board.t
+(** Small arbitrary board for property tests. *)
+
+val random_design :
+  Mm_util.Prng.t -> segments:int -> Mm_arch.Board.t -> Mm_design.Design.t
+(** Arbitrary feasible-ish design for property tests. *)

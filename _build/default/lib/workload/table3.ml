@@ -1,0 +1,28 @@
+type point = {
+  spec : Gen.spec;
+  paper_complete_seconds : float;
+  paper_global_seconds : float;
+}
+
+let mk segments banks ports configs complete global =
+  {
+    spec = { Gen.segments; banks; ports; configs; seed = 1000 + segments + banks };
+    paper_complete_seconds = complete;
+    paper_global_seconds = global;
+  }
+
+let points =
+  [
+    mk 22 13 25 50 8.1 7.8;
+    mk 32 23 45 100 29.4 25.3;
+    mk 32 45 77 150 99.3 50.7;
+    mk 42 45 77 150 130.4 59.2;
+    mk 32 65 105 150 172.7 105.1;
+    mk 62 65 105 150 411.0 140.4;
+    mk 32 180 265 375 518.3 216.4;
+    mk 62 180 265 375 1225.0 309.0;
+    mk 132 180 265 375 2989.0 489.0;
+  ]
+
+let pp_header () =
+  "#segments | #banks #ports #configs | complete(s) global(s) [paper: complete global]"

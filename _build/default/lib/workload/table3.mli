@@ -1,0 +1,14 @@
+(** The nine design points of the paper's Table 3, with the execution
+    times the paper reports (CPLEX on a 248 MHz Sun Ultra-30). *)
+
+type point = {
+  spec : Gen.spec;
+  paper_complete_seconds : float;
+  paper_global_seconds : float;
+}
+
+val points : point list
+(** In the paper's order (increasing problem size). *)
+
+val pp_header : unit -> string
+(** The column header of the reproduced table. *)

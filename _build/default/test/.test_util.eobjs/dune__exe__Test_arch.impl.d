@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Bank_type Board Config Devices List Mm_arch Printf QCheck QCheck_alcotest Random

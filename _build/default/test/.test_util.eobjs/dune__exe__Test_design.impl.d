@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Array Conflict Design Dfg Fun Lifetime List Mm_design Mm_util Printf QCheck QCheck_alcotest Random Schedule Segment

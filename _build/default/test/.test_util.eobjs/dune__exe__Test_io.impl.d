@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest List Mm_arch Mm_design Mm_io Mm_mapping Mm_util Mm_workload Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Branch_bound Cuts Expr Float Format List Lp_format Mm_lp Mm_util Model Mps Presolve Printf Problem QCheck QCheck_alcotest Random Simplex Solver String

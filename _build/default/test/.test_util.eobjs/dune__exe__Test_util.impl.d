@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_plot Float Fun Heap Ints List Mm_util Prng QCheck QCheck_alcotest Random Rat String Table

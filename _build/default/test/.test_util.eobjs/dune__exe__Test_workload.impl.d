@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Gen List Mm_arch Mm_design Mm_mapping Mm_util Mm_workload Printf QCheck QCheck_alcotest Random Table3

@@ -1,0 +1,205 @@
+open Mm_arch
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; 2026 |])
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Config ---------------------------------------------------------------- *)
+
+let test_config () =
+  let c = Config.make ~depth:512 ~width:8 in
+  Alcotest.(check int) "bits" 4096 (Config.bits c);
+  Alcotest.(check string) "to_string" "512x8" (Config.to_string c);
+  Alcotest.(check bool) "equal" true (Config.equal c (Config.make ~depth:512 ~width:8));
+  Alcotest.check_raises "zero depth" (Invalid_argument "Config.make") (fun () ->
+      ignore (Config.make ~depth:0 ~width:1))
+
+(* --- Bank_type --------------------------------------------------------------- *)
+
+let test_bank_type_valid () =
+  let bt = Devices.virtex_blockram ~instances:4 () in
+  Alcotest.(check int) "capacity" 4096 (Bank_type.capacity_bits bt);
+  Alcotest.(check int) "total capacity" 16384 (Bank_type.total_capacity_bits bt);
+  Alcotest.(check int) "total ports" 8 (Bank_type.total_ports bt);
+  Alcotest.(check int) "configs" 5 (Bank_type.num_configs bt);
+  Alcotest.(check bool) "multi" true (Bank_type.is_multi_config bt);
+  Alcotest.(check bool) "on chip" true (Bank_type.is_on_chip bt);
+  Alcotest.(check int) "round trip" 2 (Bank_type.round_trip_latency bt)
+
+let test_bank_type_config_sorted () =
+  let bt = Devices.virtex_blockram ~instances:1 () in
+  Alcotest.(check int) "narrowest" 1 (Bank_type.narrowest bt).Config.width;
+  Alcotest.(check int) "widest" 16 (Bank_type.widest bt).Config.width
+
+let test_bank_type_alpha_selection () =
+  let bt = Devices.virtex_blockram ~instances:1 () in
+  (* smallest width >= w *)
+  Alcotest.(check int) "w=1" 1 (Bank_type.config_with_width_at_least bt 1).Config.width;
+  Alcotest.(check int) "w=3" 4 (Bank_type.config_with_width_at_least bt 3).Config.width;
+  Alcotest.(check int) "w=16" 16 (Bank_type.config_with_width_at_least bt 16).Config.width;
+  (* wider than everything -> widest *)
+  Alcotest.(check int) "w=99" 16 (Bank_type.config_with_width_at_least bt 99).Config.width
+
+let test_bank_type_rejects () =
+  let cfg d w = Config.make ~depth:d ~width:w in
+  Alcotest.check_raises "unequal capacity"
+    (Invalid_argument "Bank_type.make: configurations differ in capacity")
+    (fun () ->
+      ignore
+        (Bank_type.make ~name:"bad" ~instances:1 ~ports:1
+           ~configs:[ cfg 128 1; cfg 128 2 ]
+           ~read_latency:1 ~write_latency:1 ~pins_traversed:0));
+  Alcotest.check_raises "no configs"
+    (Invalid_argument "Bank_type.make: no configurations") (fun () ->
+      ignore
+        (Bank_type.make ~name:"bad" ~instances:1 ~ports:1 ~configs:[]
+           ~read_latency:1 ~write_latency:1 ~pins_traversed:0));
+  Alcotest.check_raises "duplicate width"
+    (Invalid_argument "Bank_type.make: duplicate configuration width")
+    (fun () ->
+      ignore
+        (Bank_type.make ~name:"bad" ~instances:1 ~ports:1
+           ~configs:[ cfg 128 2; cfg 128 2 ]
+           ~read_latency:1 ~write_latency:1 ~pins_traversed:0));
+  Alcotest.check_raises "zero instances"
+    (Invalid_argument "Bank_type.make: instances <= 0") (fun () ->
+      ignore
+        (Bank_type.make ~name:"bad" ~instances:0 ~ports:1 ~configs:[ cfg 8 1 ]
+           ~read_latency:1 ~write_latency:1 ~pins_traversed:0))
+
+(* --- Board -------------------------------------------------------------------- *)
+
+let test_board_totals () =
+  let board = Devices.virtex_board () in
+  (* 32 blockrams + 4 srams + 1 dram *)
+  Alcotest.(check int) "banks" 37 (Board.total_banks board);
+  (* 32*2 + 4 + 1 *)
+  Alcotest.(check int) "ports" 69 (Board.total_ports board);
+  (* only blockrams are multi-config: 64 ports x 5 *)
+  Alcotest.(check int) "configs" 320 (Board.total_configs board);
+  Alcotest.(check bool) "finds type" true (Board.find_type board "BlockRAM" <> None);
+  Alcotest.(check (option int)) "missing type" None (Board.find_type board "nope")
+
+let test_board_rejects_duplicates () =
+  let bt = Devices.virtex_blockram ~instances:1 () in
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Board.make: duplicate bank type names") (fun () ->
+      ignore (Board.make ~name:"b" [ bt; bt ]))
+
+(* --- Devices (Table 1) ---------------------------------------------------------- *)
+
+let test_table1_virtex () =
+  let e = List.nth Devices.table1 0 in
+  Alcotest.(check string) "family" "Xilinx Virtex" e.Devices.family;
+  Alcotest.(check int) "min banks" 8 e.Devices.banks_min;
+  Alcotest.(check int) "max banks" 208 e.Devices.banks_max;
+  Alcotest.(check int) "size" 4096 e.Devices.size_bits;
+  Alcotest.(check (list string)) "configs"
+    [ "4096x1"; "2048x2"; "1024x4"; "512x8"; "256x16" ]
+    (List.map Config.to_string e.Devices.config_list)
+
+let test_table1_flex () =
+  let e = List.nth Devices.table1 1 in
+  Alcotest.(check int) "min banks" 9 e.Devices.banks_min;
+  Alcotest.(check int) "max banks" 20 e.Devices.banks_max;
+  Alcotest.(check int) "size" 2048 e.Devices.size_bits;
+  Alcotest.(check (list string)) "configs"
+    [ "2048x1"; "1024x2"; "512x4"; "256x8"; "128x16" ]
+    (List.map Config.to_string e.Devices.config_list)
+
+let test_table1_apex () =
+  let e = List.nth Devices.table1 2 in
+  Alcotest.(check int) "min banks" 12 e.Devices.banks_min;
+  Alcotest.(check int) "max banks" 216 e.Devices.banks_max;
+  Alcotest.(check int) "size" 2048 e.Devices.size_bits
+
+let test_table1_capacity_consistency () =
+  (* every Table 1 row's configurations share the row's capacity *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun c ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s" e.Devices.ram_name (Config.to_string c))
+            e.Devices.size_bits (Config.bits c))
+        e.Devices.config_list)
+    Devices.table1
+
+let test_fig2_bank () =
+  let bt = Devices.paper_example_bank () in
+  Alcotest.(check int) "ports" 3 bt.Bank_type.ports;
+  Alcotest.(check int) "capacity" 128 (Bank_type.capacity_bits bt);
+  Alcotest.(check int) "configs" 4 (Bank_type.num_configs bt)
+
+
+let test_other_boards () =
+  let apex = Devices.apex_board () in
+  Alcotest.(check int) "apex banks" 106 (Board.total_banks apex);
+  (* 104 ESBs x 2 ports + 2 SRAM *)
+  Alcotest.(check int) "apex ports" 210 (Board.total_ports apex);
+  let flex = Devices.flex_board () in
+  Alcotest.(check int) "flex banks" 14 (Board.total_banks flex);
+  (* EABs are single-ported and multi-config: 12 x 5 *)
+  Alcotest.(check int) "flex configs" 60 (Board.total_configs flex)
+
+let test_offchip_defaults () =
+  let sram = Devices.offchip_sram () in
+  Alcotest.(check bool) "off chip" false (Bank_type.is_on_chip sram);
+  Alcotest.(check int) "single config" 1 (Bank_type.num_configs sram);
+  Alcotest.(check bool) "not multi" false (Bank_type.is_multi_config sram);
+  let dram = Devices.offchip_dram () in
+  Alcotest.(check bool) "dram farther than sram" true
+    (dram.Bank_type.pins_traversed > sram.Bank_type.pins_traversed);
+  Alcotest.(check bool) "dram slower" true
+    (Bank_type.round_trip_latency dram > Bank_type.round_trip_latency sram)
+
+let config_gen =
+  QCheck.map
+    (fun (d, w) -> Config.make ~depth:(1 lsl d) ~width:(1 lsl w))
+    QCheck.(pair (int_range 0 12) (int_range 0 5))
+
+let prop_alpha_minimal =
+  qtest "config_with_width_at_least returns the minimal adequate width"
+    QCheck.(int_range 1 40)
+    (fun w ->
+      let bt = Devices.virtex_blockram ~instances:1 () in
+      let c = Bank_type.config_with_width_at_least bt w in
+      let widths = [ 1; 2; 4; 8; 16 ] in
+      let adequate = List.filter (fun x -> x >= w) widths in
+      match adequate with
+      | [] -> c.Config.width = 16
+      | best :: _ -> c.Config.width = best)
+
+let prop_config_bits =
+  qtest "config bits = depth*width" config_gen (fun c ->
+      Config.bits c = c.Config.depth * c.Config.width)
+
+let () =
+  Alcotest.run "mm_arch"
+    [
+      ("config", [ Alcotest.test_case "basic" `Quick test_config; prop_config_bits ]);
+      ( "bank_type",
+        [
+          Alcotest.test_case "valid" `Quick test_bank_type_valid;
+          Alcotest.test_case "sorted configs" `Quick test_bank_type_config_sorted;
+          Alcotest.test_case "alpha selection" `Quick test_bank_type_alpha_selection;
+          Alcotest.test_case "rejects" `Quick test_bank_type_rejects;
+          prop_alpha_minimal;
+        ] );
+      ( "board",
+        [
+          Alcotest.test_case "totals" `Quick test_board_totals;
+          Alcotest.test_case "duplicates" `Quick test_board_rejects_duplicates;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "table1 virtex" `Quick test_table1_virtex;
+          Alcotest.test_case "table1 flex" `Quick test_table1_flex;
+          Alcotest.test_case "table1 apex" `Quick test_table1_apex;
+          Alcotest.test_case "table1 capacity" `Quick test_table1_capacity_consistency;
+          Alcotest.test_case "fig2 bank" `Quick test_fig2_bank;
+          Alcotest.test_case "other boards" `Quick test_other_boards;
+          Alcotest.test_case "offchip defaults" `Quick test_offchip_defaults;
+        ] );
+    ]

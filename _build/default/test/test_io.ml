@@ -1,0 +1,241 @@
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; 2026 |])
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* --- board files ----------------------------------------------------- *)
+
+let test_board_parse () =
+  let text =
+    "# a comment\n\
+     board demo\n\
+     bank BlockRAM instances=4 ports=2 rl=1 wl=1 pins=0 \
+     configs=4096x1,2048x2,1024x4,512x8,256x16\n\
+     bank SRAM instances=2 ports=1 rl=2 wl=3 pins=2 configs=65536x32\n"
+  in
+  match Mm_io.Board_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok board ->
+      Alcotest.(check int) "types" 2 (Mm_arch.Board.num_types board);
+      Alcotest.(check int) "banks" 6 (Mm_arch.Board.total_banks board);
+      Alcotest.(check int) "ports" 10 (Mm_arch.Board.total_ports board);
+      let bt = Mm_arch.Board.bank_type board 0 in
+      Alcotest.(check int) "blockram configs" 5 (Mm_arch.Bank_type.num_configs bt);
+      Alcotest.(check int) "capacity" 4096 (Mm_arch.Bank_type.capacity_bits bt)
+
+let expect_board_error text fragment =
+  match Mm_io.Board_file.parse text with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e ->
+      let nh = String.length e and nn = String.length fragment in
+      let rec scan i = i + nn <= nh && (String.sub e i nn = fragment || scan (i + 1)) in
+      if not (nn = 0 || scan 0) then
+        Alcotest.fail (Printf.sprintf "error %S lacks %S" e fragment)
+
+let test_board_errors () =
+  expect_board_error "bank X instances=1 ports=1\n" "configs=";
+  expect_board_error "bank X instances=1 ports=1 configs=10y2\n" "bad configuration";
+  expect_board_error "bogus line\n" "unknown directive";
+  expect_board_error "" "no bank";
+  expect_board_error "bank X instances=q ports=1 configs=8x1\n" "not an integer";
+  expect_board_error
+    "bank X instances=1 ports=1 configs=8x1\nbank X instances=1 ports=1 configs=8x1\n"
+    "duplicate"
+
+let test_board_roundtrip_devices () =
+  List.iter
+    (fun board ->
+      let text = Mm_io.Board_file.to_string board in
+      match Mm_io.Board_file.parse text with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+          Alcotest.(check string) "round trip" (Mm_arch.Board.describe board)
+            (Mm_arch.Board.describe back))
+    [
+      Mm_arch.Devices.virtex_board ();
+      Mm_arch.Devices.apex_board ();
+      Mm_arch.Devices.flex_board ();
+    ]
+
+let prop_board_roundtrip =
+  qtest "generated boards round-trip through the text format"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Mm_util.Prng.create seed in
+      let board = Mm_workload.Gen.random_board rng in
+      match Mm_io.Board_file.parse (Mm_io.Board_file.to_string board) with
+      | Ok back -> Mm_arch.Board.describe board = Mm_arch.Board.describe back
+      | Error _ -> false)
+
+(* --- design files ----------------------------------------------------- *)
+
+let test_design_parse_conflicts () =
+  let text =
+    "design demo\n\
+     segment a depth=10 width=8\n\
+     segment b depth=20 width=16 reads=5 writes=7\n\
+     segment c depth=30 width=4\n\
+     conflict a b\n"
+  in
+  match Mm_io.Design_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check int) "segments" 3 (Mm_design.Design.num_segments d);
+      let s1 = Mm_design.Design.segment d 1 in
+      Alcotest.(check int) "reads" 5 s1.Mm_design.Segment.reads;
+      Alcotest.(check bool) "a-b conflict" true
+        (Mm_design.Conflict.conflicts d.Mm_design.Design.conflicts 0 1);
+      Alcotest.(check bool) "a-c free" false
+        (Mm_design.Conflict.conflicts d.Mm_design.Design.conflicts 0 2)
+
+let test_design_parse_lifetimes () =
+  let text =
+    "design demo\n\
+     segment a depth=10 width=8 birth=0 death=5\n\
+     segment b depth=20 width=16 birth=10 death=20\n"
+  in
+  match Mm_io.Design_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check bool) "has lifetimes" true (d.Mm_design.Design.lifetimes <> None);
+      Alcotest.(check bool) "disjoint" false
+        (Mm_design.Conflict.conflicts d.Mm_design.Design.conflicts 0 1)
+
+let test_design_default_all_conflicting () =
+  let text = "segment a depth=1 width=1\nsegment b depth=1 width=1\n" in
+  match Mm_io.Design_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check bool) "conservative default" true
+        (Mm_design.Conflict.is_complete d.Mm_design.Design.conflicts)
+
+let expect_design_error text fragment =
+  match Mm_io.Design_file.parse text with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e ->
+      let nh = String.length e and nn = String.length fragment in
+      let rec scan i = i + nn <= nh && (String.sub e i nn = fragment || scan (i + 1)) in
+      if not (nn = 0 || scan 0) then
+        Alcotest.fail (Printf.sprintf "error %S lacks %S" e fragment)
+
+let test_design_errors () =
+  expect_design_error "" "no segment";
+  expect_design_error "segment a depth=1\n" "width=";
+  expect_design_error "segment a depth=1 width=1\nsegment a depth=1 width=1\n"
+    "duplicate";
+  expect_design_error "segment a depth=1 width=1 birth=0\n" "birth and death";
+  expect_design_error
+    "segment a depth=1 width=1 birth=0 death=1\nsegment b depth=1 width=1\n"
+    "all segments";
+  expect_design_error
+    "segment a depth=1 width=1 birth=0 death=1\n\
+     segment b depth=1 width=1 birth=0 death=1\nconflict a b\n"
+    "not allowed";
+  expect_design_error "segment a depth=1 width=1\nconflict a nope\n" "unknown segment"
+
+let prop_design_roundtrip =
+  qtest "generated designs round-trip through the text format"
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Mm_util.Prng.create (seed + 3) in
+      let board = Mm_workload.Gen.random_board rng in
+      let design = Mm_workload.Gen.random_design rng ~segments:6 board in
+      match Mm_io.Design_file.parse (Mm_io.Design_file.to_string design) with
+      | Ok back ->
+          (* same segments and same conflict relation *)
+          Mm_design.Design.num_segments back = Mm_design.Design.num_segments design
+          && Mm_design.Conflict.pairs back.Mm_design.Design.conflicts
+             = Mm_design.Conflict.pairs design.Mm_design.Design.conflicts
+      | Error _ -> false)
+
+
+let test_board_parse_edges () =
+  (* tabs, comments mid-line, keys in any order, defaults applied *)
+  let text =
+    "board edgy # trailing comment\n\
+     bank\tB1 configs=64x8 ports=2 instances=1 # inline\n"
+  in
+  match Mm_io.Board_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok board ->
+      let bt = Mm_arch.Board.bank_type board 0 in
+      Alcotest.(check int) "default rl" 1 bt.Mm_arch.Bank_type.read_latency;
+      Alcotest.(check int) "default pins" 0 bt.Mm_arch.Bank_type.pins_traversed
+
+let test_design_parse_edges () =
+  let text = "segment s depth=4 width=4 reads=0 writes=0\n" in
+  match Mm_io.Design_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      Alcotest.(check int) "zero reads kept" 0
+        (Mm_design.Design.segment d 0).Mm_design.Segment.reads
+
+let test_table3_specs_roundtrip_through_files () =
+  (* the generate -> file -> parse path preserves the mapping problem *)
+  let spec = (List.hd Mm_workload.Table3.points).Mm_workload.Table3.spec in
+  let board, design = Mm_workload.Gen.instance spec in
+  match
+    ( Mm_io.Board_file.parse (Mm_io.Board_file.to_string board),
+      Mm_io.Design_file.parse (Mm_io.Design_file.to_string design) )
+  with
+  | Ok b2, Ok d2 -> (
+      match (Mm_mapping.Mapper.run board design, Mm_mapping.Mapper.run b2 d2) with
+      | Ok o1, Ok o2 ->
+          Alcotest.(check (float 1e-6)) "same objective through files"
+            o1.Mm_mapping.Mapper.objective o2.Mm_mapping.Mapper.objective
+      | _ -> Alcotest.fail "solve through files failed")
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+
+let test_multi_pu_files () =
+  let text =
+    "board dual\n\
+     bank near0 instances=2 ports=1 rl=1 wl=1 pupins=0,4 configs=1024x16\n"
+  in
+  (match Mm_io.Board_file.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok board ->
+      let bt = Mm_arch.Board.bank_type board 0 in
+      Alcotest.(check int) "pus parsed" 2 (Mm_arch.Bank_type.num_pus bt);
+      Alcotest.(check int) "pu1 distance" 4 (Mm_arch.Bank_type.pins_from bt 1);
+      (* round trip preserves pupins *)
+      match Mm_io.Board_file.parse (Mm_io.Board_file.to_string board) with
+      | Ok back ->
+          Alcotest.(check int) "round trip pus" 2
+            (Mm_arch.Bank_type.num_pus (Mm_arch.Board.bank_type back 0))
+      | Error e -> Alcotest.fail e);
+  let dtext = "segment a depth=8 width=8 pu=1\n" in
+  match Mm_io.Design_file.parse dtext with
+  | Error e -> Alcotest.fail e
+  | Ok d -> (
+      Alcotest.(check int) "pu parsed" 1 (Mm_design.Design.segment d 0).Mm_design.Segment.pu;
+      match Mm_io.Design_file.parse (Mm_io.Design_file.to_string d) with
+      | Ok back ->
+          Alcotest.(check int) "round trip pu" 1
+            (Mm_design.Design.segment back 0).Mm_design.Segment.pu
+      | Error e -> Alcotest.fail e)
+
+let () =
+  Alcotest.run "mm_io"
+    [
+      ( "board",
+        [
+          Alcotest.test_case "parse" `Quick test_board_parse;
+          Alcotest.test_case "errors" `Quick test_board_errors;
+          Alcotest.test_case "device round trips" `Quick test_board_roundtrip_devices;
+          prop_board_roundtrip;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "conflicts" `Quick test_design_parse_conflicts;
+          Alcotest.test_case "lifetimes" `Quick test_design_parse_lifetimes;
+          Alcotest.test_case "default" `Quick test_design_default_all_conflicting;
+          Alcotest.test_case "errors" `Quick test_design_errors;
+          Alcotest.test_case "board edges" `Quick test_board_parse_edges;
+          Alcotest.test_case "design edges" `Quick test_design_parse_edges;
+          Alcotest.test_case "solve through files" `Quick
+            test_table3_specs_roundtrip_through_files;
+          Alcotest.test_case "multi-PU fields" `Quick test_multi_pu_files;
+          prop_design_roundtrip;
+        ] );
+    ]

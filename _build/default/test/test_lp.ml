@@ -1,0 +1,1035 @@
+open Mm_lp
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; 2026 |])
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* --- Expr ---------------------------------------------------------------- *)
+
+let test_expr_combinators () =
+  let e = Expr.(add (var 0) (add (var ~coeff:2.0 1) (const 3.0))) in
+  Alcotest.(check (float 0.0)) "coeff 0" 1.0 (Expr.coeff e 0);
+  Alcotest.(check (float 0.0)) "coeff 1" 2.0 (Expr.coeff e 1);
+  Alcotest.(check (float 0.0)) "coeff 2" 0.0 (Expr.coeff e 2);
+  Alcotest.(check (float 0.0)) "const" 3.0 (Expr.constant e);
+  let e2 = Expr.sub e e in
+  Alcotest.(check int) "self-sub cancels" 0 (Expr.num_terms e2);
+  let e3 = Expr.scale 2.0 e in
+  Alcotest.(check (float 0.0)) "scaled" 4.0 (Expr.coeff e3 1);
+  Alcotest.(check (float 1e-9)) "eval" 8.0
+    (Expr.eval (fun i -> float_of_int (i + 1)) e)
+
+let test_expr_map_vars () =
+  let e = Expr.(add (var 0) (var 1)) in
+  let merged = Expr.map_vars (fun _ -> 5) e in
+  Alcotest.(check (float 0.0)) "merged coeff" 2.0 (Expr.coeff merged 5);
+  Alcotest.(check int) "one term" 1 (Expr.num_terms merged)
+
+let test_expr_add_term () =
+  let e = Expr.add_term (Expr.var 3) 3 (-1.0) in
+  Alcotest.(check int) "cancelled" 0 (Expr.num_terms e)
+
+(* --- Model / Problem ------------------------------------------------------ *)
+
+let test_model_build () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" ~lb:1.0 ~ub:4.0 Problem.Continuous in
+  let y = Model.binary m ~name:"y" () in
+  Model.add_le m Expr.(add (var x) (var y)) 4.0;
+  Model.add_eq m Expr.(add (var x) (const 1.0)) 3.0;
+  let p = Model.to_problem m in
+  Alcotest.(check int) "cols" 2 p.Problem.ncols;
+  Alcotest.(check int) "rows" 2 p.Problem.nrows;
+  (match Problem.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* constant folded into rhs *)
+  Alcotest.(check (float 0.0)) "rhs adjusted" 2.0 p.Problem.row_ub.(1);
+  Alcotest.(check (float 0.0)) "binary ub" 1.0 p.Problem.col_ub.(y)
+
+let test_problem_feasibility () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10.0 Problem.Integer in
+  Model.add_le m (Expr.var x) 5.0;
+  let p = Model.to_problem m in
+  Alcotest.(check bool) "feasible point" true (Problem.is_feasible p [| 3.0 |]);
+  Alcotest.(check bool) "violates row" false (Problem.is_feasible p [| 7.0 |]);
+  Alcotest.(check bool) "violates integrality" false
+    (Problem.is_feasible p [| 2.5 |])
+
+let test_problem_extend_rows () =
+  let m = Model.create () in
+  let x = Model.binary m () and y = Model.binary m () in
+  Model.add_le m Expr.(add (var x) (var y)) 2.0;
+  let p = Model.to_problem m in
+  let p2 =
+    Problem.extend_rows p [ ("cut", [ (x, 1.0); (y, 1.0) ], neg_infinity, 1.0) ]
+  in
+  Alcotest.(check int) "rows" 2 p2.Problem.nrows;
+  (match Problem.validate p2 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "cut active" false (Problem.is_feasible p2 [| 1.0; 1.0 |])
+
+(* --- Simplex -------------------------------------------------------------- *)
+
+let solve_lp m =
+  let p = Model.to_problem m in
+  let s = Simplex.create p in
+  (p, s, Simplex.solve s)
+
+let test_simplex_known_optimum () =
+  (* classic: max 3x+2y st x+y<=4, x+3y<=6 -> (4,0), obj 12 *)
+  let m = Model.create () in
+  let x = Model.add_var m Problem.Continuous in
+  let y = Model.add_var m Problem.Continuous in
+  Model.add_le m Expr.(add (var x) (var y)) 4.0;
+  Model.add_le m Expr.(add (var x) (scale 3.0 (var y))) 6.0;
+  Model.set_objective m Model.Maximize Expr.(add (scale 3.0 (var x)) (scale 2.0 (var y)));
+  let p, s, r = solve_lp m in
+  Alcotest.(check bool) "optimal" true (r = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" 12.0
+    (Problem.objective_value p (Simplex.primal s))
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m Problem.Continuous in
+  Model.add_le m (Expr.var x) 1.0;
+  Model.add_ge m (Expr.var x) 2.0;
+  let _, _, r = solve_lp m in
+  Alcotest.(check bool) "infeasible" true (r = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var m ~obj:(-1.0) Problem.Continuous in
+  Model.add_ge m (Expr.var x) 0.0;
+  let _, _, r = solve_lp m in
+  Alcotest.(check bool) "unbounded" true (r = Simplex.Unbounded)
+
+let test_simplex_equality_range () =
+  (* x+y=5, 1<=x-y<=2, min x -> x=3 *)
+  let m = Model.create () in
+  let x = Model.add_var m ~obj:1.0 Problem.Continuous in
+  let y = Model.add_var m Problem.Continuous in
+  Model.add_eq m Expr.(add (var x) (var y)) 5.0;
+  Model.add_range m 1.0 Expr.(sub (var x) (var y)) 2.0;
+  let p, s, r = solve_lp m in
+  Alcotest.(check bool) "optimal" true (r = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" 3.0
+    (Problem.objective_value p (Simplex.primal s))
+
+let test_simplex_degenerate () =
+  (* many redundant constraints through the same vertex *)
+  let m = Model.create () in
+  let x = Model.add_var m ~obj:(-1.0) ~ub:10.0 Problem.Continuous in
+  let y = Model.add_var m ~obj:(-1.0) ~ub:10.0 Problem.Continuous in
+  for _ = 1 to 20 do
+    Model.add_le m Expr.(add (var x) (var y)) 10.0
+  done;
+  Model.add_le m Expr.(sub (var x) (var y)) 0.0;
+  let p, s, r = solve_lp m in
+  Alcotest.(check bool) "optimal" true (r = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" (-10.0)
+    (Problem.objective_value p (Simplex.primal s))
+
+let test_simplex_free_variable () =
+  (* free variable: min x st x >= -7 via row *)
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:neg_infinity ~obj:1.0 Problem.Continuous in
+  Model.add_ge m (Expr.var x) (-7.0);
+  let p, s, r = solve_lp m in
+  Alcotest.(check bool) "optimal" true (r = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" (-7.0)
+    (Problem.objective_value p (Simplex.primal s))
+
+let test_simplex_warm_restart () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:5.0 ~obj:(-1.0) Problem.Continuous in
+  let y = Model.add_var m ~ub:5.0 ~obj:(-1.0) Problem.Continuous in
+  Model.add_le m Expr.(add (var x) (var y)) 6.0;
+  let p = Model.to_problem m in
+  let s = Simplex.create p in
+  Alcotest.(check bool) "first" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "obj1" (-6.0) (Simplex.objective s);
+  (* tighten x and re-solve from the same basis *)
+  Simplex.set_bounds s x 0.0 1.0;
+  Alcotest.(check bool) "second" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "obj2" (-6.0) (Simplex.objective s);
+  Simplex.set_bounds s y 0.0 1.0;
+  Alcotest.(check bool) "third" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "obj3" (-2.0) (Simplex.objective s)
+
+
+let test_simplex_basis_snapshot () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:5.0 ~obj:(-1.0) Problem.Continuous in
+  let y = Model.add_var m ~ub:5.0 ~obj:(-2.0) Problem.Continuous in
+  Model.add_le m Expr.(add (var x) (var y)) 7.0;
+  let p = Model.to_problem m in
+  let s = Simplex.create p in
+  Alcotest.(check bool) "solve" true (Simplex.solve s = Simplex.Optimal);
+  let snap = Simplex.basis_snapshot s in
+  let saved_bounds = Simplex.save_bounds s in
+  let obj1 = Simplex.objective s in
+  (* perturb and restore *)
+  Simplex.set_bounds s x 0.0 1.0;
+  Alcotest.(check bool) "resolve" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check bool) "objective changed" true
+    (Float.abs (Simplex.objective s -. obj1) > 1e-9);
+  Simplex.restore_bounds s saved_bounds;
+  Simplex.restore_basis s snap;
+  Alcotest.(check bool) "resolve from snapshot" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check (float 1e-9)) "objective restored" obj1 (Simplex.objective s)
+
+let test_simplex_duals_signs () =
+  (* min x st x >= 3 (row): dual of the >= row must be nonnegative-ish
+     in our convention; at least the duals must price the optimum *)
+  let m = Model.create () in
+  let x = Model.add_var m ~obj:1.0 Problem.Continuous in
+  Model.add_ge m (Expr.var x) 3.0;
+  let p = Model.to_problem m in
+  let s = Simplex.create p in
+  Alcotest.(check bool) "optimal" true (Simplex.solve s = Simplex.Optimal);
+  let d = Simplex.reduced_costs s in
+  (* x is basic at 3, its reduced cost must vanish *)
+  Alcotest.(check (float 1e-7)) "basic reduced cost" 0.0 d.(x);
+  Alcotest.(check int) "one dual" 1 (Array.length (Simplex.duals s))
+
+let test_fixed_variable_lp () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:2.0 ~ub:2.0 ~obj:5.0 Problem.Continuous in
+  let y = Model.add_var m ~ub:4.0 ~obj:1.0 Problem.Continuous in
+  Model.add_ge m Expr.(add (var x) (var y)) 3.0;
+  let p = Model.to_problem m in
+  let s = Simplex.create p in
+  Alcotest.(check bool) "optimal" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" 11.0
+    (Problem.objective_value p (Simplex.primal s))
+
+(* Random LPs: the simplex solution must be feasible, and the sign
+   conditions on reduced costs certify optimality (weak duality). *)
+let random_lp_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* mrows = int_range 1 5 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, mrows, seed))
+
+let build_random_lp (n, mrows, seed) =
+  let rng = Mm_util.Prng.create seed in
+  let m = Model.create () in
+  let vars =
+    Array.init n (fun _ ->
+        Model.add_var m
+          ~ub:(float_of_int (Mm_util.Prng.int_in rng 1 20))
+          ~obj:(float_of_int (Mm_util.Prng.int_in rng (-9) 9))
+          Problem.Continuous)
+  in
+  for _ = 1 to mrows do
+    let e =
+      Expr.sum
+        (List.map
+           (fun j ->
+             Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-5) 5)) vars.(j))
+           (Mm_util.Ints.range n))
+    in
+    Model.add_le m e (float_of_int (Mm_util.Prng.int_in rng 0 30))
+  done;
+  Model.to_problem m
+
+let prop_simplex_feasible_and_certified =
+  qtest ~count:300 "random LP: solution feasible, reduced costs certify"
+    random_lp_gen (fun params ->
+      let p = build_random_lp params in
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          let x = Simplex.primal s in
+          let feas = Problem.max_violation p x <= 1e-6 in
+          let d = Simplex.reduced_costs s in
+          let certified = ref true in
+          Array.iteri
+            (fun j dj ->
+              (* at lower bound, reduced cost must be >= 0; at upper <= 0 *)
+              let lb = p.Problem.col_lb.(j) and ub = p.Problem.col_ub.(j) in
+              if Float.abs (x.(j) -. lb) < 1e-7 && Float.abs (x.(j) -. ub) > 1e-7
+              then (if dj < -1e-5 then certified := false)
+              else if
+                Float.abs (x.(j) -. ub) < 1e-7 && Float.abs (x.(j) -. lb) > 1e-7
+              then (if dj > 1e-5 then certified := false))
+            d;
+          feas && !certified
+      | Simplex.Unbounded | Simplex.Infeasible -> true
+      | Simplex.Iteration_limit -> false)
+
+
+let test_dual_simplex_reoptimize () =
+  (* optimal basis + bound tightening = the dual warm-start pattern *)
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10.0 ~obj:(-2.0) Problem.Continuous in
+  let y = Model.add_var m ~ub:10.0 ~obj:(-1.0) Problem.Continuous in
+  Model.add_le m Expr.(add (var x) (var y)) 12.0;
+  let p = Model.to_problem m in
+  let s = Simplex.create p in
+  Alcotest.(check bool) "first solve" true (Simplex.solve s = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "obj1" (-22.0) (Simplex.objective s);
+  (* tighten x: basis stays dual feasible, dual simplex should finish *)
+  Simplex.set_bounds s x 0.0 3.0;
+  Alcotest.(check bool) "dual resolve" true
+    (Simplex.solve ~prefer_dual:true s = Simplex.Optimal);
+  Alcotest.(check (float 1e-6)) "obj2" (-15.0) (Simplex.objective s);
+  (* make it infeasible: x >= 5 via bound with row x + y <= 12 is fine;
+     instead clamp both variables above the row's reach *)
+  Simplex.set_bounds s x 8.0 10.0;
+  Simplex.set_bounds s y 8.0 10.0;
+  Alcotest.(check bool) "dual detects infeasible" true
+    (Simplex.solve ~prefer_dual:true s = Simplex.Infeasible)
+
+let prop_dual_matches_primal =
+  qtest ~count:200 "dual warm restart agrees with primal from scratch"
+    random_lp_gen (fun params ->
+      let p = build_random_lp params in
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          (* tighten a random variable's upper bound and re-solve twice *)
+          let rng = Mm_util.Prng.create 5 in
+          let j = Mm_util.Prng.int rng p.Problem.ncols in
+          let lb = p.Problem.col_lb.(j) in
+          let x = Simplex.primal s in
+          let new_ub = Float.max lb (Float.floor (x.(j) /. 2.0)) in
+          Simplex.set_bounds s j lb new_ub;
+          let dual_result = Simplex.solve ~prefer_dual:true s in
+          let fresh = Simplex.create p in
+          Simplex.set_bounds fresh j lb new_ub;
+          let primal_result = Simplex.solve fresh in
+          (match (dual_result, primal_result) with
+          | Simplex.Optimal, Simplex.Optimal ->
+              Float.abs (Simplex.objective s -. Simplex.objective fresh)
+              <= 1e-5 *. Float.max 1.0 (Float.abs (Simplex.objective fresh))
+          | Simplex.Infeasible, Simplex.Infeasible -> true
+          | Simplex.Unbounded, Simplex.Unbounded -> true
+          | _ -> false)
+      | _ -> true)
+
+(* --- Presolve -------------------------------------------------------------- *)
+
+let test_presolve_fixing () =
+  let m = Model.create () in
+  let x = Model.add_var m ~lb:3.0 ~ub:3.0 ~obj:2.0 Problem.Continuous in
+  let y = Model.add_var m ~ub:5.0 ~obj:1.0 Problem.Continuous in
+  Model.add_le m Expr.(add (var x) (var y)) 7.0;
+  let p = Model.to_problem m in
+  match Presolve.presolve p with
+  | Presolve.Reduced (q, recover) ->
+      Alcotest.(check bool) "reduced cols" true (q.Problem.ncols < p.Problem.ncols);
+      let x' = Array.make q.Problem.ncols 0.0 in
+      let full = recover x' in
+      Alcotest.(check (float 0.0)) "fixed value recovered" 3.0 full.(x);
+      Alcotest.(check (float 0.0)) "free col at lower" 0.0 full.(y)
+  | _ -> Alcotest.fail "expected Reduced"
+
+let test_presolve_infeasible () =
+  let m = Model.create () in
+  let x = Model.binary m () in
+  Model.add_ge m (Expr.var x) 2.0;
+  match Presolve.presolve (Model.to_problem m) with
+  | Presolve.Infeasible -> ()
+  | _ -> Alcotest.fail "expected Infeasible"
+
+let test_presolve_unbounded () =
+  let m = Model.create () in
+  let _x = Model.add_var m ~lb:neg_infinity ~obj:1.0 Problem.Continuous in
+  match Presolve.presolve (Model.to_problem m) with
+  | Presolve.Unbounded -> ()
+  | _ -> Alcotest.fail "expected Unbounded"
+
+let test_presolve_integer_rounding () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10.0 ~obj:(-1.0) Problem.Integer in
+  Model.add_le m (Expr.scale 2.0 (Expr.var x)) 7.0
+  (* x <= 3.5 -> x <= 3 after rounding *);
+  match Presolve.presolve (Model.to_problem m) with
+  | Presolve.Reduced (q, recover) ->
+      let r = Branch_bound.solve q in
+      (match r.Branch_bound.solution with
+      | Some x' ->
+          let full = recover x' in
+          Alcotest.(check (float 1e-9)) "optimum" 3.0 full.(x)
+      | None -> Alcotest.fail "no solution")
+  | _ -> Alcotest.fail "expected Reduced"
+
+let prop_presolve_preserves_optimum =
+  qtest ~count:200 "presolve preserves LP optimum" random_lp_gen (fun params ->
+      let p = build_random_lp params in
+      let s1 = Simplex.create p in
+      let r1 = Simplex.solve s1 in
+      match Presolve.presolve p with
+      | Presolve.Infeasible -> r1 = Simplex.Infeasible
+      | Presolve.Unbounded -> r1 = Simplex.Unbounded
+      | Presolve.Reduced (q, recover) -> (
+          let s2 = Simplex.create q in
+          let r2 = Simplex.solve s2 in
+          match (r1, r2) with
+          | Simplex.Optimal, Simplex.Optimal ->
+              let o1 = Problem.objective_value p (Simplex.primal s1) in
+              let o2 = Problem.objective_value p (recover (Simplex.primal s2)) in
+              Float.abs (o1 -. o2) <= 1e-5 *. Float.max 1.0 (Float.abs o1)
+          | Simplex.Unbounded, Simplex.Unbounded -> true
+          | Simplex.Infeasible, Simplex.Infeasible -> true
+          (* presolve may prove unboundedness the simplex sees as optimal-with-empty-problem etc. *)
+          | _ -> false))
+
+(* --- Branch and bound ------------------------------------------------------ *)
+
+let brute_force_binary p =
+  let n = p.Problem.ncols in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> if mask land (1 lsl j) <> 0 then 1.0 else 0.0) in
+    if Problem.max_violation p x <= 1e-9 then begin
+      let o = Problem.objective_value p x in
+      match !best with
+      | None -> best := Some o
+      | Some b ->
+          if (p.Problem.maximize_input && o > b) || ((not p.Problem.maximize_input) && o < b)
+          then best := Some o
+    end
+  done;
+  !best
+
+let random_bip_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* mrows = int_range 1 6 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, mrows, seed))
+
+let build_random_bip (n, mrows, seed) =
+  let rng = Mm_util.Prng.create (seed + 77777) in
+  let m = Model.create () in
+  let vars = Array.init n (fun _ -> Model.binary m ()) in
+  for _ = 1 to mrows do
+    let e =
+      Expr.sum
+        (List.map
+           (fun j ->
+             Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-4) 6)) vars.(j))
+           (Mm_util.Ints.range n))
+    in
+    match Mm_util.Prng.int rng 3 with
+    | 0 -> Model.add_le m e (float_of_int (Mm_util.Prng.int_in rng (-3) 8))
+    | 1 -> Model.add_ge m e (float_of_int (Mm_util.Prng.int_in rng (-3) 8))
+    | _ -> Model.add_eq m e (float_of_int (Mm_util.Prng.int_in rng (-3) 8))
+  done;
+  Model.set_objective m Model.Minimize
+    (Expr.sum
+       (List.map
+          (fun j ->
+            Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-5) 5)) vars.(j))
+          (Mm_util.Ints.range n)));
+  Model.to_problem m
+
+let prop_bb_matches_brute_force =
+  qtest ~count:250 "B&B matches brute force on binary programs" random_bip_gen
+    (fun params ->
+      let p = build_random_bip params in
+      let r = Branch_bound.solve p in
+      match (r.Branch_bound.objective, brute_force_binary p) with
+      | None, None -> r.Branch_bound.status = Branch_bound.Infeasible
+      | Some o, Some b -> Float.abs (o -. b) <= 1e-6
+      | _ -> false)
+
+let prop_solver_facade_matches_brute_force =
+  qtest ~count:250 "facade (presolve+cuts) matches brute force" random_bip_gen
+    (fun params ->
+      let p = build_random_bip params in
+      let r = (Solver.solve p).Solver.mip in
+      match (r.Branch_bound.objective, brute_force_binary p) with
+      | None, None -> true
+      | Some o, Some b ->
+          Float.abs (o -. b) <= 1e-6
+          && (match r.Branch_bound.solution with
+             | Some x -> Problem.is_feasible p x
+             | None -> false)
+      | _ -> false)
+
+let test_bb_respects_node_limit () =
+  let m = Model.create () in
+  (* an even-sum feasibility problem with many symmetric solutions *)
+  let vars = Array.init 16 (fun _ -> Model.binary m ()) in
+  Model.add_eq m
+    (Expr.sum (Array.to_list (Array.map Expr.var vars)))
+    8.0;
+  Model.set_objective m Model.Minimize Expr.zero;
+  let p = Model.to_problem m in
+  let options = { Branch_bound.default_options with node_limit = Some 1 } in
+  let r = Branch_bound.solve ~options p in
+  Alcotest.(check bool) "nodes within limit" true (r.Branch_bound.nodes <= 1)
+
+let test_bb_gap_reporting () =
+  let m = Model.create () in
+  let x = Model.binary m ~obj:1.0 () in
+  Model.add_ge m (Expr.var x) 1.0;
+  let r = Branch_bound.solve (Model.to_problem m) in
+  Alcotest.(check (option (float 1e-9))) "gap zero" (Some 0.0) (Branch_bound.gap r)
+
+
+(* --- solver options and senses ------------------------------------------------ *)
+
+let build_random_max_bip (n, mrows, seed) =
+  let rng = Mm_util.Prng.create (seed + 424242) in
+  let m = Model.create () in
+  let vars = Array.init n (fun _ -> Model.binary m ()) in
+  for _ = 1 to mrows do
+    let e =
+      Expr.sum
+        (List.map
+           (fun j ->
+             Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-4) 6)) vars.(j))
+           (Mm_util.Ints.range n))
+    in
+    Model.add_le m e (float_of_int (Mm_util.Prng.int_in rng 0 10))
+  done;
+  Model.set_objective m Model.Maximize
+    (Expr.sum
+       (List.map
+          (fun j ->
+            Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-5) 5)) vars.(j))
+          (Mm_util.Ints.range n)));
+  Model.to_problem m
+
+let brute_force_max p =
+  let n = p.Problem.ncols in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun j -> if mask land (1 lsl j) <> 0 then 1.0 else 0.0) in
+    if Problem.max_violation p x <= 1e-9 then begin
+      let o = Problem.objective_value p x in
+      match !best with None -> best := Some o | Some b -> if o > b then best := Some o
+    end
+  done;
+  !best
+
+let prop_bb_maximize =
+  qtest ~count:200 "B&B handles maximization problems" random_bip_gen
+    (fun params ->
+      let p = build_random_max_bip params in
+      let r = (Solver.solve p).Solver.mip in
+      match (r.Branch_bound.objective, brute_force_max p) with
+      | Some o, Some b -> Float.abs (o -. b) <= 1e-6
+      | None, None -> true
+      | _ -> false)
+
+let test_solver_time_limit_reported () =
+  (* a crafted problem with many symmetric solutions and a tiny budget
+     still returns a well-formed result *)
+  let m = Model.create () in
+  let vars = Array.init 30 (fun _ -> Model.binary m ()) in
+  for k = 0 to 9 do
+    Model.add_eq m
+      (Expr.sum
+         (List.map (fun j -> Expr.var vars.((k + j) mod 30)) (Mm_util.Ints.range 7)))
+      3.0
+  done;
+  Model.set_objective m Model.Minimize
+    (Expr.sum (Array.to_list (Array.map Expr.var vars)));
+  let options =
+    { Solver.default_options with bb = { Branch_bound.default_options with time_limit = Some 0.2 } }
+  in
+  let r = Solver.solve ~options (Model.to_problem m) in
+  (* must terminate promptly and report a sane status *)
+  Alcotest.(check bool) "terminates in budget" true (r.Solver.mip.Branch_bound.time < 5.0);
+  match r.Solver.mip.Branch_bound.status with
+  | Branch_bound.Optimal | Branch_bound.Feasible | Branch_bound.Infeasible
+  | Branch_bound.Unknown ->
+      ()
+  | Branch_bound.Unbounded -> Alcotest.fail "not unbounded"
+
+let test_solver_without_presolve_or_cuts () =
+  let p = build_random_bip (6, 4, 12345) in
+  let base = (Solver.solve p).Solver.mip.Branch_bound.objective in
+  let no_pre =
+    (Solver.solve ~options:{ Solver.default_options with presolve = false } p)
+      .Solver.mip.Branch_bound.objective
+  in
+  let no_cuts =
+    (Solver.solve ~options:{ Solver.default_options with cuts = false } p)
+      .Solver.mip.Branch_bound.objective
+  in
+  let eq a b =
+    match (a, b) with
+    | Some x, Some y -> Float.abs (x -. y) < 1e-6
+    | None, None -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "presolve off agrees" true (eq base no_pre);
+  Alcotest.(check bool) "cuts off agrees" true (eq base no_cuts)
+
+let test_bb_best_bound_sane () =
+  let m = Model.create () in
+  let x = Model.binary m () and y = Model.binary m () in
+  Model.add_le m Expr.(add (scale 2.0 (var x)) (scale 2.0 (var y))) 3.0;
+  Model.set_objective m Model.Minimize Expr.(add (scale (-3.0) (var x)) (scale (-2.0) (var y)));
+  let r = Branch_bound.solve (Model.to_problem m) in
+  match r.Branch_bound.objective with
+  | Some o ->
+      Alcotest.(check (float 1e-6)) "optimum" (-3.0) o;
+      Alcotest.(check bool) "bound <= objective" true (r.Branch_bound.best_bound <= o +. 1e-9)
+  | None -> Alcotest.fail "expected solution"
+
+let test_model_var_name () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"alpha" Problem.Continuous in
+  let y = Model.binary m () in
+  Alcotest.(check string) "named" "alpha" (Model.var_name m x);
+  Alcotest.(check string) "default" "x1" (Model.var_name m y);
+  Alcotest.(check int) "num vars" 2 (Model.num_vars m)
+
+
+(* --- mixed-integer and numerically wide problems ------------------------------- *)
+
+let mixed_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* nint = int_range 1 4 in
+      let* ncont = int_range 1 3 in
+      let* mrows = int_range 1 4 in
+      let* seed = int_range 0 1_000_000 in
+      return (nint, ncont, mrows, seed))
+
+let build_mixed (nint, ncont, mrows, seed) =
+  let rng = Mm_util.Prng.create (seed + 909090) in
+  let m = Model.create () in
+  let ints =
+    Array.init nint (fun _ ->
+        Model.add_var m ~ub:(float_of_int (Mm_util.Prng.int_in rng 1 3))
+          ~obj:(float_of_int (Mm_util.Prng.int_in rng (-5) 5))
+          Problem.Integer)
+  in
+  let conts =
+    Array.init ncont (fun _ ->
+        Model.add_var m ~ub:(float_of_int (Mm_util.Prng.int_in rng 1 10))
+          ~obj:(float_of_int (Mm_util.Prng.int_in rng (-5) 5))
+          Problem.Continuous)
+  in
+  for _ = 1 to mrows do
+    let e =
+      Expr.sum
+        (List.map
+           (fun v -> Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-4) 5)) v)
+           (Array.to_list ints @ Array.to_list conts))
+    in
+    Model.add_le m e (float_of_int (Mm_util.Prng.int_in rng 0 15))
+  done;
+  (Model.to_problem m, ints, conts)
+
+(* reference: enumerate the integer grid; for each point, fix the
+   integer variables and solve the continuous LP *)
+let mixed_brute_force (p : Problem.t) ints =
+  let best = ref None in
+  let ubs = Array.map (fun j -> int_of_float p.Problem.col_ub.(j)) ints in
+  let fix = Array.make (Array.length ints) 0 in
+  let rec enum k =
+    if k = Array.length ints then begin
+      let s = Simplex.create p in
+      Array.iteri
+        (fun i j -> Simplex.set_bounds s j (float_of_int fix.(i)) (float_of_int fix.(i)))
+        ints;
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          let o = Problem.objective_value p (Simplex.primal s) in
+          (match !best with None -> best := Some o | Some b -> if o < b then best := Some o)
+      | _ -> ()
+    end
+    else
+      for v = 0 to ubs.(k) do
+        fix.(k) <- v;
+        enum (k + 1)
+      done
+  in
+  enum 0;
+  !best
+
+let prop_mixed_matches_grid_enumeration =
+  qtest ~count:120 "mixed MIP matches integer-grid + LP enumeration" mixed_gen
+    (fun params ->
+      let p, ints, _ = build_mixed params in
+      let r = (Solver.solve p).Solver.mip in
+      match (r.Branch_bound.objective, mixed_brute_force p ints) with
+      | Some a, Some b -> Float.abs (a -. b) <= 1e-5 *. Float.max 1.0 (Float.abs b)
+      | None, None -> true
+      | _ -> false)
+
+let prop_wide_magnitude_coefficients =
+  (* capacity-style rows mixing unit and million-scale coefficients *)
+  qtest ~count:120 "solver is stable under wide coefficient magnitudes"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Mm_util.Prng.create (seed + 777) in
+      let m = Model.create () in
+      let n = Mm_util.Prng.int_in rng 2 6 in
+      let vars = Array.init n (fun _ -> Model.binary m ()) in
+      let big = Array.init n (fun _ -> float_of_int (Mm_util.Prng.int_in rng 100_000 4_000_000)) in
+      Model.add_le m
+        (Expr.sum
+           (List.mapi (fun j v -> Expr.var ~coeff:big.(j) v) (Array.to_list vars)))
+        (float_of_int (Mm_util.Prng.int_in rng 500_000 8_000_000));
+      Model.add_le m
+        (Expr.sum (Array.to_list (Array.map Expr.var vars)))
+        (float_of_int (Mm_util.Prng.int_in rng 1 n));
+      Model.set_objective m Model.Minimize
+        (Expr.sum
+           (List.mapi
+              (fun j v ->
+                Expr.var ~coeff:(float_of_int (Mm_util.Prng.int_in rng (-9) (-1)) *. big.(j) /. 1000.0) v)
+              (Array.to_list vars)));
+      let p = Model.to_problem m in
+      let r = (Solver.solve p).Solver.mip in
+      (* brute force over binaries *)
+      let best = ref None in
+      for mask = 0 to (1 lsl n) - 1 do
+        let x = Array.init n (fun j -> if mask land (1 lsl j) <> 0 then 1.0 else 0.0) in
+        if Problem.max_violation p x <= 1e-6 then begin
+          let o = Problem.objective_value p x in
+          match !best with None -> best := Some o | Some b -> if o < b then best := Some o
+        end
+      done;
+      match (r.Branch_bound.objective, !best) with
+      | Some a, Some b -> Float.abs (a -. b) <= 1e-4 *. Float.max 1.0 (Float.abs b)
+      | None, None -> true
+      | _ -> false)
+
+(* --- Cuts ------------------------------------------------------------------ *)
+
+let test_cover_cut_validity () =
+  (* knapsack 3x+3y+3z <= 5: any two vars form a cover -> x+y<=1 etc. *)
+  let m = Model.create () in
+  let x = Model.binary m () and y = Model.binary m () and z = Model.binary m () in
+  Model.add_le m
+    Expr.(sum [ scale 3.0 (var x); scale 3.0 (var y); scale 3.0 (var z) ])
+    5.0;
+  let p = Model.to_problem m in
+  let frac = [| 0.55; 0.55; 0.55 |] in
+  let cuts = Cuts.separate p frac ~max_cuts:10 in
+  Alcotest.(check bool) "found a cut" true (cuts <> []);
+  (* every integer-feasible point must satisfy every cut *)
+  List.iter
+    (fun (c : Cuts.cut) ->
+      for mask = 0 to 7 do
+        let xv = [| float_of_int (mask land 1); float_of_int ((mask lsr 1) land 1); float_of_int ((mask lsr 2) land 1) |] in
+        if Problem.max_violation p xv <= 1e-9 then begin
+          let lhs =
+            List.fold_left (fun acc (j, a) -> acc +. (a *. xv.(j))) 0.0 c.Cuts.terms
+          in
+          Alcotest.(check bool) "cut valid" true (lhs <= c.Cuts.ub +. 1e-9)
+        end
+      done)
+    cuts
+
+let prop_cuts_never_cut_integer_points =
+  qtest ~count:200 "cover cuts valid for all feasible integer points"
+    random_bip_gen (fun params ->
+      let p = build_random_bip params in
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          let frac = Simplex.primal s in
+          let cuts = Cuts.separate p frac ~max_cuts:20 in
+          let n = p.Problem.ncols in
+          let ok = ref true in
+          for mask = 0 to (1 lsl n) - 1 do
+            let x =
+              Array.init n (fun j -> if mask land (1 lsl j) <> 0 then 1.0 else 0.0)
+            in
+            if Problem.max_violation p x <= 1e-9 then
+              List.iter
+                (fun (c : Cuts.cut) ->
+                  let lhs =
+                    List.fold_left
+                      (fun acc (j, a) -> acc +. (a *. x.(j)))
+                      0.0 c.Cuts.terms
+                  in
+                  if lhs > c.Cuts.ub +. 1e-9 then ok := false)
+                cuts
+          done;
+          !ok
+      | _ -> true)
+
+
+
+(* --- LP format parser --------------------------------------------------------- *)
+
+let test_lp_parse_small () =
+  let text =
+    "\\ a comment\n\
+     Minimize\n obj: 2 x + 3 y\n\
+     Subject To\n c1: x + y >= 2\n c2: x - y <= 1\n\
+     Bounds\n x <= 4\n -1 <= y <= 5\n\
+     Generals\n x\nEnd\n"
+  in
+  match Lp_format.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check int) "cols" 2 p.Problem.ncols;
+      Alcotest.(check int) "rows" 2 p.Problem.nrows;
+      let r = Branch_bound.solve p in
+      (match r.Branch_bound.objective with
+      | Some o ->
+          (* min 2x+3y st x+y>=2, x-y<=1, x in [0,4] integer, y in [-1,5]:
+             x=2,y=0 -> 4? or x=1,y=1 -> 5; x=2,y=0: c1 2>=2 ok c2 2<=1 NO;
+             x=1,y=1 -> c2 0<=1 ok -> 5; x=0,y=2 -> 6; x=2,y=1 -> 7;
+             y can be 1.5: not integer constraint on y -> x=1, y=1 -> 5?
+             y continuous: x=1,y=1 -> 5; x=2,y=1: c2=1<=1 ok obj 7; worse.
+             x=1, y=1: c1 tight. x integer, y cont: x=1.5 not allowed.
+             Actually x=1,y=1 gives 5; x=0,y=2 gives 6; best is 5? try
+             x=1,y=1 exactly. *)
+          Alcotest.(check (float 1e-6)) "objective" 5.0 o
+      | None -> Alcotest.fail "no solution")
+
+let test_lp_parse_free_and_max () =
+  let text =
+    "Maximize\n obj: x - y\nSubject To\n c: x + y <= 3\n\
+     Bounds\n x <= 2\n y free\nEnd\n"
+  in
+  match Lp_format.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p -> (
+      (* max x - y, y free -> unbounded (y -> -inf) *)
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Unbounded -> ()
+      | _ -> Alcotest.fail "expected unbounded")
+
+let test_lp_parse_errors () =
+  (match Lp_format.parse "Minimize\n obj: x\nSubject To\n c: x + y\nEnd\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing relop should fail");
+  match Lp_format.parse "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty should fail"
+
+let prop_lp_format_roundtrip =
+  qtest ~count:150 "LP-format round trip preserves the MIP optimum"
+    random_bip_gen (fun params ->
+      let p = build_random_bip params in
+      match Lp_format.parse (Lp_format.to_string p) with
+      | Error _ -> false
+      | Ok q -> (
+          let rp = Branch_bound.solve p and rq = Branch_bound.solve q in
+          match (rp.Branch_bound.objective, rq.Branch_bound.objective) with
+          | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+          | None, None -> true
+          | _ -> false))
+
+let prop_lp_format_roundtrip_lp =
+  qtest ~count:150 "LP-format round trip preserves the LP optimum"
+    random_lp_gen (fun params ->
+      let p = build_random_lp params in
+      match Lp_format.parse (Lp_format.to_string p) with
+      | Error _ -> false
+      | Ok q -> (
+          let sp = Simplex.create p and sq = Simplex.create q in
+          match (Simplex.solve sp, Simplex.solve sq) with
+          | Simplex.Optimal, Simplex.Optimal ->
+              Float.abs (Simplex.objective sp -. Simplex.objective sq)
+              <= 1e-6 *. Float.max 1.0 (Float.abs (Simplex.objective sp))
+          | a, b -> a = b))
+
+(* --- MPS -------------------------------------------------------------------- *)
+
+let test_mps_writer_sections () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" ~lb:1.0 ~ub:4.0 Problem.Integer in
+  let y = Model.binary m ~name:"y" () in
+  let z = Model.add_var m ~name:"z" ~lb:neg_infinity Problem.Continuous in
+  Model.add_le m Expr.(sum [ var x; var y; var z ]) 10.0;
+  Model.add_range m 1.0 Expr.(add (var x) (var z)) 3.0;
+  Model.set_objective m Model.Minimize Expr.(add (var x) (scale 2.0 (var y)));
+  let text = Mps.to_string (Model.to_problem m) in
+  let has sub =
+    let nh = String.length text and nn = String.length sub in
+    let rec scan i = i + nn <= nh && (String.sub text i nn = sub || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun sec -> Alcotest.(check bool) sec true (has sec))
+    [ "ROWS"; "COLUMNS"; "RHS"; "RANGES"; "BOUNDS"; "ENDATA"; "INTORG"; "INTEND" ]
+
+let test_mps_parse_small () =
+  let text =
+    "NAME t\nROWS\n N obj\n L c1\n G c2\nCOLUMNS\n x obj 1 c1 2\n x c2 1\n\
+     \ y obj 3 c1 1\nRHS\n rhs c1 10 c2 1\nBOUNDS\n UP bnd x 5\nENDATA\n"
+  in
+  match Mps.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check int) "cols" 2 p.Problem.ncols;
+      Alcotest.(check int) "rows" 2 p.Problem.nrows;
+      let s = Simplex.create p in
+      Alcotest.(check bool) "solves" true (Simplex.solve s = Simplex.Optimal);
+      (* min x + 3y st 2x + y <= 10, x >= 1, x <= 5 -> x = 1, y = 0 *)
+      Alcotest.(check (float 1e-6)) "objective" 1.0 (Simplex.objective s)
+
+let test_mps_parse_errors () =
+  (match Mps.parse "garbage\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  match Mps.parse "ROWS\n N obj\nCOLUMNS\nENDATA\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected no-columns error"
+
+let prop_mps_roundtrip_lp_optimum =
+  qtest ~count:150 "MPS round trip preserves the LP optimum" random_lp_gen
+    (fun params ->
+      let p = build_random_lp params in
+      match Mps.parse (Mps.to_string p) with
+      | Error _ -> false
+      | Ok q -> (
+          let sp = Simplex.create p and sq = Simplex.create q in
+          match (Simplex.solve sp, Simplex.solve sq) with
+          | Simplex.Optimal, Simplex.Optimal ->
+              Float.abs (Simplex.objective sp -. Simplex.objective sq)
+              <= 1e-6 *. Float.max 1.0 (Float.abs (Simplex.objective sp))
+          | a, b -> a = b))
+
+let prop_mps_roundtrip_mip_optimum =
+  qtest ~count:100 "MPS round trip preserves the MIP optimum" random_bip_gen
+    (fun params ->
+      let p = build_random_bip params in
+      match Mps.parse (Mps.to_string p) with
+      | Error _ -> false
+      | Ok q -> (
+          let rp = Branch_bound.solve p and rq = Branch_bound.solve q in
+          match (rp.Branch_bound.objective, rq.Branch_bound.objective) with
+          | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+          | None, None -> true
+          | _ -> false))
+
+(* --- LP format -------------------------------------------------------------- *)
+
+let test_lp_format () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" ~ub:4.0 Problem.Integer in
+  let y = Model.binary m ~name:"y" () in
+  Model.add_le m Expr.(add (var x) (scale 2.0 (var y))) 5.0;
+  Model.set_objective m Model.Maximize Expr.(add (var x) (var y));
+  let s = Lp_format.to_string (Model.to_problem m) in
+  let has sub =
+    let nh = String.length s and nn = String.length sub in
+    let rec scan i = i + nn <= nh && (String.sub s i nn = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "maximize" true (has "Maximize");
+  Alcotest.(check bool) "subject to" true (has "Subject To");
+  Alcotest.(check bool) "generals" true (has "Generals");
+  Alcotest.(check bool) "binaries" true (has "Binaries");
+  Alcotest.(check bool) "end" true (has "End")
+
+
+let test_expr_pp () =
+  let e = Expr.(add (var ~coeff:2.5 0) (add (var ~coeff:(-1.0) 1) (const 3.0))) in
+  let str = Format.asprintf "%a" (Expr.pp (Printf.sprintf "v%d")) e in
+  let has sub =
+    let nh = String.length str and nn = String.length sub in
+    let rec scan i = i + nn <= nh && (String.sub str i nn = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "coefficient" true (has "2.5 v0");
+  Alcotest.(check bool) "negated" true (has "- v1");
+  Alcotest.(check bool) "constant" true (has "3")
+
+let test_lp_format_coefficients () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" Problem.Continuous in
+  Model.add_le m (Expr.var ~coeff:2.5 x) 7.5;
+  Model.set_objective m Model.Minimize (Expr.var ~coeff:0.25 x);
+  let str = Lp_format.to_string (Model.to_problem m) in
+  let has sub =
+    let nh = String.length str and nn = String.length sub in
+    let rec scan i = i + nn <= nh && (String.sub str i nn = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "row coefficient" true (has "2.5 x");
+  Alcotest.(check bool) "rhs" true (has "7.5");
+  Alcotest.(check bool) "objective coefficient" true (has "0.25 x")
+
+let () =
+  Alcotest.run "mm_lp"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "combinators" `Quick test_expr_combinators;
+          Alcotest.test_case "map_vars" `Quick test_expr_map_vars;
+          Alcotest.test_case "add_term cancel" `Quick test_expr_add_term;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "build" `Quick test_model_build;
+          Alcotest.test_case "feasibility" `Quick test_problem_feasibility;
+          Alcotest.test_case "extend rows" `Quick test_problem_extend_rows;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "known optimum" `Quick test_simplex_known_optimum;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "equality+range" `Quick test_simplex_equality_range;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "free variable" `Quick test_simplex_free_variable;
+          Alcotest.test_case "warm restart" `Quick test_simplex_warm_restart;
+          Alcotest.test_case "dual reoptimize" `Quick test_dual_simplex_reoptimize;
+          Alcotest.test_case "basis snapshot" `Quick test_simplex_basis_snapshot;
+          Alcotest.test_case "duals" `Quick test_simplex_duals_signs;
+          Alcotest.test_case "fixed variable" `Quick test_fixed_variable_lp;
+          prop_simplex_feasible_and_certified;
+          prop_dual_matches_primal;
+        ] );
+      ( "presolve",
+        [
+          Alcotest.test_case "fixing" `Quick test_presolve_fixing;
+          Alcotest.test_case "infeasible" `Quick test_presolve_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_presolve_unbounded;
+          Alcotest.test_case "integer rounding" `Quick test_presolve_integer_rounding;
+          prop_presolve_preserves_optimum;
+        ] );
+      ( "branch_bound",
+        [
+          prop_bb_matches_brute_force;
+          prop_solver_facade_matches_brute_force;
+          prop_bb_maximize;
+          Alcotest.test_case "node limit" `Quick test_bb_respects_node_limit;
+          Alcotest.test_case "gap" `Quick test_bb_gap_reporting;
+          Alcotest.test_case "time limit" `Quick test_solver_time_limit_reported;
+          Alcotest.test_case "options off" `Quick test_solver_without_presolve_or_cuts;
+          Alcotest.test_case "best bound" `Quick test_bb_best_bound_sane;
+          Alcotest.test_case "var names" `Quick test_model_var_name;
+          prop_mixed_matches_grid_enumeration;
+          prop_wide_magnitude_coefficients;
+        ] );
+      ( "cuts",
+        [
+          Alcotest.test_case "cover validity" `Quick test_cover_cut_validity;
+          prop_cuts_never_cut_integer_points;
+        ] );
+      ( "lp_format",
+        [
+          Alcotest.test_case "writer" `Quick test_lp_format;
+          Alcotest.test_case "coefficients" `Quick test_lp_format_coefficients;
+          Alcotest.test_case "expr pp" `Quick test_expr_pp;
+          Alcotest.test_case "parse small" `Quick test_lp_parse_small;
+          Alcotest.test_case "parse free/max" `Quick test_lp_parse_free_and_max;
+          Alcotest.test_case "parse errors" `Quick test_lp_parse_errors;
+          prop_lp_format_roundtrip;
+          prop_lp_format_roundtrip_lp;
+        ] );
+      ( "mps",
+        [
+          Alcotest.test_case "writer sections" `Quick test_mps_writer_sections;
+          Alcotest.test_case "parse small" `Quick test_mps_parse_small;
+          Alcotest.test_case "parse errors" `Quick test_mps_parse_errors;
+          prop_mps_roundtrip_lp_optimum;
+          prop_mps_roundtrip_mip_optimum;
+        ] );
+    ]

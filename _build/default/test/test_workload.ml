@@ -1,0 +1,150 @@
+open Mm_workload
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; 2026 |])
+    (QCheck.Test.make ~count ~name gen prop)
+
+let test_table3_points_exact () =
+  (* every Table 3 point regenerates a board with the paper's exact
+     complexity parameters *)
+  List.iter
+    (fun (p : Table3.point) ->
+      let spec = p.Table3.spec in
+      let board = Gen.board_of_spec spec in
+      Alcotest.(check int)
+        (Printf.sprintf "banks for %d segs" spec.Gen.segments)
+        spec.Gen.banks
+        (Mm_arch.Board.total_banks board);
+      Alcotest.(check int) "ports" spec.Gen.ports (Mm_arch.Board.total_ports board);
+      Alcotest.(check int) "configs" spec.Gen.configs
+        (Mm_arch.Board.total_configs board);
+      let design = Gen.design_of_spec spec board in
+      Alcotest.(check int) "segments" spec.Gen.segments
+        (Mm_design.Design.num_segments design))
+    Table3.points
+
+let test_table3_paper_times () =
+  (* the paper's numbers are transcribed: 9 rows, increasing sizes,
+     complete >= global on every row *)
+  Alcotest.(check int) "nine points" 9 (List.length Table3.points);
+  List.iter
+    (fun (p : Table3.point) ->
+      Alcotest.(check bool) "complete slower in the paper" true
+        (p.Table3.paper_complete_seconds >= p.Table3.paper_global_seconds))
+    Table3.points;
+  let first = List.hd Table3.points and last = List.nth Table3.points 8 in
+  Alcotest.(check (float 1e-9)) "first complete" 8.1 first.Table3.paper_complete_seconds;
+  Alcotest.(check (float 1e-9)) "last complete" 2989.0 last.Table3.paper_complete_seconds;
+  Alcotest.(check (float 1e-9)) "last global" 489.0 last.Table3.paper_global_seconds
+
+let test_generation_deterministic () =
+  let spec = (List.hd Table3.points).Table3.spec in
+  let b1, d1 = Gen.instance spec and b2, d2 = Gen.instance spec in
+  Alcotest.(check string) "same board" (Mm_arch.Board.describe b1)
+    (Mm_arch.Board.describe b2);
+  Alcotest.(check string) "same design" (Mm_design.Design.describe d1)
+    (Mm_design.Design.describe d2)
+
+let test_generated_segments_fit () =
+  List.iter
+    (fun (p : Table3.point) ->
+      let board, design = Gen.instance p.Table3.spec in
+      for d = 0 to Mm_design.Design.num_segments design - 1 do
+        let s = Mm_design.Design.segment design d in
+        Alcotest.(check bool)
+          (Printf.sprintf "segment %d fits somewhere" d)
+          true
+          (List.exists
+             (fun t ->
+               Mm_mapping.Preprocess.fits s (Mm_arch.Board.bank_type board t))
+             (Mm_util.Ints.range (Mm_arch.Board.num_types board)))
+      done)
+    Table3.points
+
+let test_smallest_point_solvable () =
+  let board, design = Gen.instance (List.hd Table3.points).Table3.spec in
+  match Mm_mapping.Mapper.run board design with
+  | Ok o ->
+      Alcotest.(check bool) "legal mapping" true
+        (Mm_mapping.Validate.is_legal board design o.Mm_mapping.Mapper.mapping)
+  | Error e -> Alcotest.fail (Mm_mapping.Mapper.error_to_string e)
+
+let test_rejects_inconsistent_spec () =
+  Alcotest.check_raises "configs not multiple of 5"
+    (Invalid_argument "Gen.board_of_spec: configs must be a multiple of 5")
+    (fun () ->
+      ignore
+        (Gen.board_of_spec { Gen.segments = 4; banks = 5; ports = 7; configs = 13; seed = 1 }));
+  Alcotest.check_raises "ports below banks"
+    (Invalid_argument "Gen.board_of_spec: ports < banks") (fun () ->
+      ignore
+        (Gen.board_of_spec { Gen.segments = 4; banks = 5; ports = 4; configs = 10; seed = 1 }))
+
+
+let test_fill_scales_designs () =
+  let spec = (List.hd Table3.points).Table3.spec in
+  let board = Gen.board_of_spec spec in
+  let small = Gen.design_of_spec ~fill:0.1 spec board in
+  let large = Gen.design_of_spec ~fill:0.7 spec board in
+  Alcotest.(check bool) "fill scales total bits" true
+    (Mm_design.Design.total_bits small < Mm_design.Design.total_bits large)
+
+let spec_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* banks = int_range 4 60 in
+      let* extra_ports = int_range 0 30 in
+      let* cfg_units = int_range 0 12 in
+      let* seed = int_range 0 100000 in
+      return
+        {
+          Gen.segments = 8;
+          banks;
+          ports = banks + extra_ports;
+          configs = 5 * cfg_units;
+          seed;
+        })
+
+let prop_board_totals_exact =
+  qtest "board composition hits arbitrary consistent totals exactly" spec_gen
+    (fun spec ->
+      (* not all random triples are composable; skip those *)
+      match Gen.board_of_spec spec with
+      | board ->
+          Mm_arch.Board.total_banks board = spec.Gen.banks
+          && Mm_arch.Board.total_ports board = spec.Gen.ports
+          && Mm_arch.Board.total_configs board = spec.Gen.configs
+      | exception Invalid_argument _ -> QCheck.assume_fail ())
+
+let prop_random_instances_mappable =
+  qtest ~count:30 "random boards and designs go through the pipeline"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Mm_util.Prng.create seed in
+      let board = Gen.random_board rng in
+      let design = Gen.random_design rng ~segments:5 board in
+      match Mm_mapping.Mapper.run board design with
+      | Ok o -> Mm_mapping.Validate.is_legal board design o.Mm_mapping.Mapper.mapping
+      | Error Mm_mapping.Mapper.Solver_limit -> false
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "mm_workload"
+    [
+      ( "table3",
+        [
+          Alcotest.test_case "exact complexity parameters" `Quick test_table3_points_exact;
+          Alcotest.test_case "paper times transcribed" `Quick test_table3_paper_times;
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "segments fit" `Quick test_generated_segments_fit;
+          Alcotest.test_case "smallest point solvable" `Quick test_smallest_point_solvable;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "rejects inconsistent" `Quick test_rejects_inconsistent_spec;
+          Alcotest.test_case "fill scales" `Quick test_fill_scales_designs;
+          prop_board_totals_exact;
+          prop_random_instances_mappable;
+        ] );
+    ]
