@@ -186,13 +186,34 @@ let run_table2 () =
 (* Table 3 + Fig. 4: complete vs global/detailed execution time        *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-engine measurement of one design point: wall time plus the LP-core
+   counters that BENCH_lp.json records. *)
+type t3_cell = {
+  seconds : float;
+  optimal : bool;
+  objective : float option;
+  pivots : int;
+  nodes : int;
+}
+
 type t3_row = {
   point : Mm_workload.Table3.point;
-  global_seconds : float;
-  global_optimal : bool;
-  complete_seconds : float;
-  complete_optimal : bool;
+  global : t3_cell;
+  complete : t3_cell;
 }
+
+let failed_cell seconds = { seconds; optimal = false; objective = None; pivots = 0; nodes = 0 }
+
+let cell_of_outcome seconds (o : Mm_mapping.Mapper.outcome) =
+  let r = o.Mm_mapping.Mapper.ilp_result in
+  let mip = r.Mm_lp.Solver.mip in
+  {
+    seconds;
+    optimal = mip.Mm_lp.Branch_bound.status = Mm_lp.Branch_bound.Optimal;
+    objective = Some o.Mm_mapping.Mapper.objective;
+    pivots = r.Mm_lp.Solver.stats.Mm_lp.Solver.lp.Mm_lp.Simplex.pivots;
+    nodes = mip.Mm_lp.Branch_bound.nodes;
+  }
 
 let table3_cache : t3_row list option ref = ref None
 
@@ -214,42 +235,101 @@ let measure_table3 () =
             Printf.eprintf "table3: point %d segments / %d banks...\n%!"
               spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks;
             let board, design = Mm_workload.Gen.instance spec in
-            let is_optimal (o : Mm_mapping.Mapper.outcome) =
-              o.Mm_mapping.Mapper.ilp_result.Mm_lp.Solver.mip
-                .Mm_lp.Branch_bound.status = Mm_lp.Branch_bound.Optimal
-            in
-            let g_time, g_opt =
+            let global =
               let t0 = Unix.gettimeofday () in
               match Mm_mapping.Mapper.run ~options:opts board design with
               | Ok o ->
-                  ( o.Mm_mapping.Mapper.ilp_seconds
-                    +. o.Mm_mapping.Mapper.detailed_seconds,
-                    is_optimal o )
+                  cell_of_outcome
+                    (o.Mm_mapping.Mapper.ilp_seconds
+                    +. o.Mm_mapping.Mapper.detailed_seconds)
+                    o
               | Error _ ->
                   (* budget exhausted before an incumbent: report the
                      wall clock actually burned, flagged as capped *)
-                  (Unix.gettimeofday () -. t0, false)
+                  failed_cell (Unix.gettimeofday () -. t0)
             in
-            let c_time, c_opt =
+            let complete =
               let t0 = Unix.gettimeofday () in
               match
                 Mm_mapping.Mapper.run ~method_:Mm_mapping.Mapper.Complete_flat
                   ~options:opts board design
               with
-              | Ok o -> (o.Mm_mapping.Mapper.ilp_seconds, is_optimal o)
-              | Error _ -> (Unix.gettimeofday () -. t0, false)
+              | Ok o -> cell_of_outcome o.Mm_mapping.Mapper.ilp_seconds o
+              | Error _ -> failed_cell (Unix.gettimeofday () -. t0)
             in
-            {
-              point;
-              global_seconds = g_time;
-              global_optimal = g_opt;
-              complete_seconds = c_time;
-              complete_optimal = c_opt;
-            })
+            { point; global; complete })
           Mm_workload.Table3.points
       in
       table3_cache := Some rows;
       rows
+
+(* Complete-flat ILP times of the dense-basis-inverse simplex this
+   engine replaced (measured on this machine, 60 s cap, at the commit
+   before the sparse LU core landed).  Kept as the reference point for
+   the speedup record in BENCH_lp.json: the dense engine proved points
+   0-6 only, found a non-optimal incumbent on point 7 and nothing at
+   all on point 8. *)
+let dense_baseline =
+  [
+    (0.112, true, Some 302649.0);
+    (9.588, true, Some 458822.0);
+    (9.874, true, Some 297826.0);
+    (30.318, true, Some 810398.0);
+    (5.530, true, Some 678153.0);
+    (39.612, true, Some 752585.0);
+    (10.583, true, Some 78985.0);
+    (60.075, false, Some 568148.0);
+    (61.433, false, None);
+  ]
+
+(* Machine-readable record of the Table-3 sweep: per design point, wall
+   time, status, objective, simplex pivots and branch-and-bound nodes for
+   both engines.  NaN times (failed runs) become JSON null. *)
+let write_bench_json rows =
+  let buf = Buffer.create 4096 in
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let opt_num = function Some v -> num v | None -> "null" in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"benchmark\": \"table3 complete vs global/detailed\",\n");
+  Buffer.add_string buf
+    (Printf.sprintf "  \"mode\": \"%s\",\n" (if !full_mode then "full" else "quick"));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"time_cap_seconds\": %.1f,\n" (quick_cap ()));
+  Buffer.add_string buf "  \"points\": [\n";
+  List.iteri
+    (fun i r ->
+      let spec = r.point.Mm_workload.Table3.spec in
+      let cell c =
+        Printf.sprintf
+          "{ \"seconds\": %s, \"optimal\": %b, \"objective\": %s, \"pivots\": %d, \"nodes\": %d }"
+          (num c.seconds) c.optimal (opt_num c.objective) c.pivots c.nodes
+      in
+      let dense =
+        match List.nth_opt dense_baseline i with
+        | Some (seconds, optimal, objective) ->
+            Printf.sprintf
+              "{ \"seconds\": %s, \"optimal\": %b, \"objective\": %s }"
+              (num seconds) optimal (opt_num objective)
+        | None -> "null"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n\
+           \      \"complete\": %s,\n\
+           \      \"global\": %s,\n\
+           \      \"complete_dense_baseline_60s\": %s }%s\n"
+           spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
+           spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs
+           (cell r.complete) (cell r.global) dense
+           (if i < List.length rows - 1 then "," else ""))
+    )
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  line "wrote BENCH_lp.json (%d points)" (List.length rows)
 
 let fmt_time seconds optimal =
   if Float.is_nan seconds then "failed"
@@ -288,17 +368,18 @@ let run_table3 () =
           string_of_int spec.Mm_workload.Gen.banks;
           string_of_int spec.Mm_workload.Gen.ports;
           string_of_int spec.Mm_workload.Gen.configs;
-          fmt_time r.complete_seconds r.complete_optimal;
-          fmt_time r.global_seconds r.global_optimal;
-          (if Float.is_nan r.complete_seconds || Float.is_nan r.global_seconds
+          fmt_time r.complete.seconds r.complete.optimal;
+          fmt_time r.global.seconds r.global.optimal;
+          (if Float.is_nan r.complete.seconds || Float.is_nan r.global.seconds
            then "-"
-           else Printf.sprintf "%.1fx" (r.complete_seconds /. Float.max r.global_seconds 1e-6));
+           else Printf.sprintf "%.1fx" (r.complete.seconds /. Float.max r.global.seconds 1e-6));
           Printf.sprintf "%.1f" pc;
           Printf.sprintf "%.1f" pg;
           Printf.sprintf "%.1fx" (pc /. pg);
         ])
     rows;
-  Table.print t
+  Table.print t;
+  write_bench_json rows
 
 let run_fig4 () =
   header "Fig. 4: complete versus global/detailed execution times";
@@ -316,8 +397,8 @@ let run_fig4 () =
     (Ascii_plot.render ~x_label:"design point (increasing size)"
        ~y_label:"execution time (s), this machine"
        [
-         series "Complete approach" '#' (fun r -> r.complete_seconds);
-         series "Global/Detailed approach" 'o' (fun r -> r.global_seconds);
+         series "Complete approach" '#' (fun r -> r.complete.seconds);
+         series "Global/Detailed approach" 'o' (fun r -> r.global.seconds);
        ]);
   line "";
   print_string

@@ -161,7 +161,9 @@ let solve_cmd =
           print_string
             (Mm_mapping.Report.cost_breakdown ~weights
                ~access_model:options.Mm_mapping.Mapper.access_model board design
-               o.Mm_mapping.Mapper.assignment)
+               o.Mm_mapping.Mapper.assignment);
+          print_endline
+            (Mm_mapping.Report.lp_core_summary o.Mm_mapping.Mapper.ilp_result)
         end;
         let violations =
           Mm_mapping.Validate.check ~port_model ~arbitration board design
@@ -323,6 +325,9 @@ let solve_mps_cmd =
         in
         Printf.printf "status: %s | nodes: %d | time: %.3fs\n" status
           mip.Mm_lp.Branch_bound.nodes mip.Mm_lp.Branch_bound.time;
+        Format.printf "lp core: %a | lp time %.3fs\n%!" Mm_lp.Simplex.pp_stats
+          r.Mm_lp.Solver.stats.Mm_lp.Solver.lp
+          r.Mm_lp.Solver.stats.Mm_lp.Solver.lp_time;
         (match mip.Mm_lp.Branch_bound.objective with
         | Some o -> Printf.printf "objective: %.9g\n" o
         | None -> ());

@@ -29,6 +29,9 @@ type result = {
   nodes : int;
   simplex_iterations : int;
   time : float;
+  lp_time : float;
+  max_node_lp_time : float;
+  lp_stats : Simplex.stats;
 }
 
 let gap r =
@@ -46,6 +49,8 @@ type node = {
   depth : int;
   dir : direction;
   changes : (int * float * float) list;
+  basis : Simplex.basis option;
+      (* parent's optimal basis, shared by both children *)
 }
 
 type pseudocost = {
@@ -82,6 +87,7 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   let incumbent = ref None and incumbent_obj = ref infinity in
   let nodes = ref 0 in
+  let lp_time = ref 0.0 and max_node_lp_time = ref 0.0 in
   let queue = Mm_util.Heap.create (fun nd -> nd.bound) in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let out_of_budget () =
@@ -137,7 +143,8 @@ let solve ?(options = default_options) (p : Problem.t) =
     Simplex.restore_bounds sx root_bounds;
     List.iter
       (fun (j, lb, ub) -> Simplex.set_bounds sx j lb ub)
-      (List.rev nd.changes)
+      (List.rev nd.changes);
+    Option.iter (Simplex.restore_basis sx) nd.basis
   in
   (* tightest change wins: prepending child changes and applying in root
      order means later (deeper) changes overwrite, which is what we want *)
@@ -148,7 +155,15 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   let status = ref None in
   let current =
-    ref (Some { bound = neg_infinity; depth = 0; dir = Root; changes = [] })
+    ref
+      (Some
+         {
+           bound = neg_infinity;
+           depth = 0;
+           dir = Root;
+           changes = [];
+           basis = None;
+         })
   in
   let stop_reason reason = if !status = None then status := Some reason in
   while !status = None && (!current <> None || not (Mm_util.Heap.is_empty queue)) do
@@ -174,11 +189,17 @@ let solve ?(options = default_options) (p : Problem.t) =
                     (Mm_util.Heap.size queue))
           | _ -> ());
           apply_node nd;
-          (* measured: with the explicit dense basis inverse, the primal
-             warm start from the previous node's basis beats the dual
-             simplex (whose per-pivot dual/value recomputation costs two
-             extra O(m^2) sweeps), so the dual method stays opt-in *)
-          match Simplex.solve ?deadline sx with
+          (* warm start: re-solving with the primal simplex from the
+             parent's restored basis needs only a short phase I (the basis
+             is near-feasible after one bound change); the bounded dual is
+             available via [prefer_dual] but grinds on these highly
+             degenerate set-covering LPs, so it stays opt-in *)
+          let lp0 = Unix.gettimeofday () in
+          let lp_result = Simplex.solve ?deadline sx in
+          let node_lp = Unix.gettimeofday () -. lp0 in
+          lp_time := !lp_time +. node_lp;
+          if node_lp > !max_node_lp_time then max_node_lp_time := node_lp;
+          match lp_result with
           | Simplex.Infeasible -> ()
           | Simplex.Unbounded ->
               if nd.depth = 0 then stop_reason `Unbounded else ()
@@ -205,12 +226,14 @@ let solve ?(options = default_options) (p : Problem.t) =
                   rounding_heuristic x;
                   let lbj, ubj = Simplex.get_bounds sx j in
                   let f = x.(j) in
+                  let snap = Some (Simplex.basis_snapshot sx) in
                   let down =
                     {
                       bound = obj;
                       depth = nd.depth + 1;
                       dir = Down j;
                       changes = (j, lbj, Float.floor f) :: nd.changes;
+                      basis = snap;
                     }
                   and up =
                     {
@@ -218,6 +241,7 @@ let solve ?(options = default_options) (p : Problem.t) =
                       depth = nd.depth + 1;
                       dir = Up j;
                       changes = (j, Float.ceil f, ubj) :: nd.changes;
+                      basis = snap;
                     }
                   in
                   let frac = f -. Float.floor f in
@@ -268,4 +292,7 @@ let solve ?(options = default_options) (p : Problem.t) =
     nodes = !nodes;
     simplex_iterations = Simplex.iterations sx;
     time = elapsed ();
+    lp_time = !lp_time;
+    max_node_lp_time = !max_node_lp_time;
+    lp_stats = Simplex.stats sx;
   }

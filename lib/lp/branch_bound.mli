@@ -2,8 +2,10 @@
 
     Search: best-bound node queue with depth-first plunging, pseudocost
     branching (initialized most-fractional), a nearest-integer rounding
-    heuristic at every node, and warm-started node relaxations (the
-    simplex re-solves from the basis left by the previous node). *)
+    heuristic at every node, and warm-started node relaxations: every
+    node carries an explicit {!Simplex.basis} snapshot of its parent's
+    optimal basis (shared by both children), restored before the node
+    LP is solved with the dual simplex. *)
 
 type status =
   | Optimal  (** incumbent proved optimal *)
@@ -30,6 +32,9 @@ type result = {
   nodes : int;
   simplex_iterations : int;
   time : float;  (** wall-clock seconds spent *)
+  lp_time : float;  (** seconds spent inside node LP solves *)
+  max_node_lp_time : float;  (** slowest single node relaxation *)
+  lp_stats : Simplex.stats;  (** cumulative simplex instrumentation *)
 }
 
 val gap : result -> float option

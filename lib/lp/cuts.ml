@@ -7,29 +7,24 @@ let viol_tol = 1e-4
    y_j in {x_j, 1 - x_j}; a cover C gives sum_C y_j <= |C| - 1, which is
    translated back to the x variables. *)
 let cut_from_row p x r =
-  let idx, coefs = p.Problem.rows.(r) in
   let b = p.Problem.row_ub.(r) in
-  if not (Float.is_finite b) || Array.length idx < 2 then None
+  if not (Float.is_finite b) || Problem.row_nnz p r < 2 then None
   else
-    let all_binary =
-      Array.for_all (fun j -> p.Problem.kind.(j) = Problem.Binary) idx
-    in
-    if not all_binary then None
+    let all_binary = ref true in
+    Problem.row_iter p r (fun j _ ->
+        if p.Problem.kind.(j) <> Problem.Binary then all_binary := false);
+    if not !all_binary then None
     else begin
       (* normalize: complement variables with negative coefficients *)
       let b' = ref b in
-      let items =
-        List.filter_map
-          (fun k ->
-            let j = idx.(k) and a = coefs.(k) in
-            if a > 0.0 then Some (j, a, false, x.(j))
-            else if a < 0.0 then begin
-              b' := !b' -. a;
-              Some (j, -.a, true, 1.0 -. x.(j))
-            end
-            else None)
-          (Mm_util.Ints.range (Array.length idx))
-      in
+      let rev_items = ref [] in
+      Problem.row_iter p r (fun j a ->
+          if a > 0.0 then rev_items := (j, a, false, x.(j)) :: !rev_items
+          else if a < 0.0 then begin
+            b' := !b' -. a;
+            rev_items := (j, -.a, true, 1.0 -. x.(j)) :: !rev_items
+          end);
+      let items = List.rev !rev_items in
       let b = !b' in
       if b < 0.0 then None
       else begin

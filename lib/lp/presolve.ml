@@ -47,12 +47,10 @@ let fix_col w j v =
     idx
 
 let row_live_entries w r =
-  let idx, coefs = w.p.Problem.rows.(r) in
   let out = ref [] in
-  for k = Array.length idx - 1 downto 0 do
-    if alive_col w idx.(k) then out := (idx.(k), coefs.(k)) :: !out
-  done;
-  !out
+  Problem.row_iter w.p r (fun j a ->
+      if alive_col w j then out := (j, a) :: !out);
+  List.rev !out
 
 let one_pass w =
   let changed = ref false in

@@ -17,6 +17,24 @@ type t = {
   row_names : string array;
 }
 
+let col_iter p j f =
+  let idx, v = p.cols.(j) in
+  for k = 0 to Array.length idx - 1 do
+    f idx.(k) v.(k)
+  done
+
+let row_iter p r f =
+  let idx, v = p.rows.(r) in
+  for k = 0 to Array.length idx - 1 do
+    f idx.(k) v.(k)
+  done
+
+let col_nnz p j = Array.length (fst p.cols.(j))
+let row_nnz p r = Array.length (fst p.rows.(r))
+
+let nnz p =
+  Array.fold_left (fun acc (idx, _) -> acc + Array.length idx) 0 p.cols
+
 let num_integer p =
   let n = ref 0 in
   Array.iter (function Integer | Binary -> incr n | Continuous -> ()) p.kind;
@@ -184,6 +202,5 @@ let extend_rows p extra =
   }
 
 let pp_stats fmt p =
-  let nnz = Array.fold_left (fun acc (idx, _) -> acc + Array.length idx) 0 p.cols in
   Format.fprintf fmt "%d cols (%d integer), %d rows, %d nonzeros" p.ncols
-    (num_integer p) p.nrows nnz
+    (num_integer p) p.nrows (nnz p)

@@ -31,6 +31,23 @@ type t = {
 val num_integer : t -> int
 (** Number of columns with kind [Integer] or [Binary]. *)
 
+val col_iter : t -> int -> (int -> float -> unit) -> unit
+(** [col_iter p j f] calls [f row coeff] for each structural nonzero of
+    column [j], in ascending row order. *)
+
+val row_iter : t -> int -> (int -> float -> unit) -> unit
+(** [row_iter p r f] calls [f col coeff] for each structural nonzero of
+    row [r], in ascending column order. *)
+
+val col_nnz : t -> int -> int
+(** Number of structural nonzeros in column [j]. *)
+
+val row_nnz : t -> int -> int
+(** Number of structural nonzeros in row [r]. *)
+
+val nnz : t -> int
+(** Total structural nonzeros of the constraint matrix. *)
+
 val row_activity : t -> float array -> int -> float
 (** [row_activity p x r] is the value of row [r] under assignment [x]. *)
 

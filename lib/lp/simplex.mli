@@ -1,11 +1,13 @@
-(** Bounded-variable primal simplex over the continuous relaxation of a
+(** Bounded-variable revised simplex over the continuous relaxation of a
     {!Problem.t}.
 
-    The implementation keeps an explicit dense basis inverse, updated by
-    product-form pivots and periodically refactorized, with a composite
-    (artificial-free) phase I. Variable bounds are owned by the solver
-    state and may be tightened between solves, which is how
-    {!Branch_bound} warm-starts node relaxations from the parent basis.
+    The basis is kept as a sparse LU factorization (Markowitz pivoting,
+    {!Lu}) with product-form eta updates between refactorizations;
+    pricing and ratio tests go through sparse ftran/btran rather than an
+    explicit inverse. Phase I is composite (artificial-free). Variable
+    bounds are owned by the solver state and may be tightened between
+    solves, which is how {!Branch_bound} warm-starts node relaxations
+    from a parent basis snapshot.
 
     Integrality restrictions in the problem are ignored here. *)
 
@@ -16,6 +18,24 @@ type result =
   | Infeasible
   | Unbounded
   | Iteration_limit  (** ran out of pivots; solution is not meaningful *)
+
+type stats = {
+  pivots : int;  (** simplex iterations, bound flips included *)
+  phase1_pivots : int;  (** iterations spent restoring feasibility *)
+  refactorizations : int;  (** sparse LU factorizations performed *)
+  max_eta : int;  (** longest eta file reached between refactorizations *)
+  lu_fill : int;  (** worst fill-in of any factorization *)
+  basis_nnz : int;  (** largest basis nonzero count factored *)
+}
+
+val empty_stats : stats
+
+val merge_stats : stats -> stats -> stats
+(** Combine counters from independent solver instances: counts add,
+    gauges ([max_eta], [lu_fill], [basis_nnz]) take the max. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line human-readable rendering. *)
 
 val create : Problem.t -> t
 (** Builds solver state with the slack basis. *)
@@ -51,6 +71,15 @@ val duals : t -> float array
 val iterations : t -> int
 (** Total pivots performed since creation. *)
 
+val stats : t -> stats
+(** Cumulative instrumentation counters since creation. *)
+
+val refactorize : t -> unit
+(** Discard the eta file, factor the current basis from scratch and
+    recompute basic values. Exposed for testing (a refactorization must
+    not change the primal point) and for callers that want a clean
+    factorization before reading solutions. *)
+
 val set_bounds : t -> int -> float -> float -> unit
 (** [set_bounds t j lb ub] overrides the bounds of structural variable
     [j]. The basis is kept; nonbasic variables are snapped into range. *)
@@ -62,8 +91,14 @@ val save_bounds : t -> float array * float array
 
 val restore_bounds : t -> float array * float array -> unit
 
-val basis_snapshot : t -> int array * int array
-(** Opaque basis state: (basis positions, variable statuses). *)
+type basis
+(** Compact immutable basis snapshot: basis array plus one status byte
+    per variable. Sharable between branch-and-bound nodes. *)
 
-val restore_basis : t -> int array * int array -> unit
-(** Restores a snapshot taken on the same problem. *)
+val basis_snapshot : t -> basis
+
+val restore_basis : t -> basis -> unit
+(** Restores a snapshot taken on the same problem. Nonbasic variables
+    whose bound has since become infinite are snapped to a valid
+    status. The factorization is rebuilt on the next {!solve} (or by an
+    explicit {!refactorize}). *)

@@ -29,6 +29,8 @@ type stats = {
   presolved_from : int * int;
   presolved_to : int * int;
   cuts_added : int;
+  lp : Simplex.stats;
+  lp_time : float;
 }
 
 type result = { mip : Branch_bound.result; stats : stats }
@@ -42,11 +44,16 @@ let add_root_cuts options p =
       (fun tl -> Unix.gettimeofday () +. tl)
       options.bb.Branch_bound.time_limit
   in
+  let lp_stats = ref Simplex.empty_stats and lp_time = ref 0.0 in
   let rec loop p round added =
     if round >= options.cut_rounds then (p, added)
     else begin
       let sx = Simplex.create p in
-      match Simplex.solve ?deadline sx with
+      let t0 = Unix.gettimeofday () in
+      let r = Simplex.solve ?deadline sx in
+      lp_time := !lp_time +. (Unix.gettimeofday () -. t0);
+      lp_stats := Simplex.merge_stats !lp_stats (Simplex.stats sx);
+      match r with
       | Simplex.Optimal ->
           let x = Simplex.primal sx in
           if Problem.integer_violation p x <= 1e-6 then (p, added)
@@ -62,7 +69,8 @@ let add_root_cuts options p =
       | _ -> (p, added)
     end
   in
-  loop p 0 0
+  let p, added = loop p 0 0 in
+  (p, added, !lp_stats, !lp_time)
 
 let infeasible_result p t0 =
   {
@@ -73,6 +81,9 @@ let infeasible_result p t0 =
     nodes = 0;
     simplex_iterations = 0;
     time = Unix.gettimeofday () -. t0;
+    lp_time = 0.0;
+    max_node_lp_time = 0.0;
+    lp_stats = Simplex.empty_stats;
   }
 
 let unbounded_result p t0 =
@@ -84,6 +95,9 @@ let unbounded_result p t0 =
     nodes = 0;
     simplex_iterations = 0;
     time = Unix.gettimeofday () -. t0;
+    lp_time = 0.0;
+    max_node_lp_time = 0.0;
+    lp_stats = Simplex.empty_stats;
   }
 
 let solve ?(options = default_options) p =
@@ -101,22 +115,37 @@ let solve ?(options = default_options) p =
   | None ->
       {
         mip = infeasible_result p t0;
-        stats = { presolved_from = before; presolved_to = (0, 0); cuts_added = 0 };
+        stats =
+          {
+            presolved_from = before;
+            presolved_to = (0, 0);
+            cuts_added = 0;
+            lp = Simplex.empty_stats;
+            lp_time = 0.0;
+          };
       }
   | Some `Unbounded ->
       {
         mip = unbounded_result p t0;
-        stats = { presolved_from = before; presolved_to = (0, 0); cuts_added = 0 };
+        stats =
+          {
+            presolved_from = before;
+            presolved_to = (0, 0);
+            cuts_added = 0;
+            lp = Simplex.empty_stats;
+            lp_time = 0.0;
+          };
       }
   | Some (`Problem q) ->
-      let q, cuts_added =
+      let q, cuts_added, cut_lp_stats, cut_lp_time =
         if options.cuts && Problem.num_integer q > 0 then add_root_cuts options q
-        else (q, 0)
+        else (q, 0, Simplex.empty_stats, 0.0)
       in
       Log.debug (fun m ->
           m "solving %a (%d cuts)" Problem.pp_stats q cuts_added);
       (* the time limit covers presolve + cuts + branch and bound: hand
-         the tree search only what remains *)
+         the tree search only the true remainder (possibly zero, in which
+         case it reports a clean limit status immediately) *)
       let bb_options =
         match options.bb.Branch_bound.time_limit with
         | None -> options.bb
@@ -124,7 +153,7 @@ let solve ?(options = default_options) p =
             let spent = Unix.gettimeofday () -. t0 in
             {
               options.bb with
-              Branch_bound.time_limit = Some (Float.max 1.0 (tl -. spent));
+              Branch_bound.time_limit = Some (Float.max 0.0 (tl -. spent));
             }
       in
       let r = Branch_bound.solve ~options:bb_options q in
@@ -142,6 +171,8 @@ let solve ?(options = default_options) p =
             presolved_from = before;
             presolved_to = (q.Problem.ncols, q.Problem.nrows);
             cuts_added;
+            lp = Simplex.merge_stats cut_lp_stats r.Branch_bound.lp_stats;
+            lp_time = cut_lp_time +. r.Branch_bound.lp_time;
           };
       }
 

@@ -18,6 +18,10 @@ type stats = {
   presolved_from : int * int;  (** columns, rows before presolve *)
   presolved_to : int * int;
   cuts_added : int;
+  lp : Simplex.stats;
+      (** simplex instrumentation accumulated across the root cut loop
+          and the branch-and-bound run *)
+  lp_time : float;  (** seconds spent inside LP solves *)
 }
 
 type result = { mip : Branch_bound.result; stats : stats }

@@ -166,6 +166,19 @@ let lifetime_chart (design : Mm_design.Design.t) =
       done;
       Buffer.contents buf
 
+let lp_core_summary (r : Mm_lp.Solver.result) =
+  let s = r.Mm_lp.Solver.stats in
+  let lp = s.Mm_lp.Solver.lp in
+  let mip = r.Mm_lp.Solver.mip in
+  Printf.sprintf
+    "LP core: %d nodes, %d pivots (%d phase-1), %d refactorizations, eta<=%d, \
+     fill %d, basis nnz %d | LP time %.3fs (worst node %.3fs)"
+    mip.Mm_lp.Branch_bound.nodes lp.Mm_lp.Simplex.pivots
+    lp.Mm_lp.Simplex.phase1_pivots lp.Mm_lp.Simplex.refactorizations
+    lp.Mm_lp.Simplex.max_eta lp.Mm_lp.Simplex.lu_fill
+    lp.Mm_lp.Simplex.basis_nnz s.Mm_lp.Solver.lp_time
+    mip.Mm_lp.Branch_bound.max_node_lp_time
+
 let outcome board design (o : Mapper.outcome) =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
@@ -178,6 +191,8 @@ let outcome board design (o : Mapper.outcome) =
        "Objective: %.1f | retries: %d | ILP: %.3fs | detailed: %.3fs | total: %.3fs\n"
        o.Mapper.objective o.Mapper.retries o.Mapper.ilp_seconds
        o.Mapper.detailed_seconds o.Mapper.total_seconds);
+  Buffer.add_string buf (lp_core_summary o.Mapper.ilp_result);
+  Buffer.add_char buf '\n';
   Buffer.add_string buf
     (Printf.sprintf "Fragmentation: %d extra fragment(s); instances used: %s\n\n"
        (Detailed.fragmentation o.Mapper.mapping)

@@ -28,5 +28,9 @@ val lifetime_chart : Mm_design.Design.t -> string
 (** ASCII Gantt chart of segment lifetimes (empty string when the design
     carries no lifetime information). *)
 
+val lp_core_summary : Mm_lp.Solver.result -> string
+(** One-line rendering of the solver's LP-core instrumentation: nodes,
+    pivots, refactorizations, eta/fill/basis gauges and LP time. *)
+
 val outcome : Mm_arch.Board.t -> Mm_design.Design.t -> Mapper.outcome -> string
-(** Full report: summary, costs, placements, timing. *)
+(** Full report: summary, costs, placements, timing, LP-core stats. *)

@@ -1,4 +1,12 @@
-(* Bounded-variable revised simplex over a sparse LU factorization.
+(* The dense-basis-inverse simplex engine that preceded the sparse
+   LU/eta core in [Mm_lp.Simplex], kept verbatim as a test oracle:
+   property tests solve random LPs with both engines and require the
+   objectives to agree.  Maintains an explicit m*m basis inverse
+   (O(m^2) per pivot), which is exactly why it was replaced. *)
+
+open Mm_lp
+
+(* Bounded-variable primal simplex with explicit dense basis inverse.
 
    Variables 0..n-1 are the structural columns of the problem; variables
    n..n+m-1 are row slacks with column -e_r, so that every constraint
@@ -10,15 +18,11 @@
      -2      nonbasic at upper bound;
      -3      nonbasic free (held at value 0).
 
-   The basis is held as a sparse LU factorization (Markowitz pivoting,
-   see {!Lu}) with product-form eta updates absorbed between
-   refactorizations; ftran/btran replace the former dense basis-inverse
-   row operations. Phase I is the composite (artificial-free) method:
-   basic variables outside their bounds get cost +/-1 and the same
-   pivoting machinery drives the total infeasibility to zero. Infeasible
-   basics are blocked at their violated bound during the ratio test, so
-   infeasibility is non-increasing and no new infeasibilities are
-   created. *)
+   Phase I is the composite (artificial-free) method: basic variables
+   outside their bounds get cost +/-1 and the same pivoting machinery
+   drives the total infeasibility to zero. Infeasible basics are blocked
+   at their violated bound during the ratio test, so infeasibility is
+   non-increasing and no new infeasibilities are created. *)
 
 type result = Optimal | Infeasible | Unbounded | Iteration_limit
 
@@ -27,41 +31,6 @@ let opt_tol = 1e-7
 let pivot_tol = 1e-8
 let zero_tol = 1e-11
 let refactor_every = 120
-
-type stats = {
-  pivots : int;
-  phase1_pivots : int;
-  refactorizations : int;
-  max_eta : int;
-  lu_fill : int;
-  basis_nnz : int;
-}
-
-let empty_stats =
-  {
-    pivots = 0;
-    phase1_pivots = 0;
-    refactorizations = 0;
-    max_eta = 0;
-    lu_fill = 0;
-    basis_nnz = 0;
-  }
-
-let merge_stats a b =
-  {
-    pivots = a.pivots + b.pivots;
-    phase1_pivots = a.phase1_pivots + b.phase1_pivots;
-    refactorizations = a.refactorizations + b.refactorizations;
-    max_eta = max a.max_eta b.max_eta;
-    lu_fill = max a.lu_fill b.lu_fill;
-    basis_nnz = max a.basis_nnz b.basis_nnz;
-  }
-
-let pp_stats fmt s =
-  Format.fprintf fmt
-    "%d pivots (%d phase-1), %d refactorizations, eta<=%d, fill %d, basis nnz \
-     %d"
-    s.pivots s.phase1_pivots s.refactorizations s.max_eta s.lu_fill s.basis_nnz
 
 type t = {
   p : Problem.t;
@@ -73,29 +42,26 @@ type t = {
   ub : float array;
   basis : int array;
   loc : int array;
-  mutable lu : Lu.t;
+  mutable binv : float array array;
   xval : float array;
   mutable niter : int;
-  mutable phase1_iters : int;
-  mutable nrefactor : int;
-  mutable max_eta : int;
-  mutable max_fill : int;
-  mutable max_bnnz : int;
   mutable since_refactor : int;
   mutable degenerate_streak : int;
   y : float array;
   alpha : float array;
-  beta : float array; (* compute_basics scratch, pos-indexed *)
-  rhs : float array; (* row-indexed scratch for ftran inputs *)
-  cbw : float array; (* pos-indexed scratch for btran inputs *)
-  rho : float array; (* row [ip] of the basis inverse, for dual pricing *)
   pcost : float array;
 }
 
 (* --- column access ---------------------------------------------------- *)
 
 let col_iter t j f =
-  if j < t.n then Problem.col_iter t.p j f else f (j - t.n) (-1.0)
+  if j < t.n then begin
+    let idx, v = t.p.Problem.cols.(j) in
+    for k = 0 to Array.length idx - 1 do
+      f idx.(k) v.(k)
+    done
+  end
+  else f (j - t.n) (-1.0)
 
 (* y . A_j *)
 let dot_col t y j =
@@ -103,11 +69,16 @@ let dot_col t y j =
   col_iter t j (fun r a -> acc := !acc +. (y.(r) *. a));
   !acc
 
-(* alpha := B^-1 A_j *)
+(* alpha := binv . A_j *)
 let ftran t j =
-  Array.fill t.rhs 0 t.m 0.0;
-  col_iter t j (fun r a -> t.rhs.(r) <- a);
-  Lu.ftran t.lu ~src:t.rhs ~dst:t.alpha
+  let m = t.m in
+  Array.fill t.alpha 0 m 0.0;
+  (* alpha_i = sum_r binv.(i).(r) * A_j(r) *)
+  col_iter t j (fun r a ->
+      if a <> 0.0 then
+        for i = 0 to m - 1 do
+          t.alpha.(i) <- t.alpha.(i) +. (t.binv.(i).(r) *. a)
+        done)
 
 (* --- creation and (re)factorization ----------------------------------- *)
 
@@ -119,8 +90,8 @@ let nonbasic_value t v =
   | _ -> invalid_arg "nonbasic_value: basic"
 
 let compute_basics t =
-  let b = t.rhs in
-  Array.fill b 0 t.m 0.0;
+  let m = t.m in
+  let b = Array.make m 0.0 in
   for v = 0 to t.nt - 1 do
     if t.loc.(v) < 0 then begin
       let x = nonbasic_value t v in
@@ -128,10 +99,54 @@ let compute_basics t =
       if x <> 0.0 then col_iter t v (fun r a -> b.(r) <- b.(r) -. (a *. x))
     end
   done;
-  Lu.ftran t.lu ~src:b ~dst:t.beta;
-  for k = 0 to t.m - 1 do
-    t.xval.(t.basis.(k)) <- t.beta.(k)
+  for i = 0 to m - 1 do
+    let acc = ref 0.0 in
+    let row = t.binv.(i) in
+    for r = 0 to m - 1 do
+      acc := !acc +. (row.(r) *. b.(r))
+    done;
+    t.xval.(t.basis.(i)) <- !acc
   done
+
+exception Singular
+
+let invert_basis t =
+  (* Gauss-Jordan with partial pivoting on the dense basis matrix. *)
+  let m = t.m in
+  let a = Array.make_matrix m m 0.0 in
+  for k = 0 to m - 1 do
+    col_iter t t.basis.(k) (fun r v -> a.(r).(k) <- v)
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun j -> if i = j then 1.0 else 0.0)) in
+  for k = 0 to m - 1 do
+    let piv = ref k in
+    for r = k + 1 to m - 1 do
+      if Float.abs a.(r).(k) > Float.abs a.(!piv).(k) then piv := r
+    done;
+    if Float.abs a.(!piv).(k) < 1e-12 then raise Singular;
+    if !piv <> k then begin
+      let tmp = a.(k) in a.(k) <- a.(!piv); a.(!piv) <- tmp;
+      let tmp = inv.(k) in inv.(k) <- inv.(!piv); inv.(!piv) <- tmp
+    end;
+    let d = a.(k).(k) in
+    for c = 0 to m - 1 do
+      a.(k).(c) <- a.(k).(c) /. d;
+      inv.(k).(c) <- inv.(k).(c) /. d
+    done;
+    for r = 0 to m - 1 do
+      if r <> k then begin
+        let f = a.(r).(k) in
+        if f <> 0.0 then
+          for c = 0 to m - 1 do
+            a.(r).(c) <- a.(r).(c) -. (f *. a.(k).(c));
+            inv.(r).(c) <- inv.(r).(c) -. (f *. inv.(k).(c))
+          done
+      end
+    done
+  done;
+  (* binv must satisfy binv . B = I where column k of B is A_{basis k}.
+     The elimination above produced inv = (P-adjusted) B^{-1} directly. *)
+  t.binv <- inv
 
 let reset_to_slack_basis t =
   for v = 0 to t.nt - 1 do
@@ -142,23 +157,16 @@ let reset_to_slack_basis t =
   done;
   for r = 0 to t.m - 1 do
     t.basis.(r) <- t.n + r;
-    t.loc.(t.n + r) <- r
+    t.loc.(t.n + r) <- r;
+    for c = 0 to t.m - 1 do
+      t.binv.(r).(c) <- (if r = c then -1.0 else 0.0)
+    done
   done
 
-let factor_current t = Lu.factor ~m:t.m (fun k f -> col_iter t t.basis.(k) f)
-
 let refactor t =
-  (try t.lu <- factor_current t
-   with Lu.Singular ->
-     reset_to_slack_basis t;
-     t.lu <- factor_current t);
-  t.nrefactor <- t.nrefactor + 1;
-  if Lu.fill_nnz t.lu > t.max_fill then t.max_fill <- Lu.fill_nnz t.lu;
-  if Lu.basis_nnz t.lu > t.max_bnnz then t.max_bnnz <- Lu.basis_nnz t.lu;
+  (try invert_basis t with Singular -> reset_to_slack_basis t; invert_basis t);
   compute_basics t;
   t.since_refactor <- 0
-
-let refactorize = refactor
 
 let create p =
   let n = p.Problem.ncols and m = p.Problem.nrows in
@@ -181,23 +189,13 @@ let create p =
       ub;
       basis = Array.make m 0;
       loc = Array.make nt (-1);
-      (* slack basis: column at position k is -e_k *)
-      lu = Lu.factor ~m (fun k f -> f k (-1.0));
+      binv = Array.make_matrix m m 0.0;
       xval = Array.make nt 0.0;
       niter = 0;
-      phase1_iters = 0;
-      nrefactor = 0;
-      max_eta = 0;
-      max_fill = 0;
-      max_bnnz = 0;
       since_refactor = 0;
       degenerate_streak = 0;
       y = Array.make m 0.0;
       alpha = Array.make m 0.0;
-      beta = Array.make m 0.0;
-      rhs = Array.make m 0.0;
-      cbw = Array.make m 0.0;
-      rho = Array.make m 0.0;
       pcost = Array.make nt 0.0;
     }
   in
@@ -208,10 +206,18 @@ let create p =
 (* --- pricing ----------------------------------------------------------- *)
 
 let compute_duals t costs =
-  for k = 0 to t.m - 1 do
-    t.cbw.(k) <- costs.(t.basis.(k))
+  let m = t.m in
+  for i = 0 to m - 1 do
+    t.y.(i) <- 0.0
   done;
-  Lu.btran t.lu ~src:t.cbw ~dst:t.y
+  for k = 0 to m - 1 do
+    let c = costs.(t.basis.(k)) in
+    if c <> 0.0 then
+      let row = t.binv.(k) in
+      for i = 0 to m - 1 do
+        t.y.(i) <- t.y.(i) +. (c *. row.(i))
+      done
+  done
 
 (* Select entering variable. Returns (var, sigma) where sigma = +1 when
    the variable increases from its lower bound and -1 when it decreases
@@ -248,6 +254,26 @@ let price t costs ~bland =
 
 (* --- pivoting ---------------------------------------------------------- *)
 
+(* Update the basis inverse after variable [q] enters at position [ip];
+   t.alpha holds binv . A_q. *)
+let update_binv t ip =
+  let m = t.m in
+  let piv = t.alpha.(ip) in
+  let prow = t.binv.(ip) in
+  for c = 0 to m - 1 do
+    prow.(c) <- prow.(c) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> ip then begin
+      let f = t.alpha.(i) in
+      if Float.abs f > zero_tol then
+        let row = t.binv.(i) in
+        for c = 0 to m - 1 do
+          row.(c) <- row.(c) -. (f *. prow.(c))
+        done
+    end
+  done
+
 type ratio_outcome =
   | Flip of float (* step length hits entering variable's opposite bound *)
   | Block of int * float * int (* position, step, new loc for leaver *)
@@ -268,7 +294,8 @@ let ratio_test t q sigma ~phase1 =
           let better =
             step < !tmax -. 1e-12
             || (step < !tmax +. 1e-12
-                && (!blocker < 0 || Float.abs d > Float.abs t.alpha.(!blocker)))
+                && (!blocker < 0
+                    || Float.abs d > Float.abs t.alpha.(!blocker)))
           in
           (* prefer larger pivot elements among (near-)ties *)
           if better then begin
@@ -305,18 +332,6 @@ let apply_step t q sigma step =
     done
   end
 
-(* Absorb the exchange at position [ip] into the eta file; refactorize on
-   schedule, when the eta file outgrows the factors, or on a bad pivot. *)
-let update_lu t ip =
-  match Lu.update t.lu ~pos:ip ~alpha:t.alpha with
-  | () ->
-      if Lu.eta_count t.lu > t.max_eta then t.max_eta <- Lu.eta_count t.lu;
-      if
-        t.since_refactor >= refactor_every
-        || Lu.eta_nnz t.lu > (4 * t.m) + (2 * Lu.basis_nnz t.lu)
-      then refactor t
-  | exception Lu.Singular -> refactor t
-
 let do_pivot t q sigma ip step leave_loc =
   apply_step t q sigma step;
   let leaver = t.basis.(ip) in
@@ -325,11 +340,12 @@ let do_pivot t q sigma ip step leave_loc =
   t.loc.(leaver) <- leave_loc;
   (* snap the leaver exactly onto its bound to kill drift *)
   t.xval.(leaver) <- nonbasic_value t leaver;
+  update_binv t ip;
   t.niter <- t.niter + 1;
   t.since_refactor <- t.since_refactor + 1;
   if step <= 1e-10 then t.degenerate_streak <- t.degenerate_streak + 1
   else t.degenerate_streak <- 0;
-  update_lu t ip
+  if t.since_refactor >= refactor_every then refactor t
 
 let do_flip t q sigma gap =
   apply_step t q sigma gap;
@@ -350,7 +366,7 @@ let infeasibility t =
   done;
   !acc
 
-let phase1_inner t limit out_of_time =
+let phase1 t limit out_of_time =
   let rec loop () =
     if t.niter >= limit || out_of_time () then Iteration_limit
     else if infeasibility t <= feas_tol *. float_of_int (t.m + 1) then Optimal
@@ -393,12 +409,6 @@ let phase1_inner t limit out_of_time =
     end
   in
   loop ()
-
-let phase1 t limit out_of_time =
-  let before = t.niter in
-  let r = phase1_inner t limit out_of_time in
-  t.phase1_iters <- t.phase1_iters + (t.niter - before);
-  r
 
 let phase2 t limit out_of_time =
   let rec loop () =
@@ -476,19 +486,14 @@ let dual_phase t limit out_of_time =
         if !leave < 0 then Optimal
         else begin
           let ip = !leave in
-          (* rho := row ip of the basis inverse, via btran of e_ip *)
-          Array.fill t.cbw 0 t.m 0.0;
-          t.cbw.(ip) <- 1.0;
-          Lu.btran t.lu ~src:t.cbw ~dst:t.rho;
+          let rho = t.binv.(ip) in
           compute_duals t t.cost;
           (* entering variable: dual ratio test over sign-eligible
              nonbasic columns *)
-          let best = ref (-1)
-          and best_ratio = ref infinity
-          and best_mag = ref 0.0 in
+          let best = ref (-1) and best_ratio = ref infinity and best_mag = ref 0.0 in
           for v = 0 to t.nt - 1 do
             if t.loc.(v) < 0 && t.ub.(v) > t.lb.(v) then begin
-              let a = dot_col t t.rho v in
+              let a = dot_col t rho v in
               if Float.abs a > pivot_tol then begin
                 let eligible =
                   match t.loc.(v) with
@@ -521,10 +526,11 @@ let dual_phase t limit out_of_time =
             t.basis.(ip) <- q;
             t.loc.(q) <- ip;
             t.loc.(leaver) <- leave_loc;
+            update_binv t ip;
             t.niter <- t.niter + 1;
             t.since_refactor <- t.since_refactor + 1;
-            update_lu t ip;
-            if t.since_refactor > 0 then compute_basics t;
+            if t.since_refactor >= refactor_every then refactor t
+            else compute_basics t;
             loop ()
           end
         end
@@ -607,16 +613,6 @@ let duals t =
 
 let iterations t = t.niter
 
-let stats t =
-  {
-    pivots = t.niter;
-    phase1_pivots = t.phase1_iters;
-    refactorizations = t.nrefactor;
-    max_eta = t.max_eta;
-    lu_fill = t.max_fill;
-    basis_nnz = t.max_bnnz;
-  }
-
 let set_bounds t j lb ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds";
   if lb > ub then invalid_arg "Simplex.set_bounds: lb > ub";
@@ -625,12 +621,8 @@ let set_bounds t j lb ub =
   if t.loc.(j) < 0 then begin
     (* keep the nonbasic variable on a valid bound *)
     (match t.loc.(j) with
-    | -1 ->
-        if not (Float.is_finite lb) then
-          t.loc.(j) <- (if Float.is_finite ub then -2 else -3)
-    | -2 ->
-        if not (Float.is_finite ub) then
-          t.loc.(j) <- (if Float.is_finite lb then -1 else -3)
+    | -1 -> if not (Float.is_finite lb) then t.loc.(j) <- (if Float.is_finite ub then -2 else -3)
+    | -2 -> if not (Float.is_finite ub) then t.loc.(j) <- (if Float.is_finite lb then -1 else -3)
     | _ -> ());
     t.xval.(j) <- nonbasic_value t j
   end
@@ -650,41 +642,13 @@ let restore_bounds t (lb, ub) =
     if t.loc.(j) < 0 then t.xval.(j) <- nonbasic_value t j
   done
 
-(* --- basis snapshots ---------------------------------------------------- *)
+let basis_snapshot t = (Array.copy t.basis, Array.copy t.loc)
 
-(* Compact encoding for branch-and-bound warm starts: the basis array
-   plus one status byte per variable. Basic positions are re-derived
-   from the basis array on restore, so the snapshot is ~(m + n+m bytes)
-   rather than two full int arrays. *)
-type basis = { b : int array; status : Bytes.t }
-
-let basis_snapshot t =
-  let status = Bytes.create t.nt in
-  for v = 0 to t.nt - 1 do
-    Bytes.unsafe_set status v
-      (match t.loc.(v) with
-      | -1 -> '\000'
-      | -2 -> '\001'
-      | -3 -> '\002'
-      | _ -> '\003')
-  done;
-  { b = Array.copy t.basis; status }
-
-let restore_basis t { b; status } =
-  if Array.length b <> t.m || Bytes.length status <> t.nt then
+let restore_basis t (basis, loc) =
+  if Array.length basis <> t.m || Array.length loc <> t.nt then
     invalid_arg "Simplex.restore_basis";
-  for v = 0 to t.nt - 1 do
-    t.loc.(v) <-
-      (match Bytes.unsafe_get status v with
-      | '\000' -> -1
-      | '\001' -> -2
-      | '\002' -> -3
-      | _ -> 0 (* basic; real position set below *))
-  done;
-  Array.blit b 0 t.basis 0 t.m;
-  for k = 0 to t.m - 1 do
-    t.loc.(b.(k)) <- k
-  done;
+  Array.blit basis 0 t.basis 0 t.m;
+  Array.blit loc 0 t.loc 0 t.nt;
   (* bounds may have changed since the snapshot: snap nonbasic statuses *)
   for v = 0 to t.nt - 1 do
     if t.loc.(v) < 0 then begin

@@ -263,6 +263,68 @@ let prop_simplex_feasible_and_certified =
       | Simplex.Iteration_limit -> false)
 
 
+(* Wider random LPs for exercising the sparse LU/eta engine: enough
+   rows that the factorization actually refactors and accumulates
+   eta files, unlike the tiny LPs above. *)
+let random_lp_wide_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 2 16 in
+      let* mrows = int_range 2 12 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, mrows, seed))
+
+let prop_sparse_matches_dense_oracle =
+  qtest ~count:300 "sparse LU engine agrees with the dense oracle"
+    random_lp_wide_gen (fun params ->
+      let p = build_random_lp params in
+      let s = Simplex.create p in
+      let d = Dense_simplex.create p in
+      match (Simplex.solve s, Dense_simplex.solve d) with
+      | Simplex.Optimal, Dense_simplex.Optimal ->
+          let a = Simplex.objective s and b = Dense_simplex.objective d in
+          Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+      | Simplex.Infeasible, Dense_simplex.Infeasible -> true
+      | Simplex.Unbounded, Dense_simplex.Unbounded -> true
+      | _ -> false)
+
+let prop_optimal_primal_within_row_bounds =
+  qtest ~count:300 "optimal primal satisfies every row's bounds"
+    random_lp_wide_gen (fun params ->
+      let p = build_random_lp params in
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          let x = Simplex.primal s in
+          let ok = ref true in
+          for r = 0 to p.Problem.nrows - 1 do
+            let act = ref 0.0 in
+            Problem.row_iter p r (fun j a -> act := !act +. (a *. x.(j)));
+            if
+              !act < p.Problem.row_lb.(r) -. 1e-6
+              || !act > p.Problem.row_ub.(r) +. 1e-6
+            then ok := false
+          done;
+          !ok
+      | _ -> true)
+
+let prop_refactorize_preserves_primal =
+  qtest ~count:300 "refactorization leaves the primal point unchanged"
+    random_lp_wide_gen (fun params ->
+      let p = build_random_lp params in
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          let x0 = Simplex.primal s and o0 = Simplex.objective s in
+          Simplex.refactorize s;
+          let x1 = Simplex.primal s and o1 = Simplex.objective s in
+          let drift = ref 0.0 in
+          Array.iteri
+            (fun j v -> drift := Float.max !drift (Float.abs (v -. x1.(j))))
+            x0;
+          !drift <= 1e-7 && Float.abs (o0 -. o1) <= 1e-7 *. Float.max 1.0 (Float.abs o0)
+      | _ -> true)
+
 let test_dual_simplex_reoptimize () =
   (* optimal basis + bound tightening = the dual warm-start pattern *)
   let m = Model.create () in
@@ -985,6 +1047,9 @@ let () =
           Alcotest.test_case "fixed variable" `Quick test_fixed_variable_lp;
           prop_simplex_feasible_and_certified;
           prop_dual_matches_primal;
+          prop_sparse_matches_dense_oracle;
+          prop_optimal_primal_within_row_bounds;
+          prop_refactorize_preserves_primal;
         ] );
       ( "presolve",
         [
