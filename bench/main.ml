@@ -194,25 +194,47 @@ type t3_cell = {
   objective : float option;
   pivots : int;
   nodes : int;
+  domains : int;
+  stolen : int;
+  idle : float;
 }
 
 type t3_row = {
   point : Mm_workload.Table3.point;
   global : t3_cell;
+  global_par : t3_cell;
   complete : t3_cell;
 }
 
-let failed_cell seconds = { seconds; optimal = false; objective = None; pivots = 0; nodes = 0 }
+(* Worker domains for the parallel leg of the sweep.  At least 2 so the
+   work-stealing machinery is actually exercised even on one core. *)
+let bench_parallelism = max 2 (Domain.recommended_domain_count ())
+
+let failed_cell seconds =
+  {
+    seconds;
+    optimal = false;
+    objective = None;
+    pivots = 0;
+    nodes = 0;
+    domains = 0;
+    stolen = 0;
+    idle = 0.0;
+  }
 
 let cell_of_outcome seconds (o : Mm_mapping.Mapper.outcome) =
   let r = o.Mm_mapping.Mapper.ilp_result in
   let mip = r.Mm_lp.Solver.mip in
+  let par = r.Mm_lp.Solver.stats.Mm_lp.Solver.parallel in
   {
     seconds;
     optimal = mip.Mm_lp.Branch_bound.status = Mm_lp.Branch_bound.Optimal;
     objective = Some o.Mm_mapping.Mapper.objective;
     pivots = r.Mm_lp.Solver.stats.Mm_lp.Solver.lp.Mm_lp.Simplex.pivots;
     nodes = mip.Mm_lp.Branch_bound.nodes;
+    domains = par.Mm_lp.Branch_bound.domains_used;
+    stolen = par.Mm_lp.Branch_bound.nodes_stolen;
+    idle = par.Mm_lp.Branch_bound.idle_seconds;
   }
 
 let table3_cache : t3_row list option ref = ref None
@@ -223,10 +245,31 @@ let measure_table3 () =
   | None ->
       let cap = quick_cap () in
       let opts =
-        {
-          Mm_mapping.Mapper.default_options with
-          solver_options = Mm_lp.Solver.quick_options ~time_limit:cap ();
-        }
+        Mm_mapping.Mapper.options
+          ~solver_options:(Mm_lp.Solver.quick_options ~time_limit:cap ())
+          ()
+      in
+      (* same budget, [bench_parallelism] worker domains; the serial leg
+         stays the recorded baseline *)
+      let opts_par =
+        Mm_mapping.Mapper.options
+          ~solver_options:
+            (Mm_lp.Solver.quick_options ~time_limit:cap
+               ~parallelism:bench_parallelism ())
+          ()
+      in
+      let measure_global options board design =
+        let t0 = Unix.gettimeofday () in
+        match Mm_mapping.Mapper.run ~options board design with
+        | Ok o ->
+            cell_of_outcome
+              (o.Mm_mapping.Mapper.ilp_seconds
+              +. o.Mm_mapping.Mapper.detailed_seconds)
+              o
+        | Error _ ->
+            (* budget exhausted before an incumbent: report the
+               wall clock actually burned, flagged as capped *)
+            failed_cell (Unix.gettimeofday () -. t0)
       in
       let rows =
         List.map
@@ -235,19 +278,14 @@ let measure_table3 () =
             Printf.eprintf "table3: point %d segments / %d banks...\n%!"
               spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks;
             let board, design = Mm_workload.Gen.instance spec in
-            let global =
-              let t0 = Unix.gettimeofday () in
-              match Mm_mapping.Mapper.run ~options:opts board design with
-              | Ok o ->
-                  cell_of_outcome
-                    (o.Mm_mapping.Mapper.ilp_seconds
-                    +. o.Mm_mapping.Mapper.detailed_seconds)
-                    o
-              | Error _ ->
-                  (* budget exhausted before an incumbent: report the
-                     wall clock actually burned, flagged as capped *)
-                  failed_cell (Unix.gettimeofday () -. t0)
-            in
+            let global = measure_global opts board design in
+            let global_par = measure_global opts_par board design in
+            (match (global.objective, global_par.objective) with
+            | Some a, Some b when Float.abs (a -. b) > 1e-6 ->
+                Printf.eprintf
+                  "table3: WARNING serial/parallel objective mismatch (%g vs %g)\n%!"
+                  a b
+            | _ -> ());
             let complete =
               let t0 = Unix.gettimeofday () in
               match
@@ -257,7 +295,7 @@ let measure_table3 () =
               | Ok o -> cell_of_outcome o.Mm_mapping.Mapper.ilp_seconds o
               | Error _ -> failed_cell (Unix.gettimeofday () -. t0)
             in
-            { point; global; complete })
+            { point; global; global_par; complete })
           Mm_workload.Table3.points
       in
       table3_cache := Some rows;
@@ -296,6 +334,8 @@ let write_bench_json rows =
     (Printf.sprintf "  \"mode\": \"%s\",\n" (if !full_mode then "full" else "quick"));
   Buffer.add_string buf
     (Printf.sprintf "  \"time_cap_seconds\": %.1f,\n" (quick_cap ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"parallelism\": %d,\n" bench_parallelism);
   Buffer.add_string buf "  \"points\": [\n";
   List.iteri
     (fun i r ->
@@ -304,6 +344,13 @@ let write_bench_json rows =
         Printf.sprintf
           "{ \"seconds\": %s, \"optimal\": %b, \"objective\": %s, \"pivots\": %d, \"nodes\": %d }"
           (num c.seconds) c.optimal (opt_num c.objective) c.pivots c.nodes
+      in
+      let par_cell c =
+        Printf.sprintf
+          "{ \"seconds\": %s, \"optimal\": %b, \"objective\": %s, \"pivots\": %d, \
+           \"nodes\": %d, \"domains\": %d, \"nodes_stolen\": %d, \"idle_seconds\": %s }"
+          (num c.seconds) c.optimal (opt_num c.objective) c.pivots c.nodes
+          c.domains c.stolen (num c.idle)
       in
       let dense =
         match List.nth_opt dense_baseline i with
@@ -318,10 +365,11 @@ let write_bench_json rows =
            "    { \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n\
            \      \"complete\": %s,\n\
            \      \"global\": %s,\n\
+           \      \"global_parallel\": %s,\n\
            \      \"complete_dense_baseline_60s\": %s }%s\n"
            spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
            spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs
-           (cell r.complete) (cell r.global) dense
+           (cell r.complete) (cell r.global) (par_cell r.global_par) dense
            (if i < List.length rows - 1 then "," else ""))
     )
     rows;
@@ -351,6 +399,7 @@ let run_table3 () =
         ("#configs", Table.Right);
         ("complete (s)", Table.Right);
         ("global (s)", Table.Right);
+        (Printf.sprintf "global -j%d (s)" bench_parallelism, Table.Right);
         ("ratio", Table.Right);
         ("paper complete", Table.Right);
         ("paper global", Table.Right);
@@ -370,6 +419,7 @@ let run_table3 () =
           string_of_int spec.Mm_workload.Gen.configs;
           fmt_time r.complete.seconds r.complete.optimal;
           fmt_time r.global.seconds r.global.optimal;
+          fmt_time r.global_par.seconds r.global_par.optimal;
           (if Float.is_nan r.complete.seconds || Float.is_nan r.global.seconds
            then "-"
            else Printf.sprintf "%.1fx" (r.complete.seconds /. Float.max r.global.seconds 1e-6));
@@ -673,9 +723,7 @@ let run_ablation_portmodel () =
   in
   List.iter
     (fun (label, port_model) ->
-      let options =
-        { Mm_mapping.Mapper.default_options with port_model; max_retries = 25 }
-      in
+      let options = Mm_mapping.Mapper.options ~port_model ~max_retries:25 () in
       match Mm_mapping.Mapper.run ~options board design with
       | Error e ->
           Table.add_row t
@@ -709,7 +757,7 @@ let run_ablation_portmodel () =
   (* also show the retry behaviour explicitly *)
   (match
      Mm_mapping.Mapper.run
-       ~options:{ Mm_mapping.Mapper.default_options with max_retries = 25 }
+       ~options:(Mm_mapping.Mapper.options ~max_retries:25 ())
        board design
    with
   | Ok o -> line "Fig. 3 eventually succeeded after %d retries." o.Mm_mapping.Mapper.retries
@@ -763,7 +811,7 @@ let run_ablation_arbitration () =
   in
   List.iter
     (fun (label, arbitration) ->
-      let options = { Mm_mapping.Mapper.default_options with arbitration } in
+      let options = Mm_mapping.Mapper.options ~arbitration () in
       match Mm_mapping.Mapper.run ~options board design with
       | Error e -> Table.add_row t [ label; "-"; "-"; Mm_mapping.Mapper.error_to_string e ]
       | Ok o ->

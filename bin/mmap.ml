@@ -82,6 +82,13 @@ let solve_cmd =
     Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
            ~doc:"Wall-clock budget for each ILP solve.")
   in
+  let parallelism_arg =
+    Arg.(value & opt int 1 & info [ "j"; "parallelism" ] ~docv:"N"
+           ~doc:"Worker domains for the branch-and-bound tree search. \
+                 $(b,1) (default) is the deterministic serial schedule; \
+                 $(b,0) uses all available cores. Any value proves the \
+                 same optimal objective.")
+  in
   let lp_out_arg =
     Arg.(value & opt (some string) None & info [ "lp-out" ] ~docv:"FILE"
            ~doc:"Also dump the global ILP in CPLEX LP format.")
@@ -106,23 +113,19 @@ let solve_cmd =
          & info [ "port-model" ]
              ~doc:"Consumed-port estimate: $(b,fig3) (the paper) or                    $(b,improved) (Section 6 refinement for >2-port banks).")
   in
-  let run () board design method_ weights profiled detailed time_limit lp_out
-      mps_out placements arbitration port_model =
+  let run () board design method_ weights profiled detailed time_limit
+      parallelism lp_out mps_out placements arbitration port_model =
     let board = read_board board and design = read_design design in
     let options =
-      {
-        Mm_mapping.Mapper.default_options with
-        weights;
-        access_model =
-          (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform);
-        detailed;
-        arbitration;
-        port_model;
-        solver_options =
-          (match time_limit with
-          | Some tl -> Mm_lp.Solver.quick_options ~time_limit:tl ()
-          | None -> Mm_lp.Solver.default_options);
-      }
+      Mm_mapping.Mapper.options ~weights
+        ~access_model:
+          (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform)
+        ~detailed ~arbitration ~port_model
+        ~solver_options:
+          (Mm_lp.Solver.options ~parallelism
+             ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
+             ())
+        ()
     in
     let dump out writer =
       match out with
@@ -147,7 +150,13 @@ let solve_cmd =
     match Mm_mapping.Mapper.run ~method_ ~options board design with
     | Error e ->
         Printf.eprintf "%s\n" (Mm_mapping.Mapper.error_to_string e);
-        exit 1
+        (* distinct exit codes so scripts can tell "no mapping exists"
+           from "the solver ran out of budget" *)
+        exit
+          (match e with
+          | Mm_mapping.Mapper.Unmappable _ -> 2
+          | Mm_mapping.Mapper.Retries_exhausted _ -> 3
+          | Mm_mapping.Mapper.Solver_limit -> 4)
     | Ok o ->
         if placements then print_string (Mm_mapping.Report.outcome board design o)
         else begin
@@ -172,14 +181,15 @@ let solve_cmd =
         if violations <> [] then begin
           Printf.eprintf "INTERNAL: %d validation violations\n"
             (List.length violations);
-          exit 3
+          exit 5
         end
   in
   Cmd.v (Cmd.info "solve" ~doc:"Map a design onto a board.")
     Term.(
       const run $ logs_term $ board_arg $ design_arg $ method_arg $ weights_arg
-      $ profiled_arg $ detailed_arg $ time_limit_arg $ lp_out_arg
-      $ mps_out_arg $ placements_arg $ arbitration_arg $ port_model_arg)
+      $ profiled_arg $ detailed_arg $ time_limit_arg $ parallelism_arg
+      $ lp_out_arg $ mps_out_arg $ placements_arg $ arbitration_arg
+      $ port_model_arg)
 
 (* ---- generate ------------------------------------------------------- *)
 
@@ -294,10 +304,15 @@ let solve_mps_cmd =
     Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
            ~doc:"Wall-clock budget.")
   in
+  let parallelism_arg =
+    Arg.(value & opt int 1 & info [ "j"; "parallelism" ] ~docv:"N"
+           ~doc:"Worker domains for the branch-and-bound tree search \
+                 ($(b,0) = all cores).")
+  in
   let print_solution_arg =
     Arg.(value & flag & info [ "solution" ] ~doc:"Print variable values.")
   in
-  let run () file time_limit print_solution =
+  let run () file time_limit parallelism print_solution =
     let parsed =
       if Filename.check_suffix file ".lp" then Mm_lp.Lp_format.of_file file
       else Mm_lp.Mps.of_file file
@@ -309,9 +324,9 @@ let solve_mps_cmd =
     | Ok p -> (
         Format.printf "%s: %a\n%!" file Mm_lp.Problem.pp_stats p;
         let options =
-          match time_limit with
-          | Some tl -> Mm_lp.Solver.quick_options ~time_limit:tl ()
-          | None -> Mm_lp.Solver.default_options
+          Mm_lp.Solver.options ~parallelism
+            ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
+            ()
         in
         let r = Mm_lp.Solver.solve ~options p in
         let mip = r.Mm_lp.Solver.mip in
@@ -343,7 +358,9 @@ let solve_mps_cmd =
   Cmd.v
     (Cmd.info "solve-mps"
        ~doc:"Solve an arbitrary MPS (or .lp) file with the built-in MIP              solver.")
-    Term.(const run $ logs_term $ file_arg $ time_limit_arg $ print_solution_arg)
+    Term.(
+      const run $ logs_term $ file_arg $ time_limit_arg $ parallelism_arg
+      $ print_solution_arg)
 
 let () =
   let info =

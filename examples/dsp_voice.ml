@@ -35,11 +35,8 @@ let () =
 
   let run weights label =
     let options =
-      {
-        Mm_mapping.Mapper.default_options with
-        access_model = Mm_mapping.Cost.Profiled;
-        weights;
-      }
+      Mm_mapping.Mapper.options ~access_model:Mm_mapping.Cost.Profiled
+        ~weights ()
     in
     match Mm_mapping.Mapper.run ~options board design with
     | Error e ->
@@ -69,10 +66,8 @@ let () =
   print_newline ();
   match Mm_mapping.Mapper.run
           ~options:
-            {
-              Mm_mapping.Mapper.default_options with
-              access_model = Mm_mapping.Cost.Profiled;
-            }
+            (Mm_mapping.Mapper.options
+               ~access_model:Mm_mapping.Cost.Profiled ())
           board design
   with
   | Ok o ->

@@ -41,10 +41,7 @@ let () =
   print_string (Mm_design.Design.describe design);
 
   let options =
-    {
-      Mm_mapping.Mapper.default_options with
-      access_model = Mm_mapping.Cost.Profiled;
-    }
+    Mm_mapping.Mapper.options ~access_model:Mm_mapping.Cost.Profiled ()
   in
   (match Mm_mapping.Mapper.run ~options board design with
   | Error e ->

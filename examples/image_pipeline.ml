@@ -85,10 +85,7 @@ let () =
      counts) should land on chip. *)
   let board = Mm_arch.Devices.virtex_board () in
   let options =
-    {
-      Mm_mapping.Mapper.default_options with
-      access_model = Mm_mapping.Cost.Profiled;
-    }
+    Mm_mapping.Mapper.options ~access_model:Mm_mapping.Cost.Profiled ()
   in
   match Mm_mapping.Mapper.run ~options board design with
   | Error e ->

@@ -93,15 +93,12 @@ let () =
   print_endline "Model comparison (same design, same board):";
   run "paper model (Fig. 3, no sharing)" Mm_mapping.Mapper.default_options;
   run "improved port model"
-    { Mm_mapping.Mapper.default_options with port_model = Mm_mapping.Preprocess.Improved };
+    (Mm_mapping.Mapper.options ~port_model:Mm_mapping.Preprocess.Improved ());
   run "arbitration (port sharing)"
-    { Mm_mapping.Mapper.default_options with arbitration = true };
+    (Mm_mapping.Mapper.options ~arbitration:true ());
   run "both extensions"
-    {
-      Mm_mapping.Mapper.default_options with
-      port_model = Mm_mapping.Preprocess.Improved;
-      arbitration = true;
-    };
+    (Mm_mapping.Mapper.options ~port_model:Mm_mapping.Preprocess.Improved
+       ~arbitration:true ());
   print_newline ();
   print_endline
     "Phases never overlap in time, so with arbitration their buffers";

@@ -10,6 +10,7 @@ type options = {
   gap_tol : float;
   int_tol : float;
   log_every : int option;
+  parallelism : int;
 }
 
 let default_options =
@@ -19,6 +20,26 @@ let default_options =
     gap_tol = 1e-9;
     int_tol = 1e-6;
     log_every = None;
+    parallelism = 1;
+  }
+
+let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
+    ?log_every ?(parallelism = 1) () =
+  { time_limit; node_limit; gap_tol; int_tol; log_every; parallelism }
+
+type par_stats = {
+  domains_used : int;
+  nodes_stolen : int;
+  idle_seconds : float;
+  domain_pivots : int array;
+}
+
+let serial_par_stats =
+  {
+    domains_used = 1;
+    nodes_stolen = 0;
+    idle_seconds = 0.0;
+    domain_pivots = [| 0 |];
   }
 
 type result = {
@@ -32,6 +53,7 @@ type result = {
   lp_time : float;
   max_node_lp_time : float;
   lp_stats : Simplex.stats;
+  par : par_stats;
 }
 
 let gap r =
@@ -63,12 +85,37 @@ type pseudocost = {
 let pc_avg sum cnt j fallback =
   if cnt.(j) > 0 then sum.(j) /. float_of_int cnt.(j) else fallback
 
+(* The incumbent is published through a single atomic cell; a
+   compare-and-set retry loop keeps concurrent improvements monotone. *)
+type incumbent = { obj : float; x : float array option }
+
+type control = Run | Stop_gap | Stop_limit | Stop_unbounded
+
+(* Everything mutable that a worker touches without synchronization
+   lives in its private workspace: the simplex instance (and its LU
+   factors), pseudocost statistics, the depth-first plunging child, and
+   LP timing accumulators. Simplex/Lu keep all state inside the
+   instance — see DESIGN.md — so one [Simplex.create] per domain makes
+   node relaxations race-free. *)
+type workspace = {
+  id : int;
+  sx : Simplex.t;
+  root_bounds : float array * float array;
+  pc : pseudocost;
+  mutable current : node option;
+  mutable lp_time : float;
+  mutable max_node_lp_time : float;
+}
+
 let solve ?(options = default_options) (p : Problem.t) =
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun tl -> t0 +. tl) options.time_limit in
   let n = p.Problem.ncols in
-  let sx = Simplex.create p in
-  let root_bounds = Simplex.save_bounds sx in
+  let nworkers =
+    if options.parallelism <= 0 then max 1 (Domain.recommended_domain_count ())
+    else options.parallelism
+  in
+  let main_id = Domain.self () in
   let int_vars =
     List.filter
       (fun j ->
@@ -77,33 +124,33 @@ let solve ?(options = default_options) (p : Problem.t) =
         | Problem.Continuous -> false)
       (Mm_util.Ints.range n)
   in
-  let pc =
-    {
-      up_sum = Array.make n 0.0;
-      up_cnt = Array.make n 0;
-      dn_sum = Array.make n 0.0;
-      dn_cnt = Array.make n 0;
-    }
-  in
-  let incumbent = ref None and incumbent_obj = ref infinity in
-  let nodes = ref 0 in
-  let lp_time = ref 0.0 and max_node_lp_time = ref 0.0 in
-  let queue = Mm_util.Heap.create (fun nd -> nd.bound) in
+  let incumbent = Atomic.make { obj = infinity; x = None } in
+  let nodes = Atomic.make 0 in
+  let control = Atomic.make Run in
+  let pool = Node_pool.create ~workers:nworkers ~prio:(fun nd -> nd.bound) in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let out_of_budget () =
     (match options.time_limit with Some tl -> elapsed () > tl | None -> false)
-    || match options.node_limit with Some nl -> !nodes >= nl | None -> false
+    ||
+    match options.node_limit with
+    | Some nl -> Atomic.get nodes >= nl
+    | None -> false
   in
+  let signal reason = ignore (Atomic.compare_and_set control Run reason) in
   let fractional x j =
     let f = x.(j) -. Float.round x.(j) in
     Float.abs f > options.int_tol
   in
-  let try_incumbent x obj =
-    if obj < !incumbent_obj -. 1e-9 then begin
-      incumbent := Some (Array.copy x);
-      incumbent_obj := obj;
-      Log.debug (fun m -> m "new incumbent %g after %d nodes" obj !nodes)
-    end
+  let rec try_incumbent x obj =
+    let cur = Atomic.get incumbent in
+    if obj < cur.obj -. 1e-9 then
+      if Atomic.compare_and_set incumbent cur { obj; x = Some (Array.copy x) }
+      then begin
+        if Domain.self () = main_id then
+          Log.debug (fun m ->
+              m "new incumbent %g after %d nodes" obj (Atomic.get nodes))
+      end
+      else try_incumbent x obj
   in
   let internal_obj x =
     let acc = ref p.Problem.obj_const in
@@ -117,7 +164,7 @@ let solve ?(options = default_options) (p : Problem.t) =
     List.iter (fun j -> r.(j) <- Float.round r.(j)) int_vars;
     if Problem.max_violation p r <= 1e-7 then try_incumbent r (internal_obj r)
   in
-  let select_branch_var x =
+  let select_branch_var pc x =
     (* pseudocost score with most-fractional fallback *)
     let best = ref (-1) and best_score = ref neg_infinity in
     List.iter
@@ -139,137 +186,197 @@ let solve ?(options = default_options) (p : Problem.t) =
       int_vars;
     !best
   in
-  let apply_node nd =
-    Simplex.restore_bounds sx root_bounds;
+  let apply_node ws nd =
+    Simplex.restore_bounds ws.sx ws.root_bounds;
     List.iter
-      (fun (j, lb, ub) -> Simplex.set_bounds sx j lb ub)
+      (fun (j, lb, ub) -> Simplex.set_bounds ws.sx j lb ub)
       (List.rev nd.changes);
-    Option.iter (Simplex.restore_basis sx) nd.basis
+    Option.iter (Simplex.restore_basis ws.sx) nd.basis
   in
   (* tightest change wins: prepending child changes and applying in root
      order means later (deeper) changes overwrite, which is what we want *)
-  let best_bound_now current =
-    let q = match Mm_util.Heap.min_priority queue with Some b -> b | None -> infinity in
-    let c = match current with Some nd -> nd.bound | None -> infinity in
-    Float.min q (Float.min c !incumbent_obj)
-  in
-  let status = ref None in
-  let current =
-    ref
-      (Some
-         {
-           bound = neg_infinity;
-           depth = 0;
-           dir = Root;
-           changes = [];
-           basis = None;
-         })
-  in
-  let stop_reason reason = if !status = None then status := Some reason in
-  while !status = None && (!current <> None || not (Mm_util.Heap.is_empty queue)) do
-    if out_of_budget () then stop_reason `Limit
-    else begin
-      let nd =
-        match !current with
-        | Some nd ->
-            current := None;
-            Some nd
-        | None -> Mm_util.Heap.pop queue
-      in
-      match nd with
-      | None -> ()
-      | Some nd when nd.bound >= !incumbent_obj -. 1e-9 -> () (* pruned *)
-      | Some nd -> (
-          incr nodes;
-          (match options.log_every with
-          | Some k when !nodes mod k = 0 ->
-              Log.info (fun m ->
-                  m "node %d: bound=%g incumbent=%g open=%d" !nodes
-                    (best_bound_now !current) !incumbent_obj
-                    (Mm_util.Heap.size queue))
-          | _ -> ());
-          apply_node nd;
-          (* warm start: re-solving with the primal simplex from the
-             parent's restored basis needs only a short phase I (the basis
-             is near-feasible after one bound change); the bounded dual is
-             available via [prefer_dual] but grinds on these highly
-             degenerate set-covering LPs, so it stays opt-in *)
-          let lp0 = Unix.gettimeofday () in
-          let lp_result = Simplex.solve ?deadline sx in
-          let node_lp = Unix.gettimeofday () -. lp0 in
-          lp_time := !lp_time +. node_lp;
-          if node_lp > !max_node_lp_time then max_node_lp_time := node_lp;
-          match lp_result with
-          | Simplex.Infeasible -> ()
-          | Simplex.Unbounded ->
-              if nd.depth = 0 then stop_reason `Unbounded else ()
-          | Simplex.Iteration_limit -> stop_reason `Limit
-          | Simplex.Optimal ->
-              let obj = Simplex.objective sx in
-              (* update pseudocosts from the parent estimate *)
-              (if Float.is_finite nd.bound then
-                 let delta = Float.max (obj -. nd.bound) 0.0 in
-                 match nd.dir with
-                 | Root -> ()
-                 | Up j ->
-                     pc.up_sum.(j) <- pc.up_sum.(j) +. delta;
-                     pc.up_cnt.(j) <- pc.up_cnt.(j) + 1
-                 | Down j ->
-                     pc.dn_sum.(j) <- pc.dn_sum.(j) +. delta;
-                     pc.dn_cnt.(j) <- pc.dn_cnt.(j) + 1);
-              if obj >= !incumbent_obj -. 1e-9 then () (* bound prune *)
-              else begin
-                let x = Simplex.primal sx in
-                let j = select_branch_var x in
-                if j < 0 then try_incumbent x obj
-                else begin
-                  rounding_heuristic x;
-                  let lbj, ubj = Simplex.get_bounds sx j in
-                  let f = x.(j) in
-                  let snap = Some (Simplex.basis_snapshot sx) in
-                  let down =
-                    {
-                      bound = obj;
-                      depth = nd.depth + 1;
-                      dir = Down j;
-                      changes = (j, lbj, Float.floor f) :: nd.changes;
-                      basis = snap;
-                    }
-                  and up =
-                    {
-                      bound = obj;
-                      depth = nd.depth + 1;
-                      dir = Up j;
-                      changes = (j, Float.ceil f, ubj) :: nd.changes;
-                      basis = snap;
-                    }
-                  in
-                  let frac = f -. Float.floor f in
-                  let first, second = if frac < 0.5 then (down, up) else (up, down) in
-                  current := Some first;
-                  Mm_util.Heap.push queue second
-                end
-              end)
-    end;
-    (* gap termination *)
-    (match (!incumbent, !status) with
-    | Some _, None ->
-        let bb = best_bound_now !current in
-        let g =
-          Float.abs (!incumbent_obj -. bb)
-          /. Float.max 1e-9 (Float.abs !incumbent_obj)
-        in
-        if g <= options.gap_tol then begin
-          current := None;
-          Mm_util.Heap.filter_in_place queue (fun _ -> false)
+  let process ws nd =
+    let n_now = Atomic.fetch_and_add nodes 1 + 1 in
+    (match options.log_every with
+    | Some k when n_now mod k = 0 && Domain.self () = main_id ->
+        Log.info (fun m ->
+            m "node %d: bound=%g incumbent=%g open=%d" n_now
+              (Float.min (Node_pool.min_bound pool) (Atomic.get incumbent).obj)
+              (Atomic.get incumbent).obj (Node_pool.queued pool))
+    | _ -> ());
+    apply_node ws nd;
+    (* warm start: re-solving with the primal simplex from the
+       parent's restored basis needs only a short phase I (the basis
+       is near-feasible after one bound change); the bounded dual is
+       available via [prefer_dual] but grinds on these highly
+       degenerate set-covering LPs, so it stays opt-in *)
+    let lp0 = Unix.gettimeofday () in
+    let lp_result = Simplex.solve ?deadline ws.sx in
+    let node_lp = Unix.gettimeofday () -. lp0 in
+    ws.lp_time <- ws.lp_time +. node_lp;
+    if node_lp > ws.max_node_lp_time then ws.max_node_lp_time <- node_lp;
+    (match lp_result with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+        if nd.depth = 0 then begin
+          signal Stop_unbounded;
+          Node_pool.halt pool
         end
-    | _ -> ())
-  done;
+    | Simplex.Iteration_limit ->
+        signal Stop_limit;
+        Node_pool.halt pool
+    | Simplex.Optimal ->
+        let obj = Simplex.objective ws.sx in
+        (* update pseudocosts from the parent estimate *)
+        (if Float.is_finite nd.bound then
+           let delta = Float.max (obj -. nd.bound) 0.0 in
+           match nd.dir with
+           | Root -> ()
+           | Up j ->
+               ws.pc.up_sum.(j) <- ws.pc.up_sum.(j) +. delta;
+               ws.pc.up_cnt.(j) <- ws.pc.up_cnt.(j) + 1
+           | Down j ->
+               ws.pc.dn_sum.(j) <- ws.pc.dn_sum.(j) +. delta;
+               ws.pc.dn_cnt.(j) <- ws.pc.dn_cnt.(j) + 1);
+        if obj >= (Atomic.get incumbent).obj -. 1e-9 then () (* bound prune *)
+        else begin
+          let x = Simplex.primal ws.sx in
+          let j = select_branch_var ws.pc x in
+          if j < 0 then try_incumbent x obj
+          else begin
+            rounding_heuristic x;
+            let lbj, ubj = Simplex.get_bounds ws.sx j in
+            let f = x.(j) in
+            let snap = Some (Simplex.basis_snapshot ws.sx) in
+            let down =
+              {
+                bound = obj;
+                depth = nd.depth + 1;
+                dir = Down j;
+                changes = (j, lbj, Float.floor f) :: nd.changes;
+                basis = snap;
+              }
+            and up =
+              {
+                bound = obj;
+                depth = nd.depth + 1;
+                dir = Up j;
+                changes = (j, Float.ceil f, ubj) :: nd.changes;
+                basis = snap;
+              }
+            in
+            let frac = f -. Float.floor f in
+            let first, second = if frac < 0.5 then (down, up) else (up, down) in
+            ws.current <- Some first;
+            Node_pool.push pool ~worker:ws.id second
+          end
+        end);
+    match ws.current with
+    | Some c -> Node_pool.working pool ~worker:ws.id c.bound
+    | None -> Node_pool.set_idle pool ~worker:ws.id
+  in
+  let worker ws =
+    let running = ref true in
+    while !running do
+      if Atomic.get control <> Run then begin
+        (* on a limit stop, give unexpanded plunge children back to the
+           pool so the final best bound accounts for them; on gap or
+           unbounded stops they are discarded like the serial queue *)
+        (match (Atomic.get control, ws.current) with
+        | Stop_limit, Some nd -> Node_pool.push pool ~worker:ws.id nd
+        | _ -> ());
+        ws.current <- None;
+        Node_pool.set_idle pool ~worker:ws.id;
+        running := false
+      end
+      else if out_of_budget () then begin
+        signal Stop_limit;
+        Node_pool.halt pool
+        (* next iteration pushes [current] back and exits *)
+      end
+      else begin
+        (let nd =
+           match ws.current with
+           | Some nd ->
+               ws.current <- None;
+               Some nd
+           | None -> Node_pool.take pool ~worker:ws.id
+         in
+         match nd with
+         | None -> running := false
+         | Some nd when nd.bound >= (Atomic.get incumbent).obj -. 1e-9 ->
+             (* pruned at dequeue *)
+             Node_pool.set_idle pool ~worker:ws.id
+         | Some nd -> process ws nd);
+        (* gap termination — run after every dequeue, pruned or not,
+           exactly like the serial loop *)
+        if !running && Atomic.get control = Run then begin
+          match (Atomic.get incumbent).x with
+          | Some _ ->
+              let inc = (Atomic.get incumbent).obj in
+              let bb = Float.min (Node_pool.min_bound pool) inc in
+              let g = Float.abs (inc -. bb) /. Float.max 1e-9 (Float.abs inc) in
+              if g <= options.gap_tol then begin
+                signal Stop_gap;
+                Node_pool.drain pool
+              end
+          | None -> ()
+        end
+      end
+    done
+  in
+  let make_workspace id =
+    let sx = Simplex.create p in
+    {
+      id;
+      sx;
+      root_bounds = Simplex.save_bounds sx;
+      pc =
+        {
+          up_sum = Array.make n 0.0;
+          up_cnt = Array.make n 0;
+          dn_sum = Array.make n 0.0;
+          dn_cnt = Array.make n 0;
+        };
+      current = None;
+      lp_time = 0.0;
+      max_node_lp_time = 0.0;
+    }
+  in
+  let workspaces = Array.init nworkers make_workspace in
+  (* seed the root as worker 0's plunge node, marked in flight before
+     any helper domain can observe an all-idle pool and quit early *)
+  workspaces.(0).current <-
+    Some { bound = neg_infinity; depth = 0; dir = Root; changes = []; basis = None };
+  Node_pool.working pool ~worker:0 neg_infinity;
+  let failures = Atomic.make [] in
+  let rec record_failure e bt =
+    let cur = Atomic.get failures in
+    if not (Atomic.compare_and_set failures cur ((e, bt) :: cur)) then
+      record_failure e bt
+  in
+  let run_worker ws =
+    try worker ws
+    with e ->
+      record_failure e (Printexc.get_raw_backtrace ());
+      signal Stop_limit;
+      Node_pool.halt pool
+  in
+  let helpers =
+    Array.init (nworkers - 1) (fun i ->
+        Domain.spawn (fun () -> run_worker workspaces.(i + 1)))
+  in
+  run_worker workspaces.(0);
+  Array.iter Domain.join helpers;
+  (match Atomic.get failures with
+  | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  | [] -> ());
+  let inc = Atomic.get incumbent in
   let final_bound =
-    match !status with
-    | Some `Limit -> Float.min (best_bound_now !current) !incumbent_obj
-    | Some `Unbounded -> neg_infinity
-    | None -> if !incumbent = None then infinity else !incumbent_obj
+    match Atomic.get control with
+    | Stop_limit -> Float.min (Node_pool.min_bound pool) inc.obj
+    | Stop_unbounded -> neg_infinity
+    | Run | Stop_gap -> if inc.x = None then infinity else inc.obj
   in
   let to_user v =
     if Float.is_finite v then (if p.Problem.maximize_input then -.v else v)
@@ -277,22 +384,34 @@ let solve ?(options = default_options) (p : Problem.t) =
     else v
   in
   let status_final =
-    match (!status, !incumbent) with
-    | Some `Unbounded, _ -> Unbounded
-    | Some `Limit, Some _ -> Feasible
-    | Some `Limit, None -> Unknown
-    | None, Some _ -> Optimal
-    | None, None -> Infeasible
+    match (Atomic.get control, inc.x) with
+    | Stop_unbounded, _ -> Unbounded
+    | Stop_limit, Some _ -> Feasible
+    | Stop_limit, None -> Unknown
+    | (Run | Stop_gap), Some _ -> Optimal
+    | (Run | Stop_gap), None -> Infeasible
   in
   {
     status = status_final;
-    solution = !incumbent;
-    objective = (match !incumbent with Some _ -> Some (to_user !incumbent_obj) | None -> None);
+    solution = inc.x;
+    objective = (match inc.x with Some _ -> Some (to_user inc.obj) | None -> None);
     best_bound = to_user final_bound;
-    nodes = !nodes;
-    simplex_iterations = Simplex.iterations sx;
+    nodes = Atomic.get nodes;
+    simplex_iterations =
+      Array.fold_left (fun a ws -> a + Simplex.iterations ws.sx) 0 workspaces;
     time = elapsed ();
-    lp_time = !lp_time;
-    max_node_lp_time = !max_node_lp_time;
-    lp_stats = Simplex.stats sx;
+    lp_time = Array.fold_left (fun a ws -> a +. ws.lp_time) 0.0 workspaces;
+    max_node_lp_time =
+      Array.fold_left (fun a ws -> Float.max a ws.max_node_lp_time) 0.0 workspaces;
+    lp_stats =
+      Array.fold_left
+        (fun a ws -> Simplex.merge_stats a (Simplex.stats ws.sx))
+        Simplex.empty_stats workspaces;
+    par =
+      {
+        domains_used = nworkers;
+        nodes_stolen = Node_pool.nodes_stolen pool;
+        idle_seconds = Node_pool.idle_seconds pool;
+        domain_pivots = Array.map (fun ws -> Simplex.iterations ws.sx) workspaces;
+      };
   }

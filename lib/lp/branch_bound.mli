@@ -5,7 +5,15 @@
     heuristic at every node, and warm-started node relaxations: every
     node carries an explicit {!Simplex.basis} snapshot of its parent's
     optimal basis (shared by both children), restored before the node
-    LP is solved with the dual simplex. *)
+    LP is solved.
+
+    With [parallelism > 1] the tree is explored by that many OCaml
+    domains sharing a {!Node_pool}: each domain owns a private
+    {!Simplex} workspace (and its LU factors) plus private pseudocost
+    statistics; the incumbent is published through an [Atomic] and
+    bound pruning is re-checked at dequeue time. Determinism contract:
+    [parallelism = 1] runs the historical serial schedule node for
+    node, and any [parallelism] proves the same optimal objective. *)
 
 type status =
   | Optimal  (** incumbent proved optimal *)
@@ -20,9 +28,38 @@ type options = {
   gap_tol : float;  (** relative gap for early optimality, default 1e-9 *)
   int_tol : float;  (** integrality tolerance, default 1e-6 *)
   log_every : int option;  (** log progress every N nodes via [Logs] *)
+  parallelism : int;
+      (** worker domains for the tree search; 1 (default) is the
+          deterministic serial schedule, [<= 0] asks the runtime for
+          [Domain.recommended_domain_count ()] *)
 }
 
 val default_options : options
+
+val options :
+  ?time_limit:float ->
+  ?node_limit:int ->
+  ?gap_tol:float ->
+  ?int_tol:float ->
+  ?log_every:int ->
+  ?parallelism:int ->
+  unit ->
+  options
+(** Builder for {!options}; prefer this over record literals so new
+    fields stay non-breaking. Unset labels take the defaults of
+    {!default_options} (no limits, [gap_tol = 1e-9], [int_tol = 1e-6],
+    [parallelism = 1]). *)
+
+type par_stats = {
+  domains_used : int;  (** worker domains actually spawned *)
+  nodes_stolen : int;  (** nodes migrated across per-domain deques *)
+  idle_seconds : float;  (** total seconds workers blocked for work *)
+  domain_pivots : int array;  (** simplex pivots per domain *)
+}
+
+val serial_par_stats : par_stats
+(** The trivial stats of a one-domain run with no search: placeholder
+    for results synthesized without entering the tree search. *)
 
 type result = {
   status : status;
@@ -30,11 +67,14 @@ type result = {
   objective : float option;  (** incumbent objective, user sense *)
   best_bound : float;  (** proved bound on the optimum, user sense *)
   nodes : int;
-  simplex_iterations : int;
+  simplex_iterations : int;  (** summed across all domains *)
   time : float;  (** wall-clock seconds spent *)
-  lp_time : float;  (** seconds spent inside node LP solves *)
+  lp_time : float;
+      (** seconds inside node LP solves, summed across domains (may
+          exceed [time] when [parallelism > 1]) *)
   max_node_lp_time : float;  (** slowest single node relaxation *)
-  lp_stats : Simplex.stats;  (** cumulative simplex instrumentation *)
+  lp_stats : Simplex.stats;  (** simplex instrumentation, merged *)
+  par : par_stats;  (** parallel-search instrumentation *)
 }
 
 val gap : result -> float option

@@ -1,0 +1,141 @@
+type 'a t = {
+  prio : 'a -> float;
+  deques : 'a Mm_util.Heap.t array;
+  active : float array;
+      (* priority of the node each worker holds outside the pool;
+         [infinity] marks an idle worker *)
+  idle : float array;
+  mutable stolen : int;
+  mutable stopped : bool;
+  mu : Mutex.t;
+  cv : Condition.t;
+}
+
+let create ~workers ~prio =
+  {
+    prio;
+    deques = Array.init workers (fun _ -> Mm_util.Heap.create prio);
+    active = Array.make workers infinity;
+    idle = Array.make workers 0.0;
+    stolen = 0;
+    stopped = false;
+    mu = Mutex.create ();
+    cv = Condition.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let push t ~worker nd =
+  with_lock t (fun () ->
+      Mm_util.Heap.push t.deques.(worker) nd;
+      Condition.signal t.cv)
+
+let working t ~worker prio =
+  with_lock t (fun () -> t.active.(worker) <- prio)
+
+let all_drained t =
+  Array.for_all Mm_util.Heap.is_empty t.deques
+  && Array.for_all (fun b -> b = infinity) t.active
+
+let set_idle t ~worker =
+  with_lock t (fun () ->
+      t.active.(worker) <- infinity;
+      (* the last worker going idle with nothing queued means the
+         search is over: wake everyone blocked in [take] *)
+      if all_drained t then Condition.broadcast t.cv)
+
+let halt t =
+  with_lock t (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.cv)
+
+let drain t =
+  with_lock t (fun () ->
+      Array.iter
+        (fun dq -> Mm_util.Heap.filter_in_place dq (fun _ -> false))
+        t.deques;
+      t.stopped <- true;
+      Condition.broadcast t.cv)
+
+let halted t = with_lock t (fun () -> t.stopped)
+
+let min_bound t =
+  with_lock t (fun () ->
+      let b = ref infinity in
+      Array.iter
+        (fun dq ->
+          match Mm_util.Heap.min_priority dq with
+          | Some x when x < !b -> b := x
+          | _ -> ())
+        t.deques;
+      Array.iter (fun a -> if a < !b then b := a) t.active;
+      !b)
+
+let queued t =
+  with_lock t (fun () ->
+      Array.fold_left (fun acc dq -> acc + Mm_util.Heap.size dq) 0 t.deques)
+
+let nodes_stolen t = with_lock t (fun () -> t.stolen)
+
+let idle_seconds t =
+  with_lock t (fun () -> Array.fold_left ( +. ) 0.0 t.idle)
+
+let take t ~worker =
+  Mutex.lock t.mu;
+  t.active.(worker) <- infinity;
+  let result = ref None in
+  let steal () =
+    (* victim holding the globally best open bound *)
+    let best = ref (-1) and best_prio = ref infinity in
+    Array.iteri
+      (fun w dq ->
+        if w <> worker then
+          match Mm_util.Heap.min_priority dq with
+          | Some b when b < !best_prio ->
+              best := w;
+              best_prio := b
+          | _ -> ())
+      t.deques;
+    if !best < 0 then false
+    else
+      match Mm_util.Heap.pop t.deques.(!best) with
+      | None -> false
+      | Some nd ->
+          t.stolen <- t.stolen + 1;
+          result := Some nd;
+          true
+  in
+  let rec attempt () =
+    if t.stopped then ()
+    else
+      match Mm_util.Heap.pop t.deques.(worker) with
+      | Some nd -> result := Some nd
+      | None ->
+          if steal () then ()
+          else if Array.exists (fun b -> b < infinity) t.active then begin
+            (* someone is still expanding a node and may push children *)
+            let w0 = Unix.gettimeofday () in
+            Condition.wait t.cv t.mu;
+            t.idle.(worker) <- t.idle.(worker) +. (Unix.gettimeofday () -. w0);
+            attempt ()
+          end
+          else begin
+            (* globally drained: nothing queued, nobody in flight *)
+            t.stopped <- true;
+            Condition.broadcast t.cv
+          end
+  in
+  attempt ();
+  (match !result with
+  | Some nd -> t.active.(worker) <- t.prio nd
+  | None -> ());
+  Mutex.unlock t.mu;
+  !result

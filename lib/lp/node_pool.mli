@@ -1,0 +1,60 @@
+(** Shared best-bound node pool for parallel branch-and-bound.
+
+    Each worker domain owns a private best-first deque (an
+    {!Mm_util.Heap} keyed by the caller-supplied priority); a single
+    mutex/condition pair guards the whole pool. A worker pops from its
+    own deque first and otherwise steals the globally best-priority
+    node from another deque. Termination is detected when every deque
+    is empty and no worker holds a node in flight.
+
+    [take] returns nodes one at a time without filtering: the caller
+    re-checks bound pruning against the shared incumbent immediately
+    after dequeue (and runs its gap-termination check even for pruned
+    nodes), which keeps the single-worker schedule identical to the
+    historical serial loop — the [parallelism = 1] determinism
+    contract. *)
+
+type 'a t
+
+val create : workers:int -> prio:('a -> float) -> 'a t
+(** [create ~workers ~prio] builds a pool with [workers] private
+    deques ordered by ascending [prio]. *)
+
+val push : 'a t -> worker:int -> 'a -> unit
+(** Enqueue onto [worker]'s own deque and wake one sleeping worker. *)
+
+val take : 'a t -> worker:int -> 'a option
+(** Next node for [worker]: its own deque first, then the best node
+    across all other deques (counted as a steal). Blocks while other
+    workers are active and might still produce work; returns [None]
+    once the pool is halted or globally drained. The calling worker is
+    marked in flight with the returned node's priority. *)
+
+val working : 'a t -> worker:int -> float -> unit
+(** Record that [worker] holds a node of the given priority outside
+    the pool (depth-first plunging children never transit the pool). *)
+
+val set_idle : 'a t -> worker:int -> unit
+(** Record that [worker] holds no node; may signal global drain. *)
+
+val halt : 'a t -> unit
+(** Stop the search: every blocked or future [take] returns [None].
+    Queued nodes are kept so {!min_bound} stays meaningful. *)
+
+val drain : 'a t -> unit
+(** Discard all queued nodes and halt (gap-limit termination). *)
+
+val halted : 'a t -> bool
+
+val min_bound : 'a t -> float
+(** Minimum priority over all queued and in-flight nodes; [infinity]
+    when nothing is queued or in flight. *)
+
+val queued : 'a t -> int
+(** Total nodes currently queued across all deques. *)
+
+val nodes_stolen : 'a t -> int
+(** Number of successful cross-deque steals so far. *)
+
+val idle_seconds : 'a t -> float
+(** Total seconds workers spent blocked waiting for work. *)

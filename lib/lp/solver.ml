@@ -7,6 +7,7 @@ type options = {
   cuts : bool;
   cut_rounds : int;
   max_cuts_per_round : int;
+  parallelism : int;
   bb : Branch_bound.options;
 }
 
@@ -16,14 +17,23 @@ let default_options =
     cuts = true;
     cut_rounds = 3;
     max_cuts_per_round = 50;
+    parallelism = 1;
     bb = Branch_bound.default_options;
   }
 
-let quick_options ?time_limit () =
-  {
-    default_options with
-    bb = { Branch_bound.default_options with time_limit };
-  }
+let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
+    ?(max_cuts_per_round = 50) ?parallelism
+    ?(bb = Branch_bound.default_options) () =
+  (* an explicit [?parallelism] overrides whatever [bb] carries *)
+  let parallelism =
+    match parallelism with
+    | Some j -> j
+    | None -> bb.Branch_bound.parallelism
+  in
+  { presolve; cuts; cut_rounds; max_cuts_per_round; parallelism; bb }
+
+let quick_options ?time_limit ?parallelism () =
+  options ?parallelism ~bb:(Branch_bound.options ?time_limit ()) ()
 
 type stats = {
   presolved_from : int * int;
@@ -31,6 +41,7 @@ type stats = {
   cuts_added : int;
   lp : Simplex.stats;
   lp_time : float;
+  parallel : Branch_bound.par_stats;
 }
 
 type result = { mip : Branch_bound.result; stats : stats }
@@ -84,6 +95,7 @@ let infeasible_result p t0 =
     lp_time = 0.0;
     max_node_lp_time = 0.0;
     lp_stats = Simplex.empty_stats;
+    par = Branch_bound.serial_par_stats;
   }
 
 let unbounded_result p t0 =
@@ -98,6 +110,7 @@ let unbounded_result p t0 =
     lp_time = 0.0;
     max_node_lp_time = 0.0;
     lp_stats = Simplex.empty_stats;
+    par = Branch_bound.serial_par_stats;
   }
 
 let solve ?(options = default_options) p =
@@ -122,6 +135,7 @@ let solve ?(options = default_options) p =
             cuts_added = 0;
             lp = Simplex.empty_stats;
             lp_time = 0.0;
+            parallel = Branch_bound.serial_par_stats;
           };
       }
   | Some `Unbounded ->
@@ -134,6 +148,7 @@ let solve ?(options = default_options) p =
             cuts_added = 0;
             lp = Simplex.empty_stats;
             lp_time = 0.0;
+            parallel = Branch_bound.serial_par_stats;
           };
       }
   | Some (`Problem q) ->
@@ -147,14 +162,14 @@ let solve ?(options = default_options) p =
          the tree search only the true remainder (possibly zero, in which
          case it reports a clean limit status immediately) *)
       let bb_options =
-        match options.bb.Branch_bound.time_limit with
-        | None -> options.bb
+        let bb =
+          { options.bb with Branch_bound.parallelism = options.parallelism }
+        in
+        match bb.Branch_bound.time_limit with
+        | None -> bb
         | Some tl ->
             let spent = Unix.gettimeofday () -. t0 in
-            {
-              options.bb with
-              Branch_bound.time_limit = Some (Float.max 0.0 (tl -. spent));
-            }
+            { bb with Branch_bound.time_limit = Some (Float.max 0.0 (tl -. spent)) }
       in
       let r = Branch_bound.solve ~options:bb_options q in
       let solution = Option.map recover r.Branch_bound.solution in
@@ -173,6 +188,7 @@ let solve ?(options = default_options) p =
             cuts_added;
             lp = Simplex.merge_stats cut_lp_stats r.Branch_bound.lp_stats;
             lp_time = cut_lp_time +. r.Branch_bound.lp_time;
+            parallel = r.Branch_bound.par;
           };
       }
 

@@ -6,12 +6,28 @@ type options = {
   cuts : bool;  (** root knapsack cover cuts, default true *)
   cut_rounds : int;  (** default 3 *)
   max_cuts_per_round : int;  (** default 50 *)
+  parallelism : int;
+      (** worker domains for the branch-and-bound tree search, default 1
+          (deterministic serial schedule); overrides [bb.parallelism] *)
   bb : Branch_bound.options;
 }
 
 val default_options : options
 
-val quick_options : ?time_limit:float -> unit -> options
+val options :
+  ?presolve:bool ->
+  ?cuts:bool ->
+  ?cut_rounds:int ->
+  ?max_cuts_per_round:int ->
+  ?parallelism:int ->
+  ?bb:Branch_bound.options ->
+  unit ->
+  options
+(** Builder for {!options}; prefer this over record literals so future
+    fields stay non-breaking. When [?parallelism] is omitted it is
+    taken from [bb] (default 1). *)
+
+val quick_options : ?time_limit:float -> ?parallelism:int -> unit -> options
 (** Options with a wall-clock limit, for benchmark harnesses. *)
 
 type stats = {
@@ -20,8 +36,11 @@ type stats = {
   cuts_added : int;
   lp : Simplex.stats;
       (** simplex instrumentation accumulated across the root cut loop
-          and the branch-and-bound run *)
+          and the branch-and-bound run (all domains merged) *)
   lp_time : float;  (** seconds spent inside LP solves *)
+  parallel : Branch_bound.par_stats;
+      (** parallel tree-search instrumentation: domains used, nodes
+          stolen, idle seconds, per-domain pivot counts *)
 }
 
 type result = { mip : Branch_bound.result; stats : stats }

@@ -201,6 +201,35 @@ let build ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
       let problem = Model.to_problem model in
       Ok { model; problem; z; num_x = !num_x; num_y = !num_y }
 
+let assignment_of_solution b x =
+  let m = Array.length b.z in
+  Array.init m (fun d ->
+      let n = Array.length b.z.(d) in
+      let rec find t =
+        if t >= n then failwith "Complete_ilp: no type chosen"
+        else if x.(b.z.(d).(t)) > 0.5 then t
+        else find (t + 1)
+      in
+      find 0)
+
+module F = struct
+  type solution = Formulation.assignment
+
+  let name = "complete"
+  let supports_forbidden = false
+
+  let build (c : Formulation.ctx) =
+    match
+      build ~weights:c.Formulation.weights
+        ~access_model:c.Formulation.access_model
+        ?port_model:c.Formulation.port_model
+        ~disaggregated_linking:c.Formulation.disaggregated_linking
+        c.Formulation.board c.Formulation.design
+    with
+    | Error msg -> Error msg
+    | Ok b -> Ok (b.problem, assignment_of_solution b)
+end
+
 let solve ?weights ?access_model ?port_model ?solver_options
     ?disaggregated_linking board design =
   let t0 = Unix.gettimeofday () in
@@ -208,35 +237,24 @@ let solve ?weights ?access_model ?port_model ?solver_options
     build ?weights ?access_model ?port_model ?disaggregated_linking board design
   with
   | Error _ -> Error (Global_ilp.No_feasible_type 0, None)
-  | Ok b ->
-      let t1 = Unix.gettimeofday () in
-      let result = Solver.solve ?options:solver_options b.problem in
-      let t2 = Unix.gettimeofday () in
-      let stats =
+  | Ok b -> (
+      let build_seconds = Unix.gettimeofday () -. t0 in
+      let augment (fs : Formulation.stats) =
         {
-          ilp = result;
-          build_seconds = t1 -. t0;
-          solve_seconds = t2 -. t1;
+          ilp = fs.Formulation.ilp;
+          build_seconds = fs.Formulation.build_seconds;
+          solve_seconds = fs.Formulation.solve_seconds;
           num_x = b.num_x;
           num_y = b.num_y;
         }
       in
-      (match result.Solver.mip.Branch_bound.solution with
-      | Some x ->
-          let m = Array.length b.z in
-          let assignment =
-            Array.init m (fun d ->
-                let n = Array.length b.z.(d) in
-                let rec find t =
-                  if t >= n then
-                    failwith "Complete_ilp.solve: no type chosen"
-                  else if x.(b.z.(d).(t)) > 0.5 then t
-                  else find (t + 1)
-                in
-                find 0)
-          in
-          Ok (assignment, stats)
-      | None -> (
-          match result.Solver.mip.Branch_bound.status with
-          | Branch_bound.Infeasible -> Error (Global_ilp.Ilp_infeasible, Some stats)
-          | _ -> Error (Global_ilp.Ilp_limit, Some stats)))
+      match
+        Formulation.solve_built ?solver_options ~build_seconds b.problem
+          (assignment_of_solution b)
+      with
+      | Ok (a, fs) -> Ok (a, augment fs)
+      | Error (Formulation.Ilp_infeasible, fs) ->
+          Error (Global_ilp.Ilp_infeasible, Option.map augment fs)
+      | Error (Formulation.Build_failed _, fs) | Error (Formulation.Ilp_limit, fs)
+        ->
+          Error (Global_ilp.Ilp_limit, Option.map augment fs))

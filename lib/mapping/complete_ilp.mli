@@ -65,3 +65,7 @@ val solve :
   (Global_ilp.assignment * stats, Global_ilp.error * stats option) result
 (** Solves the flat model and projects the solution onto the type
     assignment (the [Z] variables). *)
+
+module F : Formulation.S with type solution = Formulation.assignment
+(** The flat model as a generic {!Formulation} (no [forbidden]
+    support: the baseline has no global/detailed retry loop). *)

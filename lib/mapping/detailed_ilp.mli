@@ -19,12 +19,27 @@ type options = {
 
 val default_options : options
 
+val options :
+  ?solver_options:Mm_lp.Solver.options ->
+  ?symmetry_breaking:bool ->
+  ?port_model:Preprocess.port_model ->
+  unit ->
+  options
+(** Builder for {!options}; prefer this over record literals so future
+    fields stay non-breaking. *)
+
+module F : Formulation.S with type solution = Detailed.placement list
+(** The per-type placement ILP as a {!Formulation}. Requires
+    [ctx.assignment] and [ctx.type_index]; honours [ctx.port_model]
+    (defaulting to [Fig3]) and [ctx.symmetry_breaking]. The solution is
+    the placement list for that type's instances only. *)
+
 val run :
   ?options:options ->
   Mm_arch.Board.t ->
   Mm_design.Design.t ->
   Global_ilp.assignment ->
   (Detailed.t, Detailed.failure) result
-(** Solves one placement ILP per bank type and assembles placements
-    (offsets and ports assigned per instance in decreasing fragment
-    order, as in the greedy placer). *)
+(** Solves one placement ILP per bank type ({!F} under the hood) and
+    assembles placements (offsets and ports assigned per instance in
+    decreasing fragment order, as in the greedy placer). *)

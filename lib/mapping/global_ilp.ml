@@ -11,7 +11,7 @@ type build = {
 
 type error = No_feasible_type of int | Ilp_infeasible | Ilp_limit
 
-type stats = {
+type stats = Formulation.stats = {
   ilp : Solver.result;
   build_seconds : float;
   solve_seconds : float;
@@ -180,14 +180,38 @@ let assignment_cost ?(weights = Cost.default_weights)
     a;
   !total
 
+module F = struct
+  type solution = assignment
+
+  let name = "global"
+  let supports_forbidden = true
+
+  let build (c : Formulation.ctx) =
+    match
+      build ~weights:c.Formulation.weights
+        ~access_model:c.Formulation.access_model
+        ?port_model:c.Formulation.port_model
+        ~arbitration:c.Formulation.arbitration
+        ~forbidden:c.Formulation.forbidden c.Formulation.board
+        c.Formulation.design
+    with
+    | Error msg -> Error msg
+    | Ok b -> Ok (b.problem, assignment_of_solution b)
+end
+
 let solve ?weights ?access_model ?port_model ?arbitration ?solver_options
     ?forbidden board design =
-  let t0 = Unix.gettimeofday () in
-  match build ?weights ?access_model ?port_model ?arbitration ?forbidden board design with
-  | Error msg ->
-      ignore msg;
+  let c =
+    Formulation.ctx ?weights ?access_model ?port_model ?arbitration ?forbidden
+      board design
+  in
+  match Formulation.solve (module F) ?solver_options c with
+  | Ok (a, stats) -> Ok (a, stats)
+  | Error (Formulation.Ilp_infeasible, st) -> Error (Ilp_infeasible, st)
+  | Error (Formulation.Ilp_limit, st) -> Error (Ilp_limit, st)
+  | Error (Formulation.Build_failed _, _) ->
+      (* recover the segment index from the build failure *)
       let d =
-        (* recover the segment index from the build error *)
         let rec find d =
           if d >= Mm_design.Design.num_segments design then 0
           else if
@@ -204,16 +228,3 @@ let solve ?weights ?access_model ?port_model ?arbitration ?solver_options
         find 0
       in
       Error (No_feasible_type d, None)
-  | Ok b ->
-      let t1 = Unix.gettimeofday () in
-      let result = Solver.solve ?options:solver_options b.problem in
-      let t2 = Unix.gettimeofday () in
-      let stats =
-        { ilp = result; build_seconds = t1 -. t0; solve_seconds = t2 -. t1 }
-      in
-      (match result.Solver.mip.Branch_bound.solution with
-      | Some x -> Ok (assignment_of_solution b x, stats)
-      | None -> (
-          match result.Solver.mip.Branch_bound.status with
-          | Branch_bound.Infeasible -> Error (Ilp_infeasible, Some stats)
-          | _ -> Error (Ilp_limit, Some stats)))

@@ -49,7 +49,7 @@ type error =
   | Ilp_infeasible
   | Ilp_limit  (** solver hit a limit before an incumbent *)
 
-type stats = {
+type stats = Formulation.stats = {
   ilp : Mm_lp.Solver.result;
   build_seconds : float;
   solve_seconds : float;
@@ -68,6 +68,11 @@ val solve :
 
 val assignment_of_solution : build -> float array -> assignment
 (** Decodes a 0/1 solution vector into an assignment. *)
+
+module F : Formulation.S with type solution = assignment
+(** The global model as a generic {!Formulation}; {!solve} is a thin
+    wrapper over [Formulation.solve (module F)] that restores the
+    historical {!error} decoding. *)
 
 val assignment_cost :
   ?weights:Cost.weights ->

@@ -24,6 +24,26 @@ let default_options =
     detailed = Greedy;
   }
 
+let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
+    ?(port_model = Preprocess.Fig3) ?(arbitration = false)
+    ?(solver_options = Mm_lp.Solver.default_options) ?parallelism
+    ?(max_retries = 5) ?(allow_overlap = true) ?(detailed = Greedy) () =
+  let solver_options =
+    match parallelism with
+    | None -> solver_options
+    | Some j -> { solver_options with Mm_lp.Solver.parallelism = j }
+  in
+  {
+    weights;
+    access_model;
+    port_model;
+    arbitration;
+    solver_options;
+    max_retries;
+    allow_overlap;
+    detailed;
+  }
+
 type outcome = {
   method_ : method_;
   assignment : Global_ilp.assignment;
@@ -46,6 +66,10 @@ let error_to_string = function
   | Retries_exhausted n -> Printf.sprintf "detailed mapping failed after %d retries" n
   | Solver_limit -> "ILP solver hit its budget before finding an assignment"
 
+let formulation : method_ -> Formulation.assignment Formulation.t = function
+  | Global_detailed -> (module Global_ilp.F)
+  | Complete_flat -> (module Complete_ilp.F)
+
 let run_detailed options board design assignment =
   match options.detailed with
   | Greedy ->
@@ -56,11 +80,8 @@ let run_detailed options board design assignment =
       match
         Detailed_ilp.run
           ~options:
-            {
-              Detailed_ilp.solver_options = options.solver_options;
-              symmetry_breaking = true;
-              port_model = options.port_model;
-            }
+            (Detailed_ilp.options ~solver_options:options.solver_options
+               ~port_model:options.port_model ())
           board design assignment
       with
       | Ok t -> Ok t
@@ -93,56 +114,45 @@ let run ?(method_ = Global_detailed) ?(options = default_options) board design =
         ilp_result;
       }
   in
-  match method_ with
-  | Complete_flat -> (
-      match
-        Complete_ilp.solve ~weights:options.weights
+  let fm = formulation method_ in
+  let module F = (val fm) in
+  let rec attempt retries forbidden =
+    if retries > options.max_retries then Error (Retries_exhausted retries)
+    else
+      let ctx =
+        Formulation.ctx ~weights:options.weights
           ~access_model:options.access_model ~port_model:options.port_model
-          ~solver_options:options.solver_options board design
+          ~arbitration:options.arbitration ~forbidden board design
+      in
+      match
+        Formulation.solve fm ~solver_options:options.solver_options ctx
       with
-      | Error (Global_ilp.No_feasible_type d, _) ->
-          Error (Unmappable (Printf.sprintf "segment %d fits no bank type" d))
-      | Error (Global_ilp.Ilp_infeasible, _) ->
-          Error (Unmappable "complete ILP infeasible")
-      | Error (Global_ilp.Ilp_limit, _) -> Error Solver_limit
+      | Error (Formulation.Build_failed msg, _) -> Error (Unmappable msg)
+      | Error (Formulation.Ilp_infeasible, _) ->
+          if forbidden = [] then
+            Error (Unmappable (F.name ^ " ILP infeasible"))
+          else Error (Retries_exhausted retries)
+      | Error (Formulation.Ilp_limit, _) -> Error Solver_limit
       | Ok (assignment, stats) -> (
-          ilp_seconds := stats.Complete_ilp.build_seconds +. stats.Complete_ilp.solve_seconds;
+          ilp_seconds :=
+            !ilp_seconds +. stats.Formulation.build_seconds
+            +. stats.Formulation.solve_seconds;
           let td = Unix.gettimeofday () in
           match run_detailed options board design assignment with
           | Ok mapping ->
-              detailed_seconds := Unix.gettimeofday () -. td;
-              finish ~retries:0 ~assignment ~mapping ~ilp_result:stats.Complete_ilp.ilp
+              detailed_seconds :=
+                !detailed_seconds +. (Unix.gettimeofday () -. td);
+              finish ~retries ~assignment ~mapping
+                ~ilp_result:stats.Formulation.ilp
           | Error f ->
-              Error
-                (Unmappable
-                   (Printf.sprintf "flat solution not placeable: %s" f.Detailed.reason))))
-  | Global_detailed ->
-      let rec attempt retries forbidden =
-        if retries > options.max_retries then Error (Retries_exhausted retries)
-        else
-          match
-            Global_ilp.solve ~weights:options.weights
-              ~access_model:options.access_model
-              ~port_model:options.port_model ~arbitration:options.arbitration
-              ~solver_options:options.solver_options ~forbidden board design
-          with
-          | Error (Global_ilp.No_feasible_type d, _) ->
-              Error (Unmappable (Printf.sprintf "segment %d fits no bank type" d))
-          | Error (Global_ilp.Ilp_infeasible, _) ->
-              if forbidden = [] then Error (Unmappable "global ILP infeasible")
-              else Error (Retries_exhausted retries)
-          | Error (Global_ilp.Ilp_limit, _) -> Error Solver_limit
-          | Ok (assignment, stats) -> (
-              ilp_seconds :=
-                !ilp_seconds +. stats.Global_ilp.build_seconds
-                +. stats.Global_ilp.solve_seconds;
-              let td = Unix.gettimeofday () in
-              match run_detailed options board design assignment with
-              | Ok mapping ->
-                  detailed_seconds := !detailed_seconds +. (Unix.gettimeofday () -. td);
-                  finish ~retries ~assignment ~mapping ~ilp_result:stats.Global_ilp.ilp
-              | Error _ ->
-                  detailed_seconds := !detailed_seconds +. (Unix.gettimeofday () -. td);
-                  attempt (retries + 1) (assignment :: forbidden))
-      in
-      attempt 0 []
+              detailed_seconds :=
+                !detailed_seconds +. (Unix.gettimeofday () -. td);
+              if F.supports_forbidden then
+                attempt (retries + 1) (assignment :: forbidden)
+              else
+                Error
+                  (Unmappable
+                     (Printf.sprintf "flat solution not placeable: %s"
+                        f.Detailed.reason)))
+  in
+  attempt 0 []

@@ -30,6 +30,23 @@ type options = {
 
 val default_options : options
 
+val options :
+  ?weights:Cost.weights ->
+  ?access_model:Cost.access_model ->
+  ?port_model:Preprocess.port_model ->
+  ?arbitration:bool ->
+  ?solver_options:Mm_lp.Solver.options ->
+  ?parallelism:int ->
+  ?max_retries:int ->
+  ?allow_overlap:bool ->
+  ?detailed:detailed_engine ->
+  unit ->
+  options
+(** Builder for {!options}; prefer this over record literals so future
+    fields stay non-breaking. [?parallelism] overrides
+    [solver_options.parallelism] — the number of branch-and-bound worker
+    domains every ILP solve uses. *)
+
 type outcome = {
   method_ : method_;
   assignment : Global_ilp.assignment;
@@ -47,11 +64,21 @@ type error =
   | Retries_exhausted of int  (** detailed mapping kept failing *)
   | Solver_limit  (** hit a time/node budget before an incumbent *)
 
+val formulation : method_ -> Formulation.assignment Formulation.t
+(** The assignment-producing formulation behind each method —
+    {!Global_ilp.F} or {!Complete_ilp.F}. [run] dispatches through this;
+    exposed so harnesses (bench, tests) can solve the same models
+    directly via {!Formulation.solve}. *)
+
 val run :
   ?method_:method_ ->
   ?options:options ->
   Mm_arch.Board.t ->
   Mm_design.Design.t ->
   (outcome, error) result
+(** Both methods share one loop: build the method's formulation, solve,
+    run the detailed placer, and — only when the formulation supports
+    no-good cuts (i.e. [Global_detailed]) — retry with the failing
+    assignment forbidden, up to [max_retries] times. *)
 
 val error_to_string : error -> string

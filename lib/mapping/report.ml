@@ -170,14 +170,24 @@ let lp_core_summary (r : Mm_lp.Solver.result) =
   let s = r.Mm_lp.Solver.stats in
   let lp = s.Mm_lp.Solver.lp in
   let mip = r.Mm_lp.Solver.mip in
-  Printf.sprintf
-    "LP core: %d nodes, %d pivots (%d phase-1), %d refactorizations, eta<=%d, \
-     fill %d, basis nnz %d | LP time %.3fs (worst node %.3fs)"
-    mip.Mm_lp.Branch_bound.nodes lp.Mm_lp.Simplex.pivots
-    lp.Mm_lp.Simplex.phase1_pivots lp.Mm_lp.Simplex.refactorizations
-    lp.Mm_lp.Simplex.max_eta lp.Mm_lp.Simplex.lu_fill
-    lp.Mm_lp.Simplex.basis_nnz s.Mm_lp.Solver.lp_time
-    mip.Mm_lp.Branch_bound.max_node_lp_time
+  let core =
+    Printf.sprintf
+      "LP core: %d nodes, %d pivots (%d phase-1), %d refactorizations, eta<=%d, \
+       fill %d, basis nnz %d | LP time %.3fs (worst node %.3fs)"
+      mip.Mm_lp.Branch_bound.nodes lp.Mm_lp.Simplex.pivots
+      lp.Mm_lp.Simplex.phase1_pivots lp.Mm_lp.Simplex.refactorizations
+      lp.Mm_lp.Simplex.max_eta lp.Mm_lp.Simplex.lu_fill
+      lp.Mm_lp.Simplex.basis_nnz s.Mm_lp.Solver.lp_time
+      mip.Mm_lp.Branch_bound.max_node_lp_time
+  in
+  let par = s.Mm_lp.Solver.parallel in
+  if par.Mm_lp.Branch_bound.domains_used <= 1 then core
+  else
+    core
+    ^ Printf.sprintf " | %d domains, %d stolen, idle %.3fs"
+        par.Mm_lp.Branch_bound.domains_used
+        par.Mm_lp.Branch_bound.nodes_stolen
+        par.Mm_lp.Branch_bound.idle_seconds
 
 let outcome board design (o : Mapper.outcome) =
   let buf = Buffer.create 2048 in

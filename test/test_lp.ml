@@ -526,7 +526,7 @@ let test_bb_respects_node_limit () =
     8.0;
   Model.set_objective m Model.Minimize Expr.zero;
   let p = Model.to_problem m in
-  let options = { Branch_bound.default_options with node_limit = Some 1 } in
+  let options = Branch_bound.options ~node_limit:1 () in
   let r = Branch_bound.solve ~options p in
   Alcotest.(check bool) "nodes within limit" true (r.Branch_bound.nodes <= 1)
 
@@ -536,6 +536,93 @@ let test_bb_gap_reporting () =
   Model.add_ge m (Expr.var x) 1.0;
   let r = Branch_bound.solve (Model.to_problem m) in
   Alcotest.(check (option (float 1e-9))) "gap zero" (Some 0.0) (Branch_bound.gap r)
+
+(* --- Parallel tree search -------------------------------------------------- *)
+
+let test_node_pool_basic () =
+  let pool = Node_pool.create ~workers:2 ~prio:(fun x -> x) in
+  Node_pool.push pool ~worker:0 3.0;
+  Node_pool.push pool ~worker:0 1.0;
+  Node_pool.push pool ~worker:0 2.0;
+  Alcotest.(check int) "queued" 3 (Node_pool.queued pool);
+  Alcotest.(check (float 0.0)) "min bound" 1.0 (Node_pool.min_bound pool);
+  (match Node_pool.take pool ~worker:0 with
+  | Some v -> Alcotest.(check (float 0.0)) "own best first" 1.0 v
+  | None -> Alcotest.fail "expected node");
+  (* worker 1's deque is empty: it steals the best remaining node *)
+  (match Node_pool.take pool ~worker:1 with
+  | Some v -> Alcotest.(check (float 0.0)) "stolen best" 2.0 v
+  | None -> Alcotest.fail "expected steal");
+  Alcotest.(check int) "steal counted" 1 (Node_pool.nodes_stolen pool);
+  (* both takes left a node in flight: min bound tracks them *)
+  Alcotest.(check (float 0.0)) "in-flight bound" 1.0 (Node_pool.min_bound pool);
+  Node_pool.halt pool;
+  Alcotest.(check bool) "halted" true (Node_pool.halted pool);
+  Alcotest.(check (option (float 0.0)))
+    "take after halt" None
+    (Node_pool.take pool ~worker:0)
+
+let prop_parallel_matches_serial =
+  qtest ~count:100 "parallel B&B proves the serial objective" random_bip_gen
+    (fun params ->
+      let p = build_random_bip params in
+      let solve j =
+        Branch_bound.solve ~options:(Branch_bound.options ~parallelism:j ()) p
+      in
+      let serial = solve 1 in
+      List.for_all
+        (fun j ->
+          let r = solve j in
+          r.Branch_bound.par.Branch_bound.domains_used = j
+          &&
+          match (serial.Branch_bound.objective, r.Branch_bound.objective) with
+          | None, None -> r.Branch_bound.status = Branch_bound.Infeasible
+          | Some a, Some b -> Float.abs (a -. b) <= 1e-6
+          | _ -> false)
+        [ 2; 4 ])
+
+let test_parallel_one_is_deterministic () =
+  let p = build_random_bip (8, 5, 4242) in
+  let solve () =
+    Branch_bound.solve ~options:(Branch_bound.options ~parallelism:1 ()) p
+  in
+  let a = solve () and b = solve () in
+  Alcotest.(check int) "same node count" a.Branch_bound.nodes b.Branch_bound.nodes;
+  Alcotest.(check int) "same pivots" a.Branch_bound.simplex_iterations
+    b.Branch_bound.simplex_iterations;
+  Alcotest.(check (option (float 1e-12)))
+    "same objective" a.Branch_bound.objective b.Branch_bound.objective
+
+let test_parallel_stats_accounting () =
+  (* a symmetric covering problem with a decently sized tree *)
+  let m = Model.create () in
+  let vars = Array.init 18 (fun _ -> Model.binary m ()) in
+  for k = 0 to 8 do
+    Model.add_ge m
+      (Expr.sum
+         (List.map
+            (fun j -> Expr.var vars.(((3 * k) + j) mod 18))
+            (Mm_util.Ints.range 5)))
+      2.0
+  done;
+  Model.set_objective m Model.Minimize
+    (Expr.sum
+       (Array.to_list
+          (Array.mapi
+             (fun i v -> Expr.var ~coeff:(1.0 +. float_of_int (i mod 3)) v)
+             vars)));
+  let p = Model.to_problem m in
+  let serial = Branch_bound.solve p in
+  let par =
+    Branch_bound.solve ~options:(Branch_bound.options ~parallelism:3 ()) p
+  in
+  Alcotest.(check int) "domains" 3 par.Branch_bound.par.Branch_bound.domains_used;
+  Alcotest.(check int) "pivot breakdown sums"
+    par.Branch_bound.simplex_iterations
+    (Array.fold_left ( + ) 0 par.Branch_bound.par.Branch_bound.domain_pivots);
+  match (serial.Branch_bound.objective, par.Branch_bound.objective) with
+  | Some a, Some b -> Alcotest.(check (float 1e-6)) "same optimum" a b
+  | _ -> Alcotest.fail "expected solutions"
 
 
 (* --- solver options and senses ------------------------------------------------ *)
@@ -597,9 +684,7 @@ let test_solver_time_limit_reported () =
   done;
   Model.set_objective m Model.Minimize
     (Expr.sum (Array.to_list (Array.map Expr.var vars)));
-  let options =
-    { Solver.default_options with bb = { Branch_bound.default_options with time_limit = Some 0.2 } }
-  in
+  let options = Solver.options ~bb:(Branch_bound.options ~time_limit:0.2 ()) () in
   let r = Solver.solve ~options (Model.to_problem m) in
   (* must terminate promptly and report a sane status *)
   Alcotest.(check bool) "terminates in budget" true (r.Solver.mip.Branch_bound.time < 5.0);
@@ -613,11 +698,11 @@ let test_solver_without_presolve_or_cuts () =
   let p = build_random_bip (6, 4, 12345) in
   let base = (Solver.solve p).Solver.mip.Branch_bound.objective in
   let no_pre =
-    (Solver.solve ~options:{ Solver.default_options with presolve = false } p)
+    (Solver.solve ~options:(Solver.options ~presolve:false ()) p)
       .Solver.mip.Branch_bound.objective
   in
   let no_cuts =
-    (Solver.solve ~options:{ Solver.default_options with cuts = false } p)
+    (Solver.solve ~options:(Solver.options ~cuts:false ()) p)
       .Solver.mip.Branch_bound.objective
   in
   let eq a b =
@@ -1072,6 +1157,15 @@ let () =
           Alcotest.test_case "var names" `Quick test_model_var_name;
           prop_mixed_matches_grid_enumeration;
           prop_wide_magnitude_coefficients;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "node pool" `Quick test_node_pool_basic;
+          prop_parallel_matches_serial;
+          Alcotest.test_case "parallelism=1 deterministic" `Quick
+            test_parallel_one_is_deterministic;
+          Alcotest.test_case "parallel stats" `Quick
+            test_parallel_stats_accounting;
         ] );
       ( "cuts",
         [

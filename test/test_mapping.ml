@@ -553,7 +553,7 @@ let test_mapper_ilp_detailed_engine () =
     Mm_design.Design.make ~name:"d"
       [ seg "a" 200 8; seg "b" 100 16; seg "c" 64 4 ]
   in
-  let options = { Mapper.default_options with detailed = Mapper.Ilp } in
+  let options = Mapper.options ~detailed:Mapper.Ilp () in
   match Mapper.run ~options board design with
   | Ok o ->
       Alcotest.(check bool) "legal" true
@@ -697,7 +697,7 @@ let test_mapper_arbitration_pipeline () =
     Mm_design.Design.make ~lifetimes:lt ~name:"d"
       [ seg "a" 64 8; seg "b" 64 8; seg "c" 64 8; seg "d" 64 8 ]
   in
-  let options = { Mapper.default_options with arbitration = true } in
+  let options = Mapper.options ~arbitration:true () in
   match Mapper.run ~options board design with
   | Ok o ->
       Alcotest.(check bool) "legal under arbitration" true
@@ -710,9 +710,7 @@ let prop_improved_pipeline_legal =
       let rng = Mm_util.Prng.create (seed + 77) in
       let board = Mm_workload.Gen.random_board rng in
       let design = Mm_workload.Gen.random_design rng ~segments board in
-      let options =
-        { Mapper.default_options with port_model = Preprocess.Improved }
-      in
+      let options = Mapper.options ~port_model:Preprocess.Improved () in
       match Mapper.run ~options board design with
       | Ok o ->
           Validate.is_legal ~port_model:Preprocess.Improved board design
@@ -852,7 +850,7 @@ let test_mapper_retry_budget () =
   in
   (* 3 half-banks: Fig. 3 charges 2 ports each = 6 <= 6 total ports, but
      only one fits per instance -> detailed fails *)
-  let options = { Mapper.default_options with max_retries = 0 } in
+  let options = Mapper.options ~max_retries:0 () in
   match Mapper.run ~options board design with
   | Error (Mapper.Retries_exhausted _) -> ()
   | Error (Mapper.Unmappable _) -> ()
@@ -923,7 +921,7 @@ let test_detailed_ilp_direct () =
   | Ok (assignment, _) ->
       let run symmetry_breaking =
         Detailed_ilp.run
-          ~options:{ Detailed_ilp.default_options with symmetry_breaking }
+          ~options:(Detailed_ilp.options ~symmetry_breaking ())
           board design assignment
       in
       (match (run true, run false) with
@@ -952,6 +950,56 @@ let test_instances_used_and_parts () =
       in
       Alcotest.(check bool) "has width strip or corner" true
         (List.mem Detailed.Width_strip parts || List.mem Detailed.Corner parts)
+
+
+(* --- Parallel tree search through the whole pipeline --------------------------- *)
+
+let spec_gen =
+  QCheck.make
+    ~print:(fun (s : Mm_workload.Gen.spec) ->
+      Printf.sprintf "{segments=%d; banks=%d; ports=%d; configs=%d; seed=%d}"
+        s.Mm_workload.Gen.segments s.Mm_workload.Gen.banks
+        s.Mm_workload.Gen.ports s.Mm_workload.Gen.configs
+        s.Mm_workload.Gen.seed)
+    QCheck.Gen.(
+      let* segments = int_range 3 8 in
+      let* banks = int_range 4 8 in
+      let* extra_ports = int_range 0 6 in
+      let* configs = int_range 1 4 in
+      let* seed = int_range 0 1_000_000 in
+      return
+        {
+          Mm_workload.Gen.segments;
+          banks;
+          ports = banks + extra_ports;
+          configs = configs * 5;
+          seed;
+        })
+
+let prop_parallel_mapper_equivalent =
+  qtest ~count:20 "mapper verdict and objective agree across parallelism 1/2/4"
+    spec_gen (fun spec ->
+      match Mm_workload.Gen.instance spec with
+      | exception Invalid_argument _ -> QCheck.assume_fail ()
+      | board, design ->
+          let solve j =
+            match Mapper.run ~options:(Mapper.options ~parallelism:j ()) board design with
+            | Ok o ->
+                `Mapped
+                  ( o.Mapper.objective,
+                    Validate.is_legal board design o.Mapper.mapping )
+            | Error (Mapper.Unmappable _) -> `Unmappable
+            | Error (Mapper.Retries_exhausted _) -> `Retries_exhausted
+            | Error Mapper.Solver_limit -> `Solver_limit
+          in
+          let serial = solve 1 in
+          let same = function
+            | `Mapped (o, legal), `Mapped (o', legal') ->
+                Float.abs (o -. o') <= 1e-6 *. Float.max 1.0 (Float.abs o)
+                && legal = legal'
+            | a, b -> a = b
+          in
+          List.for_all (fun j -> same (serial, solve j)) [ 2; 4 ])
 
 let () =
   Alcotest.run "mm_mapping"
@@ -1035,6 +1083,7 @@ let () =
             test_mapper_arbitration_pipeline;
           prop_improved_pipeline_legal;
         ] );
+      ( "parallel", [ prop_parallel_mapper_equivalent ] );
       ( "mapper",
         [
           prop_pipeline_produces_legal_mappings;
