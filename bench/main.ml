@@ -199,11 +199,21 @@ type t3_cell = {
   idle : float;
 }
 
+(* Traced re-run of the serial global leg: wall time with tracing
+   enabled plus the per-phase span totals recovered from the trace.
+   Paired with the untraced cell it is the A/B evidence that tracing
+   is cheap when on and free when off. *)
+type t3_traced = {
+  traced_seconds : float;
+  phases : (string * float) list;
+}
+
 type t3_row = {
   point : Mm_workload.Table3.point;
   global : t3_cell;
   global_par : t3_cell;
   complete : t3_cell;
+  traced : t3_traced;
 }
 
 (* Worker domains for the parallel leg of the sweep.  At least 2 so the
@@ -295,7 +305,26 @@ let measure_table3 () =
               | Ok o -> cell_of_outcome o.Mm_mapping.Mapper.ilp_seconds o
               | Error _ -> failed_cell (Unix.gettimeofday () -. t0)
             in
-            { point; global; global_par; complete })
+            let traced =
+              let tr = Mm_obs.Trace.create () in
+              let opts_tr =
+                Mm_mapping.Mapper.options
+                  ~solver_options:
+                    (Mm_lp.Solver.quick_options ~time_limit:cap ())
+                  ~trace:tr ()
+              in
+              let t0 = Unix.gettimeofday () in
+              (match Mm_mapping.Mapper.run ~options:opts_tr board design with
+              | Ok _ | Error _ -> ());
+              let traced_seconds = Unix.gettimeofday () -. t0 in
+              let phases =
+                match Mm_obs.Summary.of_lines (Mm_obs.Trace.dump_lines tr) with
+                | Ok events -> Mm_obs.Summary.phase_totals events
+                | Error _ -> []
+              in
+              { traced_seconds; phases }
+            in
+            { point; global; global_par; complete; traced })
           Mm_workload.Table3.points
       in
       table3_cache := Some rows;
@@ -360,20 +389,53 @@ let write_bench_json rows =
               (num seconds) optimal (opt_num objective)
         | None -> "null"
       in
+      let traced =
+        let phases =
+          String.concat ", "
+            (List.map
+               (fun (name, s) -> Printf.sprintf "\"%s\": %.6f" name s)
+               r.traced.phases)
+        in
+        Printf.sprintf "{ \"seconds\": %s, \"phases\": { %s } }"
+          (num r.traced.traced_seconds) phases
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n\
            \      \"complete\": %s,\n\
            \      \"global\": %s,\n\
            \      \"global_parallel\": %s,\n\
+           \      \"global_traced\": %s,\n\
            \      \"complete_dense_baseline_60s\": %s }%s\n"
            spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
            spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs
-           (cell r.complete) (cell r.global) (par_cell r.global_par) dense
+           (cell r.complete) (cell r.global) (par_cell r.global_par) traced
+           dense
            (if i < List.length rows - 1 then "," else ""))
     )
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  (* A/B overhead cell: the untraced leg runs with tracing disabled (the
+     no-op sink), the traced leg with a live trace; their totals bound
+     the cost of both paths. *)
+  let untraced_total =
+    List.fold_left
+      (fun acc r ->
+        if Float.is_nan r.global.seconds then acc else acc +. r.global.seconds)
+      0.0 rows
+  and traced_total =
+    List.fold_left (fun acc r -> acc +. r.traced.traced_seconds) 0.0 rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"trace_ab\": { \"untraced_global_seconds\": %s, \
+        \"traced_global_seconds\": %s, \"overhead_pct\": %s }\n"
+       (num untraced_total) (num traced_total)
+       (if untraced_total > 0.0 then
+          Printf.sprintf "%.2f"
+            (100.0 *. (traced_total -. untraced_total) /. untraced_total)
+        else "null"));
+  Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_lp.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -113,14 +113,31 @@ let solve_cmd =
          & info [ "port-model" ]
              ~doc:"Consumed-port estimate: $(b,fig3) (the paper) or                    $(b,improved) (Section 6 refinement for >2-port banks).")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured solve trace (JSONL) to $(docv); \
+                 inspect it with $(b,mmap trace-summary).")
+  in
   let run () board design method_ weights profiled detailed time_limit
-      parallelism lp_out mps_out placements arbitration port_model =
+      parallelism lp_out mps_out placements arbitration port_model trace_out =
     let board = read_board board and design = read_design design in
+    let trace =
+      match trace_out with
+      | None -> Mm_obs.Trace.disabled
+      | Some _ -> Mm_obs.Trace.create ()
+    in
+    let write_trace () =
+      match trace_out with
+      | None -> ()
+      | Some path ->
+          Mm_obs.Trace.write_jsonl trace path;
+          Printf.printf "wrote trace %s\n" path
+    in
     let options =
       Mm_mapping.Mapper.options ~weights
         ~access_model:
           (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform)
-        ~detailed ~arbitration ~port_model
+        ~detailed ~arbitration ~port_model ~trace
         ~solver_options:
           (Mm_lp.Solver.options ~parallelism
              ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
@@ -149,6 +166,7 @@ let solve_cmd =
     in
     match Mm_mapping.Mapper.run ~method_ ~options board design with
     | Error e ->
+        write_trace ();
         Printf.eprintf "%s\n" (Mm_mapping.Mapper.error_to_string e);
         (* distinct exit codes so scripts can tell "no mapping exists"
            from "the solver ran out of budget" *)
@@ -158,6 +176,7 @@ let solve_cmd =
           | Mm_mapping.Mapper.Retries_exhausted _ -> 3
           | Mm_mapping.Mapper.Solver_limit -> 4)
     | Ok o ->
+        write_trace ();
         if placements then print_string (Mm_mapping.Report.outcome board design o)
         else begin
           Printf.printf
@@ -189,7 +208,7 @@ let solve_cmd =
       const run $ logs_term $ board_arg $ design_arg $ method_arg $ weights_arg
       $ profiled_arg $ detailed_arg $ time_limit_arg $ parallelism_arg
       $ lp_out_arg $ mps_out_arg $ placements_arg $ arbitration_arg
-      $ port_model_arg)
+      $ port_model_arg $ trace_arg)
 
 (* ---- generate ------------------------------------------------------- *)
 
@@ -312,7 +331,12 @@ let solve_mps_cmd =
   let print_solution_arg =
     Arg.(value & flag & info [ "solution" ] ~doc:"Print variable values.")
   in
-  let run () file time_limit parallelism print_solution =
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured solve trace (JSONL) to $(docv); \
+                 inspect it with $(b,mmap trace-summary).")
+  in
+  let run () file time_limit parallelism print_solution trace_out =
     let parsed =
       if Filename.check_suffix file ".lp" then Mm_lp.Lp_format.of_file file
       else Mm_lp.Mps.of_file file
@@ -323,12 +347,22 @@ let solve_mps_cmd =
         exit 1
     | Ok p -> (
         Format.printf "%s: %a\n%!" file Mm_lp.Problem.pp_stats p;
+        let trace =
+          match trace_out with
+          | None -> Mm_obs.Trace.disabled
+          | Some _ -> Mm_obs.Trace.create ()
+        in
         let options =
-          Mm_lp.Solver.options ~parallelism
+          Mm_lp.Solver.options ~parallelism ~trace
             ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
             ()
         in
         let r = Mm_lp.Solver.solve ~options p in
+        (match trace_out with
+        | None -> ()
+        | Some path ->
+            Mm_obs.Trace.write_jsonl trace path;
+            Printf.printf "wrote trace %s\n" path);
         let mip = r.Mm_lp.Solver.mip in
         let status =
           match mip.Mm_lp.Branch_bound.status with
@@ -360,11 +394,44 @@ let solve_mps_cmd =
        ~doc:"Solve an arbitrary MPS (or .lp) file with the built-in MIP              solver.")
     Term.(
       const run $ logs_term $ file_arg $ time_limit_arg $ parallelism_arg
-      $ print_solution_arg)
+      $ print_solution_arg $ trace_arg)
+
+(* ---- trace-summary ---------------------------------------------------- *)
+
+let trace_summary_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"JSONL trace file written by $(b,--trace).")
+  in
+  let run () file =
+    match Mm_obs.Summary.read_file file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+    | Ok events ->
+        Printf.printf "%s: %d events\n" file (List.length events);
+        print_string (Mm_obs.Summary.render events)
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:"Summarize a solve trace: per-phase time breakdown, counters, \
+             latency histograms, per-domain search statistics and a \
+             node-throughput timeline.")
+    Term.(const run $ logs_term $ file_arg)
 
 let () =
   let info =
     Cmd.info "mmap" ~version:"1.0.0"
       ~doc:"Global/detailed memory mapping for FPGA-based reconfigurable systems"
   in
-  exit (Cmd.eval (Cmd.group info [ solve_cmd; solve_mps_cmd; generate_cmd; devices_cmd; example_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd;
+            solve_mps_cmd;
+            trace_summary_cmd;
+            generate_cmd;
+            devices_cmd;
+            example_cmd;
+          ]))

@@ -11,6 +11,7 @@ type options = {
   int_tol : float;
   log_every : int option;
   parallelism : int;
+  trace : Mm_obs.Trace.t;
 }
 
 let default_options =
@@ -21,11 +22,12 @@ let default_options =
     int_tol = 1e-6;
     log_every = None;
     parallelism = 1;
+    trace = Mm_obs.Trace.disabled;
   }
 
 let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
-    ?log_every ?(parallelism = 1) () =
-  { time_limit; node_limit; gap_tol; int_tol; log_every; parallelism }
+    ?log_every ?(parallelism = 1) ?(trace = Mm_obs.Trace.disabled) () =
+  { time_limit; node_limit; gap_tol; int_tol; log_every; parallelism; trace }
 
 type par_stats = {
   domains_used : int;
@@ -127,10 +129,23 @@ let solve ?(options = default_options) (p : Problem.t) =
   let incumbent = Atomic.make { obj = infinity; x = None } in
   let nodes = Atomic.make 0 in
   let control = Atomic.make Run in
-  let pool = Node_pool.create ~workers:nworkers ~prio:(fun nd -> nd.bound) in
+  (* one sink per worker, registered here on the main domain so slot
+     numbers are deterministic (worker 0 gets the lowest slot) *)
+  let sinks = Array.make nworkers Mm_obs.Trace.null in
+  for i = 0 to nworkers - 1 do
+    sinks.(i) <- Mm_obs.Trace.register options.trace
+  done;
+  let pool =
+    Node_pool.create ~sinks ~workers:nworkers ~prio:(fun nd -> nd.bound) ()
+  in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let out_of_budget () =
-    (match options.time_limit with Some tl -> elapsed () > tl | None -> false)
+    (* [tl <= 0.0] guards the exhausted-budget edge (presolve + cuts ate
+       the whole limit): two clock reads in the same microsecond would
+       otherwise let the root node through a [Some 0.0] limit *)
+    (match options.time_limit with
+    | Some tl -> tl <= 0.0 || elapsed () > tl
+    | None -> false)
     ||
     match options.node_limit with
     | Some nl -> Atomic.get nodes >= nl
@@ -141,16 +156,17 @@ let solve ?(options = default_options) (p : Problem.t) =
     let f = x.(j) -. Float.round x.(j) in
     Float.abs f > options.int_tol
   in
-  let rec try_incumbent x obj =
+  let rec try_incumbent snk x obj =
     let cur = Atomic.get incumbent in
     if obj < cur.obj -. 1e-9 then
       if Atomic.compare_and_set incumbent cur { obj; x = Some (Array.copy x) }
       then begin
+        Mm_obs.Trace.point snk "incumbent" obj;
         if Domain.self () = main_id then
           Log.debug (fun m ->
               m "new incumbent %g after %d nodes" obj (Atomic.get nodes))
       end
-      else try_incumbent x obj
+      else try_incumbent snk x obj
   in
   let internal_obj x =
     let acc = ref p.Problem.obj_const in
@@ -159,10 +175,11 @@ let solve ?(options = default_options) (p : Problem.t) =
     done;
     !acc
   in
-  let rounding_heuristic x =
+  let rounding_heuristic snk x =
     let r = Array.copy x in
     List.iter (fun j -> r.(j) <- Float.round r.(j)) int_vars;
-    if Problem.max_violation p r <= 1e-7 then try_incumbent r (internal_obj r)
+    if Problem.max_violation p r <= 1e-7 then
+      try_incumbent snk r (internal_obj r)
   in
   let select_branch_var pc x =
     (* pseudocost score with most-fractional fallback *)
@@ -196,6 +213,8 @@ let solve ?(options = default_options) (p : Problem.t) =
   (* tightest change wins: prepending child changes and applying in root
      order means later (deeper) changes overwrite, which is what we want *)
   let process ws nd =
+    let snk = sinks.(ws.id) in
+    Mm_obs.Trace.point snk "node" nd.bound;
     let n_now = Atomic.fetch_and_add nodes 1 + 1 in
     (match options.log_every with
     | Some k when n_now mod k = 0 && Domain.self () = main_id ->
@@ -242,9 +261,9 @@ let solve ?(options = default_options) (p : Problem.t) =
         else begin
           let x = Simplex.primal ws.sx in
           let j = select_branch_var ws.pc x in
-          if j < 0 then try_incumbent x obj
+          if j < 0 then try_incumbent snk x obj
           else begin
-            rounding_heuristic x;
+            rounding_heuristic snk x;
             let lbj, ubj = Simplex.get_bounds ws.sx j in
             let f = x.(j) in
             let snap = Some (Simplex.basis_snapshot ws.sx) in
@@ -327,6 +346,7 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   let make_workspace id =
     let sx = Simplex.create p in
+    Simplex.set_trace sx sinks.(id);
     {
       id;
       sx;
@@ -368,6 +388,15 @@ let solve ?(options = default_options) (p : Problem.t) =
   in
   run_worker workspaces.(0);
   Array.iter Domain.join helpers;
+  (* all domains joined: flushing their sinks from here is race-free *)
+  if Mm_obs.Trace.enabled options.trace then begin
+    let idle = Node_pool.idle_per_worker pool in
+    Array.iteri
+      (fun i ws ->
+        Simplex.flush_trace ws.sx;
+        Mm_obs.Trace.point sinks.(i) "idle_seconds" idle.(i))
+      workspaces
+  end;
   (match Atomic.get failures with
   | (e, bt) :: _ -> Printexc.raise_with_backtrace e bt
   | [] -> ());

@@ -253,7 +253,17 @@ let parse text =
                     in
                     let set lo hi = Hashtbl.replace col_bounds col (lo, hi) in
                     match (kind, value) with
-                    | "UP", Some v -> set lo (Some v)
+                    | "UP", Some v ->
+                        (* MPS convention: a negative upper bound on a
+                           column still sitting on its default lower
+                           bound of 0 makes the column empty; reject it
+                           rather than guess at a lower bound *)
+                        if v < 0.0 && lo = None then
+                          fail lineno
+                            "negative UP bound on %s without an explicit \
+                             LO/MI lower bound"
+                            col
+                        else set lo (Some v)
                     | "LO", Some v -> set (Some v) hi
                     | "FX", Some v -> set (Some v) (Some v)
                     | "UI", Some v ->
@@ -262,10 +272,12 @@ let parse text =
                     | "LI", Some v ->
                         Hashtbl.replace col_int col true;
                         set (Some v) hi
-                    | "FR", None -> set (Some neg_infinity) (Some infinity)
-                    | "MI", None -> set (Some neg_infinity) hi
-                    | "PL", None -> set lo (Some infinity)
-                    | "BV", None ->
+                    (* MI/PL/FR/BV take no value, but many writers emit
+                       a dummy numeric field anyway; accept and ignore *)
+                    | "FR", _ -> set (Some neg_infinity) (Some infinity)
+                    | "MI", _ -> set (Some neg_infinity) hi
+                    | "PL", _ -> set lo (Some infinity)
+                    | "BV", _ ->
                         Hashtbl.replace col_int col true;
                         set (Some 0.0) (Some 1.0)
                     | _ -> fail lineno "bad bound %s" kind
@@ -274,7 +286,12 @@ let parse text =
                   | [ kind; _set; col; value ] -> (
                       match float_of_string_opt value with
                       | Some v -> bound kind col (Some v)
-                      | None -> fail lineno "bad bound value %s" value)
+                      | None ->
+                          (* value-less kinds ignore the fourth field
+                             entirely; value-carrying kinds need a number *)
+                          if List.mem kind [ "FR"; "MI"; "PL"; "BV" ] then
+                            bound kind col None
+                          else fail lineno "bad bound value %s" value)
                   | [ kind; _set; col ] -> bound kind col None
                   | _ -> fail lineno "bad BOUNDS entry")
               | "NAME" | "OBJSENSE" | "" | "ENDATA" -> ()

@@ -5,18 +5,23 @@ type 'a t = {
       (* priority of the node each worker holds outside the pool;
          [infinity] marks an idle worker *)
   idle : float array;
+  sinks : Mm_obs.Trace.sink array;
+      (* per-worker trace sinks (empty when tracing is off); a steal is
+         recorded into the thief's own sink, so writes stay
+         single-owner even under the pool mutex *)
   mutable stolen : int;
   mutable stopped : bool;
   mu : Mutex.t;
   cv : Condition.t;
 }
 
-let create ~workers ~prio =
+let create ?(sinks = [||]) ~workers ~prio () =
   {
     prio;
     deques = Array.init workers (fun _ -> Mm_util.Heap.create prio);
     active = Array.make workers infinity;
     idle = Array.make workers 0.0;
+    sinks;
     stolen = 0;
     stopped = false;
     mu = Mutex.create ();
@@ -88,6 +93,8 @@ let nodes_stolen t = with_lock t (fun () -> t.stolen)
 let idle_seconds t =
   with_lock t (fun () -> Array.fold_left ( +. ) 0.0 t.idle)
 
+let idle_per_worker t = with_lock t (fun () -> Array.copy t.idle)
+
 let take t ~worker =
   Mutex.lock t.mu;
   t.active.(worker) <- infinity;
@@ -110,6 +117,8 @@ let take t ~worker =
       | None -> false
       | Some nd ->
           t.stolen <- t.stolen + 1;
+          if Array.length t.sinks > worker then
+            Mm_obs.Trace.point t.sinks.(worker) "steal" (float_of_int !best);
           result := Some nd;
           true
   in

@@ -16,9 +16,13 @@
 
 type 'a t
 
-val create : workers:int -> prio:('a -> float) -> 'a t
-(** [create ~workers ~prio] builds a pool with [workers] private
-    deques ordered by ascending [prio]. *)
+val create :
+  ?sinks:Mm_obs.Trace.sink array -> workers:int -> prio:('a -> float) -> unit -> 'a t
+(** [create ~workers ~prio ()] builds a pool with [workers] private
+    deques ordered by ascending [prio]. [sinks] (default none) are
+    per-worker trace sinks; when present, every successful steal is
+    recorded as a ["steal"] point event (value: victim worker) in the
+    thief's sink. *)
 
 val push : 'a t -> worker:int -> 'a -> unit
 (** Enqueue onto [worker]'s own deque and wake one sleeping worker. *)
@@ -58,3 +62,6 @@ val nodes_stolen : 'a t -> int
 
 val idle_seconds : 'a t -> float
 (** Total seconds workers spent blocked waiting for work. *)
+
+val idle_per_worker : 'a t -> float array
+(** Per-worker blocked-for-work seconds (a copy). *)

@@ -83,6 +83,9 @@ type t = {
   mutable max_bnnz : int;
   mutable since_refactor : int;
   mutable degenerate_streak : int;
+  mutable tr : Mm_obs.Trace.sink;
+  pivot_hist : Mm_obs.Trace.hist;
+  refactor_hist : Mm_obs.Trace.hist;
   y : float array;
   alpha : float array;
   beta : float array; (* compute_basics scratch, pos-indexed *)
@@ -148,6 +151,7 @@ let reset_to_slack_basis t =
 let factor_current t = Lu.factor ~m:t.m (fun k f -> col_iter t t.basis.(k) f)
 
 let refactor t =
+  let h0 = if Mm_obs.Trace.active t.tr then Mm_obs.Trace.now_ns () else 0L in
   (try t.lu <- factor_current t
    with Lu.Singular ->
      reset_to_slack_basis t;
@@ -156,7 +160,10 @@ let refactor t =
   if Lu.fill_nnz t.lu > t.max_fill then t.max_fill <- Lu.fill_nnz t.lu;
   if Lu.basis_nnz t.lu > t.max_bnnz then t.max_bnnz <- Lu.basis_nnz t.lu;
   compute_basics t;
-  t.since_refactor <- 0
+  t.since_refactor <- 0;
+  if Mm_obs.Trace.active t.tr then
+    Mm_obs.Trace.hist_add t.refactor_hist
+      (Int64.sub (Mm_obs.Trace.now_ns ()) h0)
 
 let refactorize = refactor
 
@@ -192,6 +199,9 @@ let create p =
       max_bnnz = 0;
       since_refactor = 0;
       degenerate_streak = 0;
+      tr = Mm_obs.Trace.null;
+      pivot_hist = Mm_obs.Trace.hist_create ();
+      refactor_hist = Mm_obs.Trace.hist_create ();
       y = Array.make m 0.0;
       alpha = Array.make m 0.0;
       beta = Array.make m 0.0;
@@ -318,6 +328,7 @@ let update_lu t ip =
   | exception Lu.Singular -> refactor t
 
 let do_pivot t q sigma ip step leave_loc =
+  let h0 = if Mm_obs.Trace.active t.tr then Mm_obs.Trace.now_ns () else 0L in
   apply_step t q sigma step;
   let leaver = t.basis.(ip) in
   t.basis.(ip) <- q;
@@ -329,7 +340,11 @@ let do_pivot t q sigma ip step leave_loc =
   t.since_refactor <- t.since_refactor + 1;
   if step <= 1e-10 then t.degenerate_streak <- t.degenerate_streak + 1
   else t.degenerate_streak <- 0;
-  update_lu t ip
+  update_lu t ip;
+  (* includes any refactorization triggered by this pivot *)
+  if Mm_obs.Trace.active t.tr then
+    Mm_obs.Trace.hist_add t.pivot_hist
+      (Int64.sub (Mm_obs.Trace.now_ns ()) h0)
 
 let do_flip t q sigma gap =
   apply_step t q sigma gap;
@@ -616,6 +631,12 @@ let stats t =
     lu_fill = t.max_fill;
     basis_nnz = t.max_bnnz;
   }
+
+let set_trace t s = t.tr <- s
+
+let flush_trace t =
+  Mm_obs.Trace.emit_hist t.tr "pivot" t.pivot_hist;
+  Mm_obs.Trace.emit_hist t.tr "refactor" t.refactor_hist
 
 let set_bounds t j lb ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds";

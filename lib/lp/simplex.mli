@@ -74,6 +74,16 @@ val iterations : t -> int
 val stats : t -> stats
 (** Cumulative instrumentation counters since creation. *)
 
+val set_trace : t -> Mm_obs.Trace.sink -> unit
+(** Attach a trace sink: every pivot and refactorization is then timed
+    into per-instance latency histograms (a no-op sink costs one
+    pattern match per pivot). The instance must be driven by the
+    domain owning the sink. *)
+
+val flush_trace : t -> unit
+(** Emit the accumulated pivot/refactorization histograms as trace
+    events and reset them; a no-op without an active sink. *)
+
 val refactorize : t -> unit
 (** Discard the eta file, factor the current basis from scratch and
     recompute basic values. Exposed for testing (a refactorization must

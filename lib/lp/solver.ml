@@ -8,6 +8,7 @@ type options = {
   cut_rounds : int;
   max_cuts_per_round : int;
   parallelism : int;
+  trace : Mm_obs.Trace.t;
   bb : Branch_bound.options;
 }
 
@@ -18,22 +19,26 @@ let default_options =
     cut_rounds = 3;
     max_cuts_per_round = 50;
     parallelism = 1;
+    trace = Mm_obs.Trace.disabled;
     bb = Branch_bound.default_options;
   }
 
 let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
-    ?(max_cuts_per_round = 50) ?parallelism
+    ?(max_cuts_per_round = 50) ?parallelism ?trace
     ?(bb = Branch_bound.default_options) () =
-  (* an explicit [?parallelism] overrides whatever [bb] carries *)
+  (* explicit [?parallelism] / [?trace] override whatever [bb] carries *)
   let parallelism =
     match parallelism with
     | Some j -> j
     | None -> bb.Branch_bound.parallelism
   in
-  { presolve; cuts; cut_rounds; max_cuts_per_round; parallelism; bb }
+  let trace =
+    match trace with Some tr -> tr | None -> bb.Branch_bound.trace
+  in
+  { presolve; cuts; cut_rounds; max_cuts_per_round; parallelism; trace; bb }
 
-let quick_options ?time_limit ?parallelism () =
-  options ?parallelism ~bb:(Branch_bound.options ?time_limit ()) ()
+let quick_options ?time_limit ?parallelism ?trace () =
+  options ?parallelism ?trace ~bb:(Branch_bound.options ?time_limit ()) ()
 
 type stats = {
   presolved_from : int * int;
@@ -49,7 +54,7 @@ type result = { mip : Branch_bound.result; stats : stats }
 (* Root cut loop: repeatedly solve the LP relaxation and add violated
    cover cuts. Cuts are valid for all integer points, so they are kept
    as ordinary rows for the branch-and-bound run. *)
-let add_root_cuts options p =
+let add_root_cuts snk options p =
   let deadline =
     Option.map
       (fun tl -> Unix.gettimeofday () +. tl)
@@ -60,10 +65,12 @@ let add_root_cuts options p =
     if round >= options.cut_rounds then (p, added)
     else begin
       let sx = Simplex.create p in
+      Simplex.set_trace sx snk;
       let t0 = Unix.gettimeofday () in
       let r = Simplex.solve ?deadline sx in
       lp_time := !lp_time +. (Unix.gettimeofday () -. t0);
       lp_stats := Simplex.merge_stats !lp_stats (Simplex.stats sx);
+      Simplex.flush_trace sx;
       match r with
       | Simplex.Optimal ->
           let x = Simplex.primal sx in
@@ -114,11 +121,13 @@ let unbounded_result p t0 =
   }
 
 let solve ?(options = default_options) p =
+  let snk = Mm_obs.Trace.root options.trace in
+  Mm_obs.Trace.span snk "solve" @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let before = (p.Problem.ncols, p.Problem.nrows) in
   let reduced, recover =
     if options.presolve then
-      match Presolve.presolve p with
+      match Mm_obs.Trace.span snk "presolve" (fun () -> Presolve.presolve p) with
       | Presolve.Infeasible -> (None, fun x -> x)
       | Presolve.Unbounded -> (Some `Unbounded, fun x -> x)
       | Presolve.Reduced (q, r) -> (Some (`Problem q), r)
@@ -153,9 +162,11 @@ let solve ?(options = default_options) p =
       }
   | Some (`Problem q) ->
       let q, cuts_added, cut_lp_stats, cut_lp_time =
-        if options.cuts && Problem.num_integer q > 0 then add_root_cuts options q
+        if options.cuts && Problem.num_integer q > 0 then
+          Mm_obs.Trace.span snk "cuts" (fun () -> add_root_cuts snk options q)
         else (q, 0, Simplex.empty_stats, 0.0)
       in
+      if cuts_added > 0 then Mm_obs.Trace.count snk "cuts_added" cuts_added;
       Log.debug (fun m ->
           m "solving %a (%d cuts)" Problem.pp_stats q cuts_added);
       (* the time limit covers presolve + cuts + branch and bound: hand
@@ -163,7 +174,11 @@ let solve ?(options = default_options) p =
          case it reports a clean limit status immediately) *)
       let bb_options =
         let bb =
-          { options.bb with Branch_bound.parallelism = options.parallelism }
+          {
+            options.bb with
+            Branch_bound.parallelism = options.parallelism;
+            trace = options.trace;
+          }
         in
         match bb.Branch_bound.time_limit with
         | None -> bb
@@ -171,7 +186,10 @@ let solve ?(options = default_options) p =
             let spent = Unix.gettimeofday () -. t0 in
             { bb with Branch_bound.time_limit = Some (Float.max 0.0 (tl -. spent)) }
       in
-      let r = Branch_bound.solve ~options:bb_options q in
+      let r =
+        Mm_obs.Trace.span snk "bb" (fun () ->
+            Branch_bound.solve ~options:bb_options q)
+      in
       let solution = Option.map recover r.Branch_bound.solution in
       let objective =
         (* recompute on the original problem so that presolve's constant

@@ -9,6 +9,11 @@ type options = {
   parallelism : int;
       (** worker domains for the branch-and-bound tree search, default 1
           (deterministic serial schedule); overrides [bb.parallelism] *)
+  trace : Mm_obs.Trace.t;
+      (** structured tracing (default disabled): the facade records
+          presolve/cuts/bb/solve phase spans and a cut counter on the
+          trace's root sink and hands the trace down to
+          {!Branch_bound}; overrides [bb.trace] *)
   bb : Branch_bound.options;
 }
 
@@ -20,14 +25,16 @@ val options :
   ?cut_rounds:int ->
   ?max_cuts_per_round:int ->
   ?parallelism:int ->
+  ?trace:Mm_obs.Trace.t ->
   ?bb:Branch_bound.options ->
   unit ->
   options
 (** Builder for {!options}; prefer this over record literals so future
-    fields stay non-breaking. When [?parallelism] is omitted it is
-    taken from [bb] (default 1). *)
+    fields stay non-breaking. When [?parallelism] or [?trace] is
+    omitted it is taken from [bb] (defaults: 1, disabled). *)
 
-val quick_options : ?time_limit:float -> ?parallelism:int -> unit -> options
+val quick_options :
+  ?time_limit:float -> ?parallelism:int -> ?trace:Mm_obs.Trace.t -> unit -> options
 (** Options with a wall-clock limit, for benchmark harnesses. *)
 
 type stats = {

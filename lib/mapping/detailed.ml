@@ -21,7 +21,8 @@ let make_fragment ~segment ~part ~config ~words ~ports =
     words;
     rounded_words;
     ports_needed = ports;
-    footprint_bits = rounded_words * config.Mm_arch.Config.width;
+    (* checked: a huge segment must fail loudly, not wrap silently *)
+    footprint_bits = Ints.checked_mul rounded_words config.Mm_arch.Config.width;
   }
 
 let fragments_of ?port_model ~segment (seg : Mm_design.Segment.t)
@@ -107,8 +108,8 @@ type inst_state = {
 exception Fail of failure
 
 let run ?port_model ?(allow_overlap = true) ?(allow_port_sharing = false)
-    (board : Mm_arch.Board.t) (design : Mm_design.Design.t)
-    (assignment : Global_ilp.assignment) =
+    ?(trace = Mm_obs.Trace.null) (board : Mm_arch.Board.t)
+    (design : Mm_design.Design.t) (assignment : Global_ilp.assignment) =
   let m = Mm_design.Design.num_segments design in
   if Array.length assignment <> m then
     invalid_arg "Detailed.run: assignment arity";
@@ -119,6 +120,8 @@ let run ?port_model ?(allow_overlap = true) ?(allow_port_sharing = false)
       let bt = Mm_arch.Board.bank_type board t in
       let segs = List.filter (fun d -> assignment.(d) = t) (Ints.range m) in
       if segs <> [] then begin
+        Mm_obs.Trace.span trace ("place:" ^ bt.Mm_arch.Bank_type.name)
+        @@ fun () ->
         let fragments =
           List.concat_map
             (fun d ->
@@ -256,7 +259,12 @@ let run ?port_model ?(allow_overlap = true) ?(allow_port_sharing = false)
                              f.footprint_bits;
                        }))
         in
-        List.iter place fragments
+        List.iter place fragments;
+        (* fragments beyond one per segment on this bank type — the
+           detailed mapper's secondary metric, per type *)
+        Mm_obs.Trace.point trace
+          ("frag:" ^ bt.Mm_arch.Bank_type.name)
+          (float_of_int (List.length fragments - List.length segs))
       end
     done;
     Ok { assignment; placements = List.rev !placements }

@@ -66,6 +66,7 @@ val run :
   ?port_model:Preprocess.port_model ->
   ?allow_overlap:bool ->
   ?allow_port_sharing:bool ->
+  ?trace:Mm_obs.Trace.sink ->
   Mm_arch.Board.t ->
   Mm_design.Design.t ->
   Global_ilp.assignment ->
@@ -76,7 +77,9 @@ val run :
     arbitration extension: segments sharing a slot also reuse its ports
     (their accesses can never collide, so no arbitration hardware is
     required); pair it with [Global_ilp.build ~arbitration:true] and
-    validate with [Validate.check ~arbitration:true]. *)
+    validate with [Validate.check ~arbitration:true]. [trace] (default
+    inactive) records one ["place:<bank type>"] span and one
+    ["frag:<bank type>"] fragmentation point per bank type placed. *)
 
 val instances_used : t -> (int * int) list
 (** Per bank type, the number of instances holding at least one

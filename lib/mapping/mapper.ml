@@ -10,6 +10,7 @@ type options = {
   max_retries : int;
   allow_overlap : bool;
   detailed : detailed_engine;
+  trace : Mm_obs.Trace.t;
 }
 
 let default_options =
@@ -22,17 +23,27 @@ let default_options =
     max_retries = 5;
     allow_overlap = true;
     detailed = Greedy;
+    trace = Mm_obs.Trace.disabled;
   }
 
 let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
     ?(port_model = Preprocess.Fig3) ?(arbitration = false)
-    ?(solver_options = Mm_lp.Solver.default_options) ?parallelism
+    ?(solver_options = Mm_lp.Solver.default_options) ?parallelism ?trace
     ?(max_retries = 5) ?(allow_overlap = true) ?(detailed = Greedy) () =
   let solver_options =
     match parallelism with
     | None -> solver_options
     | Some j -> { solver_options with Mm_lp.Solver.parallelism = j }
   in
+  (* the mapper and the ILP solver share one trace so every event lands
+     in a single file; [?trace] overrides whatever [solver_options]
+     carries *)
+  let trace =
+    match trace with
+    | Some tr -> tr
+    | None -> solver_options.Mm_lp.Solver.trace
+  in
+  let solver_options = { solver_options with Mm_lp.Solver.trace = trace } in
   {
     weights;
     access_model;
@@ -42,6 +53,7 @@ let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
     max_retries;
     allow_overlap;
     detailed;
+    trace;
   }
 
 type outcome = {
@@ -75,7 +87,8 @@ let run_detailed options board design assignment =
   | Greedy ->
       Detailed.run ~port_model:options.port_model
         ~allow_overlap:options.allow_overlap
-        ~allow_port_sharing:options.arbitration board design assignment
+        ~allow_port_sharing:options.arbitration
+        ~trace:(Mm_obs.Trace.root options.trace) board design assignment
   | Ilp -> (
       match
         Detailed_ilp.run
@@ -93,6 +106,7 @@ let run_detailed options board design assignment =
             ~allow_port_sharing:options.arbitration board design assignment)
 
 let run ?(method_ = Global_detailed) ?(options = default_options) board design =
+  let snk = Mm_obs.Trace.root options.trace in
   let t0 = Unix.gettimeofday () in
   let ilp_seconds = ref 0.0 and detailed_seconds = ref 0.0 in
   let finish ~retries ~assignment ~mapping ~ilp_result =
@@ -125,7 +139,8 @@ let run ?(method_ = Global_detailed) ?(options = default_options) board design =
           ~arbitration:options.arbitration ~forbidden board design
       in
       match
-        Formulation.solve fm ~solver_options:options.solver_options ctx
+        Mm_obs.Trace.span snk "ilp" (fun () ->
+            Formulation.solve fm ~solver_options:options.solver_options ctx)
       with
       | Error (Formulation.Build_failed msg, _) -> Error (Unmappable msg)
       | Error (Formulation.Ilp_infeasible, _) ->
@@ -138,7 +153,10 @@ let run ?(method_ = Global_detailed) ?(options = default_options) board design =
             !ilp_seconds +. stats.Formulation.build_seconds
             +. stats.Formulation.solve_seconds;
           let td = Unix.gettimeofday () in
-          match run_detailed options board design assignment with
+          match
+            Mm_obs.Trace.span snk "detailed" (fun () ->
+                run_detailed options board design assignment)
+          with
           | Ok mapping ->
               detailed_seconds :=
                 !detailed_seconds +. (Unix.gettimeofday () -. td);

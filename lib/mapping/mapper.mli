@@ -26,6 +26,11 @@ type options = {
   max_retries : int;  (** global/detailed retry budget, default 5 *)
   allow_overlap : bool;  (** lifetime-aware storage sharing, default true *)
   detailed : detailed_engine;  (** default Greedy *)
+  trace : Mm_obs.Trace.t;
+      (** structured tracing (default disabled), shared with
+          [solver_options.trace]: the mapper records ["ilp"] and
+          ["detailed"] spans per attempt plus the placer's per-bank-type
+          events on the trace's root sink *)
 }
 
 val default_options : options
@@ -37,6 +42,7 @@ val options :
   ?arbitration:bool ->
   ?solver_options:Mm_lp.Solver.options ->
   ?parallelism:int ->
+  ?trace:Mm_obs.Trace.t ->
   ?max_retries:int ->
   ?allow_overlap:bool ->
   ?detailed:detailed_engine ->
@@ -45,7 +51,9 @@ val options :
 (** Builder for {!options}; prefer this over record literals so future
     fields stay non-breaking. [?parallelism] overrides
     [solver_options.parallelism] — the number of branch-and-bound worker
-    domains every ILP solve uses. *)
+    domains every ILP solve uses. [?trace] overrides
+    [solver_options.trace] and is threaded through every ILP solve and
+    the detailed placer. *)
 
 type outcome = {
   method_ : method_;

@@ -1,0 +1,31 @@
+(** Minimal JSON reader/writer for the trace subsystem.
+
+    Covers exactly the JSON subset the tracer emits (objects, arrays,
+    strings, numbers, booleans, null); no dependency on an external
+    JSON package. Numbers are represented as [float] — fine for event
+    payloads, which are durations, bounds and small counts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite numbers render as
+    [null], keeping the output valid JSON. *)
+
+val quote : string -> string
+(** [quote s] is [s] as a JSON string literal, quotes included. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value (surrounding whitespace allowed). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option

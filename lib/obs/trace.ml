@@ -1,0 +1,165 @@
+let now_ns () = Monotonic_clock.now ()
+
+type ev =
+  | Span of string * int64 (* duration ns *)
+  | Point of string * float
+  | Count of string * int
+  | Hist_snap of string * int * int64 * int array (* n, total ns, buckets *)
+
+type buf = {
+  slot : int;
+  epoch : int64;
+  mutable evs : (int64 * ev) list; (* offset ns from epoch, newest first *)
+}
+
+type sink = Null | Sink of buf
+
+type state = {
+  t0 : int64;
+  mu : Mutex.t;
+  mutable bufs : buf list; (* newest first *)
+  mutable next_slot : int;
+}
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+let null = Null
+let active = function Null -> false | Sink _ -> true
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let register = function
+  | Disabled -> Null
+  | Enabled st ->
+      Mutex.lock st.mu;
+      let b = { slot = st.next_slot; epoch = st.t0; evs = [] } in
+      st.next_slot <- st.next_slot + 1;
+      st.bufs <- b :: st.bufs;
+      Mutex.unlock st.mu;
+      Sink b
+
+let create () =
+  let st =
+    { t0 = now_ns (); mu = Mutex.create (); bufs = []; next_slot = 0 }
+  in
+  let t = Enabled st in
+  ignore (register t);
+  t
+
+let root = function
+  | Disabled -> Null
+  | Enabled st -> (
+      (* slot 0 is registered by [create] and never removed *)
+      match List.rev st.bufs with
+      | b :: _ -> Sink b
+      | [] -> Null)
+
+let record b e = b.evs <- (Int64.sub (now_ns ()) b.epoch, e) :: b.evs
+
+let span s name f =
+  match s with
+  | Null -> f ()
+  | Sink b ->
+      let start = now_ns () in
+      let r = f () in
+      b.evs <-
+        (Int64.sub start b.epoch, Span (name, Int64.sub (now_ns ()) start))
+        :: b.evs;
+      r
+
+let point s name v =
+  match s with Null -> () | Sink b -> record b (Point (name, v))
+
+let count s name n =
+  match s with Null -> () | Sink b -> record b (Count (name, n))
+
+(* ---- histograms ------------------------------------------------------- *)
+
+(* bucket i holds samples with floor(log2 ns) = i; 63 buckets cover the
+   whole non-negative int64 range reachable from a monotonic clock *)
+let nbuckets = 63
+
+type hist = { counts : int array; mutable total_ns : int64; mutable n : int }
+
+let hist_create () = { counts = Array.make nbuckets 0; total_ns = 0L; n = 0 }
+
+let hist_add h ns =
+  let x = Int64.to_int ns in
+  let x = if x < 1 then 1 else x in
+  let rec ilog2 acc v = if v <= 1 then acc else ilog2 (acc + 1) (v lsr 1) in
+  let i = ilog2 0 x in
+  let i = if i >= nbuckets then nbuckets - 1 else i in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.total_ns <- Int64.add h.total_ns ns;
+  h.n <- h.n + 1
+
+let hist_count h = h.n
+
+let hist_reset h =
+  Array.fill h.counts 0 nbuckets 0;
+  h.total_ns <- 0L;
+  h.n <- 0
+
+let emit_hist s name h =
+  (match s with
+  | Null -> ()
+  | Sink b ->
+      if h.n > 0 then
+        record b (Hist_snap (name, h.n, h.total_ns, Array.copy h.counts)));
+  hist_reset h
+
+(* ---- dumping ---------------------------------------------------------- *)
+
+let secs ns = Int64.to_float ns *. 1e-9
+
+let line slot (off, e) =
+  let t = secs off in
+  match e with
+  | Span (name, dur) ->
+      Printf.sprintf "{\"t\":%.9f,\"dom\":%d,\"ev\":\"span\",\"name\":%s,\"dur\":%.9f}"
+        t slot (Json.quote name) (secs dur)
+  | Point (name, v) ->
+      Printf.sprintf "{\"t\":%.9f,\"dom\":%d,\"ev\":\"point\",\"name\":%s,\"v\":%s}"
+        t slot (Json.quote name)
+        (if Float.is_finite v then Json.to_string (Json.Num v) else "null")
+  | Count (name, n) ->
+      Printf.sprintf "{\"t\":%.9f,\"dom\":%d,\"ev\":\"count\",\"name\":%s,\"n\":%d}"
+        t slot (Json.quote name) n
+  | Hist_snap (name, n, total, counts) ->
+      let buckets = Buffer.create 64 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            if Buffer.length buckets > 0 then Buffer.add_char buckets ',';
+            (* upper bound of bucket i: 2^(i+1) ns, in seconds *)
+            Buffer.add_string buckets
+              (Printf.sprintf "[%.9f,%d]" (ldexp 1e-9 (i + 1)) c)
+          end)
+        counts;
+      Printf.sprintf
+        "{\"t\":%.9f,\"dom\":%d,\"ev\":\"hist\",\"name\":%s,\"n\":%d,\"total\":%.9f,\"buckets\":[%s]}"
+        t slot (Json.quote name) n (secs total) (Buffer.contents buckets)
+
+let dump_lines = function
+  | Disabled -> []
+  | Enabled st ->
+      let bufs =
+        List.sort (fun a b -> compare a.slot b.slot) st.bufs
+      in
+      List.concat_map
+        (fun b -> List.rev_map (line b.slot) b.evs)
+        bufs
+
+let write_jsonl t path =
+  match t with
+  | Disabled -> ()
+  | Enabled _ ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            (dump_lines t))

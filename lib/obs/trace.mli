@@ -1,0 +1,97 @@
+(** Structured solve tracing: monotonic-clock spans, point events,
+    counters and log-bucketed latency histograms, collected through
+    per-domain sinks and dumped as JSONL.
+
+    Design constraints (see DESIGN.md, "Tracing"):
+
+    - {b Zero cost when disabled.} A trace is either [Disabled] or
+      enabled; every sink obtained from a disabled trace is the shared
+      null sink, and every operation on the null sink is a single
+      pattern match. Hot loops may additionally guard with {!active}
+      to avoid computing event payloads.
+    - {b Lock-free recording.} Each sink is owned by exactly one
+      domain and appends to a private buffer without synchronization;
+      the trace mutex is taken only at {!register} time. Reading
+      ({!dump_lines} / {!write_jsonl}) is only valid once the domains
+      writing to the sinks have been joined.
+    - {b Determinism.} Events are dumped grouped by sink slot, each
+      slot in emission order — never interleaved by timestamp — so a
+      [parallelism = 1] solve produces the same event sequence on
+      every run (timestamps, durations and histogram bucket contents
+      vary; names, kinds, ordering and integer payloads do not).
+
+    Event schema (one JSON object per line):
+    {v
+    {"t":<s>,"dom":<slot>,"ev":"span","name":<n>,"dur":<s>}
+    {"t":<s>,"dom":<slot>,"ev":"point","name":<n>,"v":<num|null>}
+    {"t":<s>,"dom":<slot>,"ev":"count","name":<n>,"n":<int>}
+    {"t":<s>,"dom":<slot>,"ev":"hist","name":<n>,"n":<int>,
+     "total":<s>,"buckets":[[<upper bound s>,<int>],...]}
+    v}
+    [t] is seconds since the trace was created; [dom] is the sink
+    slot (slot 0 is the {!root} sink, branch-and-bound workers get one
+    slot each per solve). *)
+
+type t
+(** A trace: disabled, or an enabled collection of sinks. *)
+
+type sink
+(** One single-writer event buffer within a trace. *)
+
+val disabled : t
+(** The inert trace: nothing is ever recorded. *)
+
+val create : unit -> t
+(** A fresh enabled trace; its epoch is the creation instant and the
+    {!root} sink (slot 0) is pre-registered. *)
+
+val enabled : t -> bool
+
+val root : t -> sink
+(** Slot 0: the sink for single-threaded phases (solver facade,
+    mapper). The null sink when the trace is disabled. *)
+
+val register : t -> sink
+(** A fresh sink with the next slot number. Call from the domain that
+    will own it, or before spawning it; slot numbers are assigned in
+    registration order, so register in a deterministic order. Returns
+    the null sink on a disabled trace. *)
+
+val null : sink
+val active : sink -> bool
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds (unspecified epoch). *)
+
+val span : sink -> string -> (unit -> 'a) -> 'a
+(** [span s name f] runs [f ()] and records its wall-clock duration.
+    Nothing is recorded if [f] raises. *)
+
+val point : sink -> string -> float -> unit
+(** Instantaneous named value ([v] is [null] when not finite). *)
+
+val count : sink -> string -> int -> unit
+(** Named integer increment (aggregated by the summary). *)
+
+type hist
+(** Log2-bucketed nanosecond latency histogram. Not thread-safe; own
+    one per domain like a sink. *)
+
+val hist_create : unit -> hist
+val hist_add : hist -> int64 -> unit
+val hist_count : hist -> int
+
+val emit_hist : sink -> string -> hist -> unit
+(** Record the histogram contents as one event and reset it, so a
+    histogram can be flushed once per solve without double counting.
+    Recording is skipped (and the histogram still reset) when the
+    histogram is empty or the sink inactive. *)
+
+val dump_lines : t -> string list
+(** JSONL lines: sinks in slot order, each sink's events in emission
+    order. Empty for a disabled trace. Only call after joining any
+    domain that owns one of the sinks. *)
+
+val write_jsonl : t -> string -> unit
+(** [dump_lines] to a file (one event per line). A disabled trace
+    writes nothing and creates no file. *)

@@ -6,7 +6,15 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let ceil_pow2 n =
   if n < 0 then invalid_arg "Ints.ceil_pow2";
-  let rec loop p = if p >= n then p else loop (p * 2) in
+  (* [p * 2] must not wrap past [max_int]: the largest representable
+     power of two is [max_int / 2 + 1], so anything above it has no
+     representable rounding *)
+  let rec loop p =
+    if p >= n then p
+    else if p > max_int / 2 then
+      invalid_arg "Ints.ceil_pow2: no representable power of two >= n"
+    else loop (p * 2)
+  in
   loop 1
 
 let floor_pow2 n =

@@ -12,7 +12,9 @@ val is_pow2 : int -> bool
 
 val ceil_pow2 : int -> int
 (** [ceil_pow2 n] is the smallest power of two [>= n]. [ceil_pow2 0 = 1].
-    Requires [n >= 0]. This is the [pow(2)] rounding used by the
+    Requires [n >= 0]; raises [Invalid_argument] when no power of two
+    [>= n] is representable (i.e. [n > max_int / 2 + 1]) instead of
+    wrapping. This is the [pow(2)] rounding used by the
     [consumed_ports] algorithm (Fig. 3 of the paper). *)
 
 val floor_pow2 : int -> int

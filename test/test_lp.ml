@@ -540,7 +540,7 @@ let test_bb_gap_reporting () =
 (* --- Parallel tree search -------------------------------------------------- *)
 
 let test_node_pool_basic () =
-  let pool = Node_pool.create ~workers:2 ~prio:(fun x -> x) in
+  let pool = Node_pool.create ~workers:2 ~prio:(fun x -> x) () in
   Node_pool.push pool ~worker:0 3.0;
   Node_pool.push pool ~worker:0 1.0;
   Node_pool.push pool ~worker:0 2.0;
@@ -713,6 +713,47 @@ let test_solver_without_presolve_or_cuts () =
   in
   Alcotest.(check bool) "presolve off agrees" true (eq base no_pre);
   Alcotest.(check bool) "cuts off agrees" true (eq base no_cuts)
+
+let test_time_limit_zero_budget () =
+  (* an exhausted budget handed down to the tree search (presolve+cuts
+     ate the whole limit) must stop cleanly before the root node, serial
+     and parallel alike *)
+  let p = build_random_bip (8, 5, 31415) in
+  List.iter
+    (fun j ->
+      let options = Branch_bound.options ~parallelism:j ~time_limit:0.0 () in
+      let r = Branch_bound.solve ~options p in
+      Alcotest.(check int) (Printf.sprintf "no nodes at j=%d" j) 0
+        r.Branch_bound.nodes;
+      Alcotest.(check bool) (Printf.sprintf "limit status at j=%d" j) true
+        (r.Branch_bound.status = Branch_bound.Unknown);
+      Alcotest.(check bool) (Printf.sprintf "no incumbent at j=%d" j) true
+        (r.Branch_bound.objective = None);
+      Alcotest.(check bool) (Printf.sprintf "trivial root bound at j=%d" j) true
+        (r.Branch_bound.best_bound = neg_infinity))
+    [ 1; 2 ]
+
+let test_trace_deterministic_serial () =
+  (* the determinism contract: at parallelism 1, two traced solves of
+     the same problem agree event for event once timestamps, durations
+     and histogram buckets are stripped *)
+  let p = build_random_bip (8, 5, 777) in
+  let run () =
+    let tr = Mm_obs.Trace.create () in
+    ignore (Solver.solve ~options:(Solver.options ~trace:tr ()) p);
+    match Mm_obs.Summary.of_lines (Mm_obs.Trace.dump_lines tr) with
+    | Ok evs -> Mm_obs.Summary.normalized evs
+    | Error e -> Alcotest.fail e
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "trace nonempty" true (a <> []);
+  Alcotest.(check bool) "event-for-event reproducible" true (a = b)
+
+let test_trace_disabled_writes_nothing () =
+  let p = build_random_bip (5, 3, 99) in
+  ignore (Solver.solve p);
+  Alcotest.(check (list string)) "disabled trace has no events" []
+    (Mm_obs.Trace.dump_lines Mm_obs.Trace.disabled)
 
 let test_bb_best_bound_sane () =
   let m = Model.create () in
@@ -1054,6 +1095,127 @@ let prop_mps_roundtrip_mip_optimum =
           | None, None -> true
           | _ -> false))
 
+let find_col p name =
+  let rec scan j =
+    if j >= p.Problem.ncols then Alcotest.fail ("no column " ^ name)
+    else if p.Problem.col_names.(j) = name then j
+    else scan (j + 1)
+  in
+  scan 0
+
+let test_mps_bound_kinds () =
+  (* MI/PL/FR with and without the dummy numeric field many writers
+     emit, FX, and BV — the bound kinds beyond plain LO/UP *)
+  let text =
+    "NAME t\nROWS\n N obj\n L c1\nCOLUMNS\n x obj 1 c1 1\n y obj 1 c1 1\n\
+     \ z obj 1 c1 1\n w obj 1 c1 1\n v obj 1 c1 1\nRHS\n rhs c1 10\nBOUNDS\n\
+     \ MI bnd x 0\n UP bnd x 4\n PL bnd y 0\n FX bnd z 2.5\n BV bnd w 1\n\
+     \ FR bnd v\nENDATA\n"
+  in
+  match Mps.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      let x = find_col p "x" and y = find_col p "y" in
+      let z = find_col p "z" and w = find_col p "w" and v = find_col p "v" in
+      Alcotest.(check bool) "MI lower" true (p.Problem.col_lb.(x) = neg_infinity);
+      Alcotest.(check (float 0.0)) "MI+UP upper" 4.0 p.Problem.col_ub.(x);
+      Alcotest.(check (float 0.0)) "PL keeps default lower" 0.0 p.Problem.col_lb.(y);
+      Alcotest.(check bool) "PL upper" true (p.Problem.col_ub.(y) = infinity);
+      Alcotest.(check (float 0.0)) "FX lower" 2.5 p.Problem.col_lb.(z);
+      Alcotest.(check (float 0.0)) "FX upper" 2.5 p.Problem.col_ub.(z);
+      Alcotest.(check bool) "BV with dummy value is binary" true
+        (p.Problem.kind.(w) = Problem.Binary);
+      Alcotest.(check bool) "FR lower" true (p.Problem.col_lb.(v) = neg_infinity);
+      Alcotest.(check bool) "FR upper" true (p.Problem.col_ub.(v) = infinity)
+
+let test_mps_negative_up () =
+  (* a negative UP on a column still at its default lower bound of 0
+     would make the column empty; the parser must reject it, but accept
+     the same bound once an explicit MI lower bound is in place *)
+  let bad =
+    "ROWS\n N obj\n L c1\nCOLUMNS\n x obj 1 c1 1\nRHS\n rhs c1 4\nBOUNDS\n\
+     \ UP bnd x -2\nENDATA\n"
+  in
+  (match Mps.parse bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative UP on default lower bound must be rejected");
+  let ok =
+    "ROWS\n N obj\n L c1\nCOLUMNS\n x obj 1 c1 1\nRHS\n rhs c1 4\nBOUNDS\n\
+     \ MI bnd x\n UP bnd x -2\nENDATA\n"
+  in
+  match Mps.parse ok with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check bool) "lower -inf" true (p.Problem.col_lb.(0) = neg_infinity);
+      Alcotest.(check (float 0.0)) "upper -2" (-2.0) p.Problem.col_ub.(0)
+
+(* Structural MPS round trip: write then parse must reproduce the exact
+   problem — bounds of every kind, integrality markers, and range rows —
+   not merely one with the same optimum. Coefficients are small integers
+   so the textual round trip is exact. *)
+let random_structured_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* mrows = int_range 1 5 in
+      let* seed = int_range 0 1_000_000 in
+      return (n, mrows, seed))
+
+let build_structured (n, mrows, seed) =
+  let rng = Mm_util.Prng.create (seed + 31337) in
+  let m = Model.create () in
+  let nz () =
+    let v = Mm_util.Prng.int_in rng (-3) 3 in
+    float_of_int (if v = 0 then 1 else v)
+  in
+  let vars =
+    Array.init n (fun _ ->
+        match Mm_util.Prng.int rng 8 with
+        | 0 -> Model.add_var m ~obj:(nz ()) Problem.Continuous
+        | 1 -> Model.add_var m ~obj:(nz ()) ~lb:(-3.0) ~ub:5.0 Problem.Continuous
+        | 2 -> Model.add_var m ~obj:(nz ()) ~ub:4.0 Problem.Continuous
+        | 3 -> Model.add_var m ~obj:(nz ()) ~lb:2.0 ~ub:2.0 Problem.Continuous
+        | 4 ->
+            Model.add_var m ~obj:(nz ()) ~lb:neg_infinity ~ub:7.0
+              Problem.Continuous
+        | 5 -> Model.add_var m ~obj:(nz ()) ~lb:neg_infinity Problem.Continuous
+        | 6 -> Model.binary m ~obj:(nz ()) ()
+        | _ -> Model.add_var m ~obj:(nz ()) ~lb:(-2.0) ~ub:6.0 Problem.Integer)
+  in
+  for _ = 1 to mrows do
+    let e =
+      Expr.sum
+        (List.map (fun j -> Expr.var ~coeff:(nz ()) vars.(j)) (Mm_util.Ints.range n))
+    in
+    let b = float_of_int (Mm_util.Prng.int_in rng (-4) 8) in
+    match Mm_util.Prng.int rng 4 with
+    | 0 -> Model.add_le m e b
+    | 1 -> Model.add_ge m e b
+    | 2 -> Model.add_eq m e b
+    | _ -> Model.add_range m b e (b +. float_of_int (Mm_util.Prng.int_in rng 1 5))
+  done;
+  Model.to_problem m
+
+let same_structure (p : Problem.t) (q : Problem.t) =
+  p.Problem.ncols = q.Problem.ncols
+  && p.Problem.nrows = q.Problem.nrows
+  && p.Problem.obj = q.Problem.obj
+  && p.Problem.obj_const = q.Problem.obj_const
+  && p.Problem.col_lb = q.Problem.col_lb
+  && p.Problem.col_ub = q.Problem.col_ub
+  && p.Problem.kind = q.Problem.kind
+  && p.Problem.row_lb = q.Problem.row_lb
+  && p.Problem.row_ub = q.Problem.row_ub
+  && p.Problem.cols = q.Problem.cols
+
+let prop_mps_roundtrip_structure =
+  qtest ~count:300 "MPS write/read preserves the problem structurally"
+    random_structured_gen (fun params ->
+      let p = build_structured params in
+      match Mps.parse (Mps.to_string p) with
+      | Error _ -> false
+      | Ok q -> same_structure p q)
+
 (* --- LP format -------------------------------------------------------------- *)
 
 let test_lp_format () =
@@ -1166,6 +1328,14 @@ let () =
             test_parallel_one_is_deterministic;
           Alcotest.test_case "parallel stats" `Quick
             test_parallel_stats_accounting;
+          Alcotest.test_case "time limit zero" `Quick test_time_limit_zero_budget;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "serial determinism" `Quick
+            test_trace_deterministic_serial;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_trace_disabled_writes_nothing;
         ] );
       ( "cuts",
         [
@@ -1190,5 +1360,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_mps_parse_errors;
           prop_mps_roundtrip_lp_optimum;
           prop_mps_roundtrip_mip_optimum;
+          Alcotest.test_case "bound kinds" `Quick test_mps_bound_kinds;
+          Alcotest.test_case "negative UP" `Quick test_mps_negative_up;
+          prop_mps_roundtrip_structure;
         ] );
     ]

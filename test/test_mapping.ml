@@ -1001,6 +1001,57 @@ let prop_parallel_mapper_equivalent =
           in
           List.for_all (fun j -> same (serial, solve j)) [ 2; 4 ])
 
+(* --- tracing through the mapper ------------------------------------------- *)
+
+let traced_mapper_run ?(time_limit = 30.0) board design =
+  let tr = Mm_obs.Trace.create () in
+  let options =
+    Mapper.options
+      ~solver_options:(Mm_lp.Solver.quick_options ~time_limit ())
+      ~trace:tr ()
+  in
+  (match Mapper.run ~options board design with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Mapper.error_to_string e));
+  match Mm_obs.Summary.of_lines (Mm_obs.Trace.dump_lines tr) with
+  | Ok evs -> evs
+  | Error e -> Alcotest.fail e
+
+let test_trace_summary_all_table3_points () =
+  (* every Table-3 design point must produce a trace the summary can
+     parse and render *)
+  List.iter
+    (fun (point : Mm_workload.Table3.point) ->
+      let board, design =
+        Mm_workload.Gen.instance point.Mm_workload.Table3.spec
+      in
+      let evs = traced_mapper_run board design in
+      Alcotest.(check bool) "has events" true (evs <> []);
+      Alcotest.(check bool) "summary renders" true
+        (String.length (Mm_obs.Summary.render evs) > 0);
+      (* every traced pipeline records the facade and mapper spans *)
+      let totals = Mm_obs.Summary.phase_totals evs in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) (name ^ " span present") true
+            (List.mem_assoc name totals))
+        [ "presolve"; "bb"; "solve"; "ilp"; "detailed" ])
+    Mm_workload.Table3.points
+
+let test_trace_phase_sums () =
+  (* point 9, the paper's largest: the per-phase span totals must
+     account for the enclosing solve span to within 5% *)
+  let point = List.nth Mm_workload.Table3.points 8 in
+  let board, design = Mm_workload.Gen.instance point.Mm_workload.Table3.spec in
+  let evs = traced_mapper_run board design in
+  let totals = Mm_obs.Summary.phase_totals evs in
+  let total name = Option.value (List.assoc_opt name totals) ~default:0.0 in
+  let parts = total "presolve" +. total "cuts" +. total "bb" in
+  let solve = total "solve" in
+  Alcotest.(check bool) "solve span recorded" true (solve > 0.0);
+  Alcotest.(check bool) "phases sum to the solve span within 5%" true
+    (Float.abs (parts -. solve) <= 0.05 *. solve)
+
 let () =
   Alcotest.run "mm_mapping"
     [
@@ -1084,6 +1135,13 @@ let () =
           prop_improved_pipeline_legal;
         ] );
       ( "parallel", [ prop_parallel_mapper_equivalent ] );
+      ( "trace",
+        [
+          Alcotest.test_case "summary parses all table3 points" `Quick
+            test_trace_summary_all_table3_points;
+          Alcotest.test_case "phase sums on point 9" `Quick
+            test_trace_phase_sums;
+        ] );
       ( "mapper",
         [
           prop_pipeline_produces_legal_mappings;

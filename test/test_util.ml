@@ -50,6 +50,20 @@ let test_checked () =
     (fun () -> ignore (Ints.checked_add max_int 1));
   Alcotest.(check int) "add mixed" 1 (Ints.checked_add 2 (-1))
 
+let test_ceil_pow2_huge () =
+  (* 2^61 is the largest representable power of two on a 64-bit int;
+     anything above it used to spin forever on signed overflow *)
+  let top = 1 lsl 61 in
+  Alcotest.(check int) "2^61 is its own ceiling" top (Ints.ceil_pow2 top);
+  Alcotest.check_raises "2^61 + 1 overflows"
+    (Invalid_argument
+       "Ints.ceil_pow2: no representable power of two >= n")
+    (fun () -> ignore (Ints.ceil_pow2 (top + 1)));
+  Alcotest.check_raises "max_int overflows"
+    (Invalid_argument
+       "Ints.ceil_pow2: no representable power of two >= n")
+    (fun () -> ignore (Ints.ceil_pow2 max_int))
+
 let prop_ceil_pow2 =
   qtest "ceil_pow2 is the least power of two >= n"
     QCheck.(int_range 1 (1 lsl 40))
@@ -259,6 +273,7 @@ let () =
           Alcotest.test_case "ilog2" `Quick test_ilog2;
           Alcotest.test_case "sums" `Quick test_sums;
           Alcotest.test_case "checked" `Quick test_checked;
+          Alcotest.test_case "ceil_pow2 huge" `Quick test_ceil_pow2_huge;
           prop_ceil_pow2;
           prop_ceil_div;
         ] );
