@@ -206,6 +206,8 @@ type t3_cell = {
 type t3_traced = {
   traced_seconds : float;
   phases : (string * float) list;
+  (* count-event totals (cut_pivots, cut_noop_round, flip, ...) *)
+  counters : (string * int) list;
 }
 
 type t3_row = {
@@ -213,6 +215,10 @@ type t3_row = {
   global : t3_cell;
   global_par : t3_cell;
   complete : t3_cell;
+  (* dantzig-pricing re-runs of the serial legs; paired with the devex
+     cells above they form the pricing_ab record in BENCH_lp.json *)
+  global_dz : t3_cell;
+  complete_dz : t3_cell;
   traced : t3_traced;
 }
 
@@ -259,6 +265,15 @@ let measure_table3 () =
           ~solver_options:(Mm_lp.Solver.quick_options ~time_limit:cap ())
           ()
       in
+      (* identical budget with the full-scan dantzig baseline pricing;
+         the default legs above run devex *)
+      let opts_dz =
+        Mm_mapping.Mapper.options
+          ~solver_options:
+            (Mm_lp.Solver.quick_options ~time_limit:cap
+               ~pricing:Mm_lp.Simplex.Dantzig ())
+          ()
+      in
       (* same budget, [bench_parallelism] worker domains; the serial leg
          stays the recorded baseline *)
       let opts_par =
@@ -296,15 +311,32 @@ let measure_table3 () =
                   "table3: WARNING serial/parallel objective mismatch (%g vs %g)\n%!"
                   a b
             | _ -> ());
-            let complete =
+            let measure_complete options =
               let t0 = Unix.gettimeofday () in
               match
                 Mm_mapping.Mapper.run ~method_:Mm_mapping.Mapper.Complete_flat
-                  ~options:opts board design
+                  ~options board design
               with
               | Ok o -> cell_of_outcome o.Mm_mapping.Mapper.ilp_seconds o
               | Error _ -> failed_cell (Unix.gettimeofday () -. t0)
             in
+            let complete = measure_complete opts in
+            let global_dz = measure_global opts_dz board design in
+            let complete_dz = measure_complete opts_dz in
+            List.iter
+              (fun (leg, dx, dz) ->
+                match (dx, dz) with
+                | Some a, Some b when Float.abs (a -. b) > 1e-6 ->
+                    Printf.eprintf
+                      "table3: WARNING %s devex/dantzig objective mismatch \
+                       (%g vs %g)\n\
+                       %!"
+                      leg a b
+                | _ -> ())
+              [
+                ("global", global.objective, global_dz.objective);
+                ("complete", complete.objective, complete_dz.objective);
+              ];
             let traced =
               let tr = Mm_obs.Trace.create () in
               let opts_tr =
@@ -317,14 +349,31 @@ let measure_table3 () =
               (match Mm_mapping.Mapper.run ~options:opts_tr board design with
               | Ok _ | Error _ -> ());
               let traced_seconds = Unix.gettimeofday () -. t0 in
-              let phases =
+              let phases, counters =
                 match Mm_obs.Summary.of_lines (Mm_obs.Trace.dump_lines tr) with
-                | Ok events -> Mm_obs.Summary.phase_totals events
-                | Error _ -> []
+                | Ok events ->
+                    let totals = Hashtbl.create 8 and order = ref [] in
+                    List.iter
+                      (fun (e : Mm_obs.Summary.event) ->
+                        if e.Mm_obs.Summary.kind = "count" then begin
+                          let name = e.Mm_obs.Summary.name in
+                          if not (Hashtbl.mem totals name) then
+                            order := name :: !order;
+                          Hashtbl.replace totals name
+                            ((try Hashtbl.find totals name with Not_found -> 0)
+                            + e.Mm_obs.Summary.n)
+                        end)
+                      events;
+                    ( Mm_obs.Summary.phase_totals events,
+                      List.rev_map
+                        (fun name -> (name, Hashtbl.find totals name))
+                        !order )
+                | Error _ -> ([], [])
               in
-              { traced_seconds; phases }
+              { traced_seconds; phases; counters }
             in
-            { point; global; global_par; complete; traced })
+            { point; global; global_par; complete; global_dz; complete_dz;
+              traced })
           Mm_workload.Table3.points
       in
       table3_cache := Some rows;
@@ -348,6 +397,33 @@ let dense_baseline =
     (60.075, false, Some 568148.0);
     (61.433, false, None);
   ]
+
+(* Dantzig-vs-devex A/B record for one formulation: both measurements
+   plus the headline pivot reduction (null unless both legs proved
+   optimality with matching objectives). *)
+let pricing_pair ~dantzig ~devex =
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let opt_num = function Some v -> num v | None -> "null" in
+  let leg c =
+    Printf.sprintf
+      "{ \"seconds\": %s, \"optimal\": %b, \"objective\": %s, \"pivots\": %d }"
+      (num c.seconds) c.optimal (opt_num c.objective) c.pivots
+  in
+  let reduction =
+    match (dantzig.objective, devex.objective) with
+    | Some a, Some b
+      when dantzig.optimal && devex.optimal
+           && Float.abs (a -. b) <= 1e-6
+           && dantzig.pivots > 0 ->
+        Printf.sprintf "%.2f"
+          (100.0
+          *. float_of_int (dantzig.pivots - devex.pivots)
+          /. float_of_int dantzig.pivots)
+    | _ -> "null"
+  in
+  Printf.sprintf
+    "{ \"dantzig\": %s, \"devex\": %s, \"pivot_reduction_pct\": %s }"
+    (leg dantzig) (leg devex) reduction
 
 (* Machine-readable record of the Table-3 sweep: per design point, wall
    time, status, objective, simplex pivots and branch-and-bound nodes for
@@ -396,8 +472,21 @@ let write_bench_json rows =
                (fun (name, s) -> Printf.sprintf "\"%s\": %.6f" name s)
                r.traced.phases)
         in
-        Printf.sprintf "{ \"seconds\": %s, \"phases\": { %s } }"
-          (num r.traced.traced_seconds) phases
+        let counters =
+          String.concat ", "
+            (List.map
+               (fun (name, n) -> Printf.sprintf "\"%s\": %d" name n)
+               r.traced.counters)
+        in
+        Printf.sprintf
+          "{ \"seconds\": %s, \"phases\": { %s }, \"counters\": { %s } }"
+          (num r.traced.traced_seconds) phases counters
+      in
+      let pricing_ab =
+        Printf.sprintf
+          "{ \"complete\": %s, \"global\": %s }"
+          (pricing_pair ~dantzig:r.complete_dz ~devex:r.complete)
+          (pricing_pair ~dantzig:r.global_dz ~devex:r.global)
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -406,11 +495,12 @@ let write_bench_json rows =
            \      \"global\": %s,\n\
            \      \"global_parallel\": %s,\n\
            \      \"global_traced\": %s,\n\
+           \      \"pricing_ab\": %s,\n\
            \      \"complete_dense_baseline_60s\": %s }%s\n"
            spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
            spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs
            (cell r.complete) (cell r.global) (par_cell r.global_par) traced
-           dense
+           pricing_ab dense
            (if i < List.length rows - 1 then "," else ""))
     )
     rows;
@@ -491,6 +581,42 @@ let run_table3 () =
         ])
     rows;
   Table.print t;
+  line "";
+  line "Pricing A/B (serial legs, same budget; pivots incl. bound flips):";
+  let pt =
+    Table.create
+      [
+        ("#segs", Table.Right);
+        ("complete dantzig", Table.Right);
+        ("complete devex", Table.Right);
+        ("reduction", Table.Right);
+        ("global dantzig", Table.Right);
+        ("global devex", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let reduction =
+        if r.complete_dz.optimal && r.complete.optimal
+           && r.complete_dz.pivots > 0
+        then
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. float_of_int (r.complete_dz.pivots - r.complete.pivots)
+            /. float_of_int r.complete_dz.pivots)
+        else "-"
+      in
+      Table.add_row pt
+        [
+          string_of_int r.point.Mm_workload.Table3.spec.Mm_workload.Gen.segments;
+          string_of_int r.complete_dz.pivots;
+          string_of_int r.complete.pivots;
+          reduction;
+          string_of_int r.global_dz.pivots;
+          string_of_int r.global.pivots;
+        ])
+    rows;
+  Table.print pt;
   write_bench_json rows
 
 let run_fig4 () =
@@ -897,6 +1023,118 @@ let run_ablation_arbitration () =
   line "the paper's model must spill entire phases to off-chip SRAM."
 
 (* ------------------------------------------------------------------ *)
+(* Pricing smoke (CI leg)                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One small Table-3 point under both pricing strategies, recorded as a
+   minimal BENCH_lp.json. Exits nonzero when devex and dantzig prove
+   different objectives — the CI guard for the pricing engine. Not part
+   of the default experiment set (it would overwrite the full sweep's
+   BENCH_lp.json); run it by name. *)
+let run_pricing_smoke () =
+  header "Pricing smoke: Table-3 point 0, dantzig vs devex";
+  let point = List.hd Mm_workload.Table3.points in
+  let spec = point.Mm_workload.Table3.spec in
+  let board, design = Mm_workload.Gen.instance spec in
+  let cap = quick_cap () in
+  let measure method_ pricing =
+    let opts =
+      Mm_mapping.Mapper.options
+        ~solver_options:
+          (Mm_lp.Solver.quick_options ~time_limit:cap ~pricing ())
+        ()
+    in
+    let t0 = Unix.gettimeofday () in
+    match Mm_mapping.Mapper.run ~method_ ~options:opts board design with
+    | Ok o ->
+        cell_of_outcome
+          (o.Mm_mapping.Mapper.ilp_seconds
+          +. o.Mm_mapping.Mapper.detailed_seconds)
+          o
+    | Error _ -> failed_cell (Unix.gettimeofday () -. t0)
+  in
+  let results =
+    List.map
+      (fun (name, m) ->
+        (name, measure m Mm_lp.Simplex.Dantzig, measure m Mm_lp.Simplex.Devex))
+      [
+        ("global", Mm_mapping.Mapper.Global_detailed);
+        ("complete", Mm_mapping.Mapper.Complete_flat);
+      ]
+  in
+  let t =
+    Table.create
+      [
+        ("formulation", Table.Left);
+        ("pricing", Table.Left);
+        ("time (s)", Table.Right);
+        ("pivots", Table.Right);
+        ("objective", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, dz, dx) ->
+      List.iter
+        (fun (pn, (c : t3_cell)) ->
+          Table.add_row t
+            [
+              name;
+              pn;
+              fmt_time c.seconds c.optimal;
+              string_of_int c.pivots;
+              (match c.objective with
+              | Some o -> Printf.sprintf "%.0f" o
+              | None -> "-");
+            ])
+        [ ("dantzig", dz); ("devex", dx) ])
+    results;
+  Table.print t;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "{\n  \"benchmark\": \"pricing smoke (table3 point 0)\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"time_cap_seconds\": %.1f,\n" cap);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n"
+       spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
+       spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs);
+  Buffer.add_string buf "  \"pricing_ab\": {\n";
+  List.iteri
+    (fun i (name, dz, dx) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %s%s\n" name
+           (pricing_pair ~dantzig:dz ~devex:dx)
+           (if i < List.length results - 1 then "," else "")))
+    results;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  line "wrote BENCH_lp.json (pricing smoke)";
+  let mismatched =
+    List.filter
+      (fun ((_, dz, dx) : string * t3_cell * t3_cell) ->
+        match (dz.objective, dx.objective) with
+        | Some a, Some b -> Float.abs (a -. b) > 1e-6
+        | _ -> true)
+      results
+  in
+  if mismatched <> [] then begin
+    List.iter
+      (fun ((name, dz, dx) : string * t3_cell * t3_cell) ->
+        let obj = function
+          | Some o -> Printf.sprintf "%g" o
+          | None -> "none"
+        in
+        Printf.eprintf
+          "pricing-smoke: %s objective mismatch: dantzig %s vs devex %s\n"
+          name (obj dz.objective) (obj dx.objective))
+      mismatched;
+    exit 1
+  end
+  else line "devex and dantzig agree on every objective."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1009,6 +1247,7 @@ let experiments =
     ("ablation-overlap", run_ablation_overlap);
     ("ablation-portmodel", run_ablation_portmodel);
     ("ablation-arbitration", run_ablation_arbitration);
+    ("pricing-smoke", run_pricing_smoke);
     ("micro", run_micro);
   ]
 
@@ -1028,7 +1267,10 @@ let () =
     Sys.argv;
   let to_run =
     match List.rev !requested with
-    | [] -> List.map fst experiments
+    | [] ->
+        (* pricing-smoke is run-by-name only: it writes its own minimal
+           BENCH_lp.json and would clobber the table3 sweep's record *)
+        List.filter (fun n -> n <> "pricing-smoke") (List.map fst experiments)
     | names -> names
   in
   line "Memory-mapping evaluation harness (%s mode)"

@@ -118,8 +118,19 @@ let solve_cmd =
            ~doc:"Record a structured solve trace (JSONL) to $(docv); \
                  inspect it with $(b,mmap trace-summary).")
   in
+  let pricing_arg =
+    Arg.(value
+         & opt (enum [ ("devex", Mm_lp.Simplex.Devex);
+                       ("dantzig", Mm_lp.Simplex.Dantzig) ])
+             Mm_lp.Simplex.Devex
+         & info [ "pricing" ]
+             ~doc:"Simplex pricing strategy: $(b,devex) (default; reference \
+                   weights, partial pricing, bound flips) or $(b,dantzig) \
+                   (full-scan baseline). Both prove the same objective.")
+  in
   let run () board design method_ weights profiled detailed time_limit
-      parallelism lp_out mps_out placements arbitration port_model trace_out =
+      parallelism pricing lp_out mps_out placements arbitration port_model
+      trace_out =
     let board = read_board board and design = read_design design in
     let trace =
       match trace_out with
@@ -139,7 +150,7 @@ let solve_cmd =
           (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform)
         ~detailed ~arbitration ~port_model ~trace
         ~solver_options:
-          (Mm_lp.Solver.options ~parallelism
+          (Mm_lp.Solver.options ~parallelism ~pricing
              ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
              ())
         ()
@@ -207,8 +218,8 @@ let solve_cmd =
     Term.(
       const run $ logs_term $ board_arg $ design_arg $ method_arg $ weights_arg
       $ profiled_arg $ detailed_arg $ time_limit_arg $ parallelism_arg
-      $ lp_out_arg $ mps_out_arg $ placements_arg $ arbitration_arg
-      $ port_model_arg $ trace_arg)
+      $ pricing_arg $ lp_out_arg $ mps_out_arg $ placements_arg
+      $ arbitration_arg $ port_model_arg $ trace_arg)
 
 (* ---- generate ------------------------------------------------------- *)
 
@@ -336,7 +347,16 @@ let solve_mps_cmd =
            ~doc:"Record a structured solve trace (JSONL) to $(docv); \
                  inspect it with $(b,mmap trace-summary).")
   in
-  let run () file time_limit parallelism print_solution trace_out =
+  let pricing_arg =
+    Arg.(value
+         & opt (enum [ ("devex", Mm_lp.Simplex.Devex);
+                       ("dantzig", Mm_lp.Simplex.Dantzig) ])
+             Mm_lp.Simplex.Devex
+         & info [ "pricing" ]
+             ~doc:"Simplex pricing strategy: $(b,devex) (default) or \
+                   $(b,dantzig) (full-scan baseline).")
+  in
+  let run () file time_limit parallelism pricing print_solution trace_out =
     let parsed =
       if Filename.check_suffix file ".lp" then Mm_lp.Lp_format.of_file file
       else Mm_lp.Mps.of_file file
@@ -353,7 +373,7 @@ let solve_mps_cmd =
           | Some _ -> Mm_obs.Trace.create ()
         in
         let options =
-          Mm_lp.Solver.options ~parallelism ~trace
+          Mm_lp.Solver.options ~parallelism ~pricing ~trace
             ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
             ()
         in
@@ -394,7 +414,7 @@ let solve_mps_cmd =
        ~doc:"Solve an arbitrary MPS (or .lp) file with the built-in MIP              solver.")
     Term.(
       const run $ logs_term $ file_arg $ time_limit_arg $ parallelism_arg
-      $ print_solution_arg $ trace_arg)
+      $ pricing_arg $ print_solution_arg $ trace_arg)
 
 (* ---- trace-summary ---------------------------------------------------- *)
 

@@ -11,6 +11,7 @@ type options = {
   int_tol : float;
   log_every : int option;
   parallelism : int;
+  pricing : Simplex.pricing;
   trace : Mm_obs.Trace.t;
 }
 
@@ -22,12 +23,23 @@ let default_options =
     int_tol = 1e-6;
     log_every = None;
     parallelism = 1;
+    pricing = Simplex.Devex;
     trace = Mm_obs.Trace.disabled;
   }
 
 let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
-    ?log_every ?(parallelism = 1) ?(trace = Mm_obs.Trace.disabled) () =
-  { time_limit; node_limit; gap_tol; int_tol; log_every; parallelism; trace }
+    ?log_every ?(parallelism = 1) ?(pricing = Simplex.Devex)
+    ?(trace = Mm_obs.Trace.disabled) () =
+  {
+    time_limit;
+    node_limit;
+    gap_tol;
+    int_tol;
+    log_every;
+    parallelism;
+    pricing;
+    trace;
+  }
 
 type par_stats = {
   domains_used : int;
@@ -345,7 +357,7 @@ let solve ?(options = default_options) (p : Problem.t) =
     done
   in
   let make_workspace id =
-    let sx = Simplex.create p in
+    let sx = Simplex.create ~pricing:options.pricing p in
     Simplex.set_trace sx sinks.(id);
     {
       id;

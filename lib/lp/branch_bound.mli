@@ -32,6 +32,9 @@ type options = {
       (** worker domains for the tree search; 1 (default) is the
           deterministic serial schedule, [<= 0] asks the runtime for
           [Domain.recommended_domain_count ()] *)
+  pricing : Simplex.pricing;
+      (** pricing strategy for every per-domain simplex workspace,
+          default {!Simplex.Devex} *)
   trace : Mm_obs.Trace.t;
       (** structured tracing (default disabled): each worker domain
           registers one sink and records node, incumbent, steal and
@@ -47,13 +50,14 @@ val options :
   ?int_tol:float ->
   ?log_every:int ->
   ?parallelism:int ->
+  ?pricing:Simplex.pricing ->
   ?trace:Mm_obs.Trace.t ->
   unit ->
   options
 (** Builder for {!options}; prefer this over record literals so new
     fields stay non-breaking. Unset labels take the defaults of
     {!default_options} (no limits, [gap_tol = 1e-9], [int_tol = 1e-6],
-    [parallelism = 1], tracing disabled). *)
+    [parallelism = 1], Devex pricing, tracing disabled). *)
 
 type par_stats = {
   domains_used : int;  (** worker domains actually spawned *)

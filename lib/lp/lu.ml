@@ -29,6 +29,7 @@ type t = {
   mutable ennz : int;
   work : float array;
   work2 : float array;
+  work3 : float array; (* btran_unit right-hand-side scratch *)
 }
 
 let rel_tol = 0.01 (* threshold pivoting: accept within 1/100 of column max *)
@@ -315,6 +316,7 @@ let factor ~m coliter =
     ennz = 0;
     work = Array.make m 0.0;
     work2 = Array.make m 0.0;
+    work3 = Array.make m 0.0;
   }
 
 let ftran t ~src ~dst =
@@ -378,6 +380,15 @@ let btran t ~src ~dst =
     z.(p) <- !acc
   done;
   Array.blit z 0 dst 0 t.m
+
+(* Row [pos] of the basis inverse: B^-T e_pos. Dual Devex pricing uses
+   the squared norm of this row as the exact reference weight of the
+   leaving row, so the solver can detect approximation drift. *)
+let btran_unit t ~pos ~dst =
+  let s = t.work3 in
+  Array.fill s 0 t.m 0.0;
+  s.(pos) <- 1.0;
+  btran t ~src:s ~dst
 
 let update t ~pos ~alpha =
   let piv = alpha.(pos) in

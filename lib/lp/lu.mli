@@ -35,6 +35,15 @@ val btran : t -> src:float array -> dst:float array -> unit
     position and left unchanged, [dst] receives [y] indexed by row.
     [src] and [dst] must be distinct arrays of length [m]. *)
 
+val btran_unit : t -> pos:int -> dst:float array -> unit
+(** [btran_unit t ~pos ~dst] solves [B^T y = e_pos], i.e. extracts row
+    [pos] of the basis inverse into the row-indexed [dst]. The squared
+    norm of that row is the exact dual steepest-edge weight of basis
+    position [pos]; the simplex dual Devex pricing uses it both for
+    pivot-row pricing and to detect reference-weight drift. Uses an
+    internal scratch for the right-hand side, so [dst] may be any
+    length-[m] array distinct from the internals. *)
+
 val update : t -> pos:int -> alpha:float array -> unit
 (** [update t ~pos ~alpha] records the basis exchange that replaces the
     column at basis position [pos], where [alpha = B^-1 a_entering] (a

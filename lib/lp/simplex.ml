@@ -18,20 +18,74 @@
    pivoting machinery drives the total infeasibility to zero. Infeasible
    basics are blocked at their violated bound during the ratio test, so
    infeasibility is non-increasing and no new infeasibilities are
-   created. *)
+   created.
+
+   Pricing is pluggable. The default is Devex reference-framework
+   pricing over a rotating candidate-list window: each iteration scans
+   only the window of nonbasic columns, scoring d^2/w with per-column
+   reference weights updated on every basis change, and runs a full
+   scan only when the window prices out (which is also the only place
+   optimality is declared). The dual method prices leaving rows with
+   dual Devex row weights, checked against the exact row norm from
+   {!Lu.btran_unit} and reset on drift. Full-scan Dantzig pricing is
+   kept as the comparison baseline. The ratio test is a Harris-style
+   two-pass: pass 1 finds the largest step with every blocking bound
+   relaxed by [tols.harris], pass 2 picks the largest-magnitude pivot
+   among blockers within that step; bounded columns whose opposite
+   bound is within the relaxed step flip between bounds without a
+   basis change. *)
 
 type result = Optimal | Infeasible | Unbounded | Iteration_limit
+type pricing = Dantzig | Devex
 
-let feas_tol = 1e-7
-let opt_tol = 1e-7
-let pivot_tol = 1e-8
-let zero_tol = 1e-11
+let pricing_to_string = function Dantzig -> "dantzig" | Devex -> "devex"
+
+let pricing_of_string = function
+  | "dantzig" -> Some Dantzig
+  | "devex" -> Some Devex
+  | _ -> None
+
+(* Every numerical tolerance of the solver in one record, shared by the
+   primal ratio test, the dual ratio test and the Harris passes (the
+   dual test used to carry its own hard-coded 1e-12 tie window). *)
+type tolerances = {
+  feas : float;  (* primal feasibility on variable/row bounds *)
+  opt : float;  (* dual feasibility: reduced-cost pricing threshold *)
+  pivot : float;  (* smallest acceptable pivot magnitude *)
+  zero : float;  (* drop threshold for update arithmetic *)
+  ratio_tie : float;  (* tie window shared by primal and dual ratio tests *)
+  harris : float;  (* Harris pass-1 bound relaxation *)
+}
+
+let tols =
+  {
+    feas = 1e-7;
+    opt = 1e-7;
+    pivot = 1e-8;
+    zero = 1e-11;
+    ratio_tie = 1e-12;
+    harris = 1e-8;
+  }
+
+let feas_tol = tols.feas
+let opt_tol = tols.opt
+let pivot_tol = tols.pivot
+let zero_tol = tols.zero
+let tie_tol = tols.ratio_tie
 let refactor_every = 120
+
+(* Devex reference weights are reset to the all-ones framework once the
+   selected weight drifts past this cap (primal), or once the exact row
+   norm exceeds the approximate weight by this factor (dual). *)
+let devex_weight_cap = 1e7
+let devex_drift_factor = 100.0
 
 type stats = {
   pivots : int;
   phase1_pivots : int;
+  flips : int;
   refactorizations : int;
+  devex_resets : int;
   max_eta : int;
   lu_fill : int;
   basis_nnz : int;
@@ -41,7 +95,9 @@ let empty_stats =
   {
     pivots = 0;
     phase1_pivots = 0;
+    flips = 0;
     refactorizations = 0;
+    devex_resets = 0;
     max_eta = 0;
     lu_fill = 0;
     basis_nnz = 0;
@@ -51,7 +107,9 @@ let merge_stats a b =
   {
     pivots = a.pivots + b.pivots;
     phase1_pivots = a.phase1_pivots + b.phase1_pivots;
+    flips = a.flips + b.flips;
     refactorizations = a.refactorizations + b.refactorizations;
+    devex_resets = a.devex_resets + b.devex_resets;
     max_eta = max a.max_eta b.max_eta;
     lu_fill = max a.lu_fill b.lu_fill;
     basis_nnz = max a.basis_nnz b.basis_nnz;
@@ -59,15 +117,17 @@ let merge_stats a b =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "%d pivots (%d phase-1), %d refactorizations, eta<=%d, fill %d, basis nnz \
-     %d"
-    s.pivots s.phase1_pivots s.refactorizations s.max_eta s.lu_fill s.basis_nnz
+    "%d pivots (%d phase-1, %d flips), %d refactorizations, %d devex resets, \
+     eta<=%d, fill %d, basis nnz %d"
+    s.pivots s.phase1_pivots s.flips s.refactorizations s.devex_resets
+    s.max_eta s.lu_fill s.basis_nnz
 
 type t = {
   p : Problem.t;
   n : int;
   m : int;
   nt : int;
+  pricing : pricing;
   cost : float array;
   lb : float array;
   ub : float array;
@@ -77,13 +137,17 @@ type t = {
   xval : float array;
   mutable niter : int;
   mutable phase1_iters : int;
+  mutable nflip : int;
   mutable nrefactor : int;
+  mutable ndevex_reset : int;
   mutable max_eta : int;
   mutable max_fill : int;
   mutable max_bnnz : int;
   mutable since_refactor : int;
   mutable degenerate_streak : int;
   mutable tr : Mm_obs.Trace.sink;
+  mutable flushed_flips : int;
+  mutable flushed_resets : int;
   pivot_hist : Mm_obs.Trace.hist;
   refactor_hist : Mm_obs.Trace.hist;
   y : float array;
@@ -93,6 +157,12 @@ type t = {
   cbw : float array; (* pos-indexed scratch for btran inputs *)
   rho : float array; (* row [ip] of the basis inverse, for dual pricing *)
   pcost : float array;
+  dw : float array; (* primal Devex reference weights, per variable *)
+  drw : float array; (* dual Devex reference weights, per row *)
+  cand : int array; (* candidate-list pricing window (variable indices) *)
+  mutable ncand : int;
+  mutable scan_from : int; (* rotating cursor for window rebuilds *)
+  wsize : int; (* window capacity *)
 }
 
 (* --- column access ---------------------------------------------------- *)
@@ -167,7 +237,7 @@ let refactor t =
 
 let refactorize = refactor
 
-let create p =
+let create ?(pricing = Devex) p =
   let n = p.Problem.ncols and m = p.Problem.nrows in
   let nt = n + m in
   let lb = Array.make nt 0.0 and ub = Array.make nt 0.0 in
@@ -177,12 +247,16 @@ let create p =
   Array.blit p.Problem.row_ub 0 ub n m;
   let cost = Array.make nt 0.0 in
   Array.blit p.Problem.obj 0 cost 0 n;
+  let wsize =
+    max 8 (min nt (8 + (4 * int_of_float (Float.sqrt (float_of_int nt)))))
+  in
   let t =
     {
       p;
       n;
       m;
       nt;
+      pricing;
       cost;
       lb;
       ub;
@@ -193,13 +267,17 @@ let create p =
       xval = Array.make nt 0.0;
       niter = 0;
       phase1_iters = 0;
+      nflip = 0;
       nrefactor = 0;
+      ndevex_reset = 0;
       max_eta = 0;
       max_fill = 0;
       max_bnnz = 0;
       since_refactor = 0;
       degenerate_streak = 0;
       tr = Mm_obs.Trace.null;
+      flushed_flips = 0;
+      flushed_resets = 0;
       pivot_hist = Mm_obs.Trace.hist_create ();
       refactor_hist = Mm_obs.Trace.hist_create ();
       y = Array.make m 0.0;
@@ -209,10 +287,42 @@ let create p =
       cbw = Array.make m 0.0;
       rho = Array.make m 0.0;
       pcost = Array.make nt 0.0;
+      dw = Array.make nt 1.0;
+      drw = Array.make m 1.0;
+      cand = Array.make (max 1 nt) 0;
+      ncand = 0;
+      scan_from = 0;
+      wsize;
     }
   in
   reset_to_slack_basis t;
   compute_basics t;
+  t
+
+(* Warm constructor for the root cut loop: [p'] must be [prev]'s problem
+   with extra rows appended (columns, bounds and existing rows
+   unchanged). The previous basis carries over — structural and old
+   slack indices are identical in both problems — and the appended cut
+   rows enter basic on their slacks, so after an optimal [prev] the new
+   instance is dual feasible and a [prefer_dual] re-solve restores
+   primal feasibility in a few pivots. *)
+let create_from prev p' =
+  if p'.Problem.ncols <> prev.n || p'.Problem.nrows < prev.m then
+    invalid_arg "Simplex.create_from: not a row extension";
+  let t = create ~pricing:prev.pricing p' in
+  for v = 0 to prev.n - 1 do
+    t.loc.(v) <- prev.loc.(v)
+  done;
+  for r = 0 to prev.m - 1 do
+    (* slack indices coincide because ncols is unchanged *)
+    t.loc.(t.n + r) <- prev.loc.(prev.n + r);
+    t.basis.(r) <- prev.basis.(r)
+  done;
+  (* appended rows keep the slack basis set up by [create] *)
+  Array.blit prev.dw 0 t.dw 0 prev.nt;
+  Array.blit prev.drw 0 t.drw 0 prev.m;
+  t.tr <- prev.tr;
+  refactor t;
   t
 
 (* --- pricing ----------------------------------------------------------- *)
@@ -223,38 +333,136 @@ let compute_duals t costs =
   done;
   Lu.btran t.lu ~src:t.cbw ~dst:t.y
 
-(* Select entering variable. Returns (var, sigma) where sigma = +1 when
-   the variable increases from its lower bound and -1 when it decreases
-   from its upper bound; None when no candidate prices out. *)
-let price t costs ~bland =
+(* Direction and reduced cost of a nonbasic variable when it prices out,
+   assuming t.y holds the duals for [costs]. sigma = +1 when the
+   variable enters increasing from its lower bound, -1 when it enters
+   decreasing from its upper bound. *)
+let eligibility t costs v =
+  let l = t.loc.(v) in
+  if l >= 0 then None
+  else
+    let d = costs.(v) -. dot_col t t.y v in
+    match l with
+    | -1 ->
+        if d < -.opt_tol && t.ub.(v) > t.lb.(v) then Some (1.0, d) else None
+    | -2 -> if d > opt_tol && t.ub.(v) > t.lb.(v) then Some (-1.0, d) else None
+    | _ ->
+        if d < -.opt_tol then Some (1.0, d)
+        else if d > opt_tol then Some (-1.0, d)
+        else None
+
+(* Full-scan pricing: Dantzig's most-negative reduced cost, or Bland's
+   first-eligible rule when [bland] (anti-cycling fallback for long
+   degenerate streaks under either strategy). *)
+let price_full t costs ~bland =
   let best = ref (-1) and best_score = ref 0.0 and best_sigma = ref 1.0 in
   (try
      for v = 0 to t.nt - 1 do
-       let l = t.loc.(v) in
-       if l < 0 then begin
-         let d = costs.(v) -. dot_col t t.y v in
-         let consider sigma score =
+       match eligibility t costs v with
+       | None -> ()
+       | Some (sigma, d) ->
            if bland then begin
              best := v;
              best_sigma := sigma;
              raise Exit
            end
-           else if score > !best_score then begin
-             best := v;
-             best_score := score;
-             best_sigma := sigma
+           else begin
+             let score = Float.abs d in
+             if score > !best_score then begin
+               best := v;
+               best_score := score;
+               best_sigma := sigma
+             end
            end
-         in
-         match l with
-         | -1 -> if d < -.opt_tol && t.ub.(v) > t.lb.(v) then consider 1.0 (-.d)
-         | -2 -> if d > opt_tol && t.ub.(v) > t.lb.(v) then consider (-1.0) d
-         | _ ->
-             if d < -.opt_tol then consider 1.0 (-.d)
-             else if d > opt_tol then consider (-1.0) d
-       end
      done
    with Exit -> ());
   if !best < 0 then None else Some (!best, !best_sigma)
+
+(* Devex pricing over the candidate window: re-price only the window,
+   keep the members that still price out, and pick the best d^2/w
+   score. When the window prices out, rebuild it with a full rotating
+   scan — the only place optimality may be declared, so partial pricing
+   can never terminate early on a stale window. *)
+let price_devex t costs =
+  let best = ref (-1) and best_score = ref 0.0 and best_sigma = ref 1.0 in
+  let consider v sigma d =
+    let sc = d *. d /. t.dw.(v) in
+    if sc > !best_score then begin
+      best := v;
+      best_score := sc;
+      best_sigma := sigma
+    end
+  in
+  let keep = ref 0 in
+  for s = 0 to t.ncand - 1 do
+    let v = t.cand.(s) in
+    match eligibility t costs v with
+    | Some (sigma, d) ->
+        t.cand.(!keep) <- v;
+        incr keep;
+        consider v sigma d
+    | None -> ()
+  done;
+  t.ncand <- !keep;
+  if !best >= 0 then Some (!best, !best_sigma)
+  else begin
+    t.ncand <- 0;
+    let start = t.scan_from in
+    let scanned = ref 0 in
+    (try
+       while !scanned < t.nt do
+         let v = start + !scanned in
+         let v = if v >= t.nt then v - t.nt else v in
+         incr scanned;
+         match eligibility t costs v with
+         | Some (sigma, d) ->
+             t.cand.(t.ncand) <- v;
+             t.ncand <- t.ncand + 1;
+             consider v sigma d;
+             if t.ncand >= t.wsize then raise Exit
+         | None -> ()
+       done
+     with Exit -> ());
+    t.scan_from <-
+      (let c = start + !scanned in
+       if c >= t.nt then c - t.nt else c);
+    if !best < 0 then None else Some (!best, !best_sigma)
+  end
+
+let price t costs ~bland =
+  if bland || t.pricing = Dantzig then price_full t costs ~bland
+  else price_devex t costs
+
+(* Primal Devex weight update for the pivot that makes [q] enter at
+   basis position [ip] (called before the LU update, while [t.lu] still
+   factors the outgoing basis). Weights of the candidate window are
+   updated from the pivot row [rho = B^-T e_ip]; the leaver gets its
+   reference weight refreshed exactly. A selected weight past the cap
+   means the framework has drifted: reset to all ones. *)
+let devex_update t q ip =
+  let piv = t.alpha.(ip) in
+  let wq = Float.max t.dw.(q) 1.0 in
+  if wq > devex_weight_cap then begin
+    Array.fill t.dw 0 t.nt 1.0;
+    t.ndevex_reset <- t.ndevex_reset + 1
+  end
+  else begin
+    let inv2 = 1.0 /. (piv *. piv) in
+    if t.ncand > 0 then begin
+      Lu.btran_unit t.lu ~pos:ip ~dst:t.rho;
+      for s = 0 to t.ncand - 1 do
+        let v = t.cand.(s) in
+        if v <> q && t.loc.(v) < 0 then begin
+          let arj = dot_col t t.rho v in
+          if Float.abs arj > zero_tol then begin
+            let w = arj *. arj *. inv2 *. wq in
+            if w > t.dw.(v) then t.dw.(v) <- w
+          end
+        end
+      done
+    end;
+    t.dw.(t.basis.(ip)) <- Float.max (wq *. inv2) 1.0
+  end
 
 (* --- pivoting ---------------------------------------------------------- *)
 
@@ -263,46 +471,66 @@ type ratio_outcome =
   | Block of int * float * int (* position, step, new loc for leaver *)
   | NoBlock
 
-(* Ratio test. [phase1] relaxes blocking for infeasible basics: they only
-   block at the bound they currently violate. *)
+(* Harris two-pass ratio test. Pass 1 computes the largest step allowed
+   when every blocking bound is relaxed by [tols.harris]; pass 2 picks,
+   among the blockers whose strict step fits within that relaxed step,
+   the one with the largest pivot magnitude — degenerate ties resolve
+   to the numerically safest pivot at the price of bound violations no
+   larger than the relaxation. A bounded entering column whose opposite
+   bound lies within the relaxed step flips between its bounds without
+   a basis change. [phase1] relaxes blocking for infeasible basics:
+   they only block at the bound they currently violate. *)
 let ratio_test t q sigma ~phase1 =
-  let tmax = ref infinity and blocker = ref (-1) and leave_loc = ref (-1) in
+  (* blocking bound and leaver status for row [i] moving at rate [d];
+     nan when the row does not block in this direction *)
+  let blocking_bound i d =
+    let bv = t.basis.(i) in
+    let v = t.xval.(bv) and l = t.lb.(bv) and u = t.ub.(bv) in
+    if phase1 && v > u +. feas_tol then
+      if d < 0.0 then (u, -2) else (Float.nan, 0)
+    else if phase1 && v < l -. feas_tol then
+      if d > 0.0 then (l, -1) else (Float.nan, 0)
+    else if d > 0.0 then (u, -2)
+    else (l, -1)
+  in
+  let tmax_rel = ref infinity in
   for i = 0 to t.m - 1 do
     let d = -.sigma *. t.alpha.(i) in
     if Float.abs d > pivot_tol then begin
-      let bv = t.basis.(i) in
-      let v = t.xval.(bv) and l = t.lb.(bv) and u = t.ub.(bv) in
-      let candidate bound loc =
-        if Float.is_finite bound then begin
-          let step = Float.max ((bound -. v) /. d) 0.0 in
-          let better =
-            step < !tmax -. 1e-12
-            || (step < !tmax +. 1e-12
-                && (!blocker < 0 || Float.abs d > Float.abs t.alpha.(!blocker)))
-          in
-          (* prefer larger pivot elements among (near-)ties *)
-          if better then begin
-            tmax := Float.min step !tmax;
-            blocker := i;
-            leave_loc := loc
-          end
-        end
-      in
-      if phase1 && v > u +. feas_tol then begin
-        (* infeasible above: blocks only when moving down, at u *)
-        if d < 0.0 then candidate u (-2)
+      let bound, _ = blocking_bound i d in
+      if Float.is_finite bound then begin
+        let strict = Float.max ((bound -. t.xval.(t.basis.(i))) /. d) 0.0 in
+        let relaxed = strict +. (tols.harris /. Float.abs d) in
+        if relaxed < !tmax_rel then tmax_rel := relaxed
       end
-      else if phase1 && v < l -. feas_tol then begin
-        if d > 0.0 then candidate l (-1)
-      end
-      else if d > 0.0 then candidate u (-2)
-      else candidate l (-1)
     end
   done;
   let bound_gap = t.ub.(q) -. t.lb.(q) in
-  if Float.is_finite bound_gap && bound_gap <= !tmax then Flip bound_gap
-  else if !blocker >= 0 then Block (!blocker, !tmax, !leave_loc)
-  else NoBlock
+  if Float.is_finite bound_gap && bound_gap <= !tmax_rel then Flip bound_gap
+  else if !tmax_rel = infinity then NoBlock
+  else begin
+    let blocker = ref (-1)
+    and leave_loc = ref (-1)
+    and bstep = ref 0.0
+    and bmag = ref 0.0 in
+    for i = 0 to t.m - 1 do
+      let d = -.sigma *. t.alpha.(i) in
+      if Float.abs d > pivot_tol then begin
+        let bound, loc = blocking_bound i d in
+        if Float.is_finite bound then begin
+          let strict = Float.max ((bound -. t.xval.(t.basis.(i))) /. d) 0.0 in
+          if strict <= !tmax_rel +. tie_tol && Float.abs d > !bmag then begin
+            blocker := i;
+            leave_loc := loc;
+            bstep := strict;
+            bmag := Float.abs d
+          end
+        end
+      end
+    done;
+    if !blocker < 0 then NoBlock
+    else Block (!blocker, Float.min !bstep !tmax_rel, !leave_loc)
+  end
 
 let apply_step t q sigma step =
   (* move entering by sigma*step, basics by -sigma*alpha*step *)
@@ -329,6 +557,7 @@ let update_lu t ip =
 
 let do_pivot t q sigma ip step leave_loc =
   let h0 = if Mm_obs.Trace.active t.tr then Mm_obs.Trace.now_ns () else 0L in
+  if t.pricing = Devex then devex_update t q ip;
   apply_step t q sigma step;
   let leaver = t.basis.(ip) in
   t.basis.(ip) <- q;
@@ -351,6 +580,7 @@ let do_flip t q sigma gap =
   t.loc.(q) <- (if t.loc.(q) = -1 then -2 else -1);
   t.xval.(q) <- nonbasic_value t q;
   t.niter <- t.niter + 1;
+  t.nflip <- t.nflip + 1;
   t.degenerate_streak <- 0
 
 (* --- phases ------------------------------------------------------------ *)
@@ -416,6 +646,13 @@ let phase1 t limit out_of_time =
   r
 
 let phase2 t limit out_of_time =
+  (* the Devex reference framework accumulated during phase 1 (or left
+     behind by a previous solve after an arbitrary basis restore) prices
+     the phase-2 geometry poorly; restart it *)
+  if t.pricing = Devex && t.niter > 0 then begin
+    Array.fill t.dw 0 t.nt 1.0;
+    t.ncand <- 0
+  end;
   let rec loop () =
     if t.niter >= limit || out_of_time () then Iteration_limit
     else begin
@@ -465,26 +702,52 @@ let is_dual_feasible t =
 
 (* One dual simplex run from the current (dual-feasible) basis.
    Restores primal feasibility while keeping dual feasibility; ends
-   Optimal, Infeasible (primal), or Iteration_limit. *)
+   Optimal, Infeasible (primal), or Iteration_limit. Under Devex the
+   leaving row maximizes violation^2 / weight with dual Devex row
+   weights; the exact row norm from {!Lu.btran_unit} cross-checks the
+   approximate weight and resets the framework on drift. *)
 let dual_phase t limit out_of_time =
   let exception Numerical_trouble in
   try
     let rec loop () =
       if t.niter >= limit || out_of_time () then Iteration_limit
       else begin
-        (* most-violated basic variable leaves *)
-        let leave = ref (-1) and worst = ref feas_tol and increase = ref false in
+        (* leaving row: most violated (Dantzig) or best weighted
+           violation (Devex) *)
+        let leave = ref (-1)
+        and best = ref 0.0
+        and worst = ref feas_tol
+        and increase = ref false in
         for i = 0 to t.m - 1 do
           let v = t.basis.(i) in
           let x = t.xval.(v) in
-          if x < t.lb.(v) -. !worst then begin
+          let viol_lo = t.lb.(v) -. x and viol_hi = x -. t.ub.(v) in
+          if t.pricing = Devex then begin
+            if viol_lo > feas_tol then begin
+              let sc = viol_lo *. viol_lo /. t.drw.(i) in
+              if sc > !best then begin
+                leave := i;
+                best := sc;
+                increase := true
+              end
+            end
+            else if viol_hi > feas_tol then begin
+              let sc = viol_hi *. viol_hi /. t.drw.(i) in
+              if sc > !best then begin
+                leave := i;
+                best := sc;
+                increase := false
+              end
+            end
+          end
+          else if viol_lo > !worst then begin
             leave := i;
-            worst := t.lb.(v) -. x;
+            worst := viol_lo;
             increase := true
           end
-          else if x > t.ub.(v) +. !worst then begin
+          else if viol_hi > !worst then begin
             leave := i;
-            worst := x -. t.ub.(v);
+            worst := viol_hi;
             increase := false
           end
         done;
@@ -492,9 +755,23 @@ let dual_phase t limit out_of_time =
         else begin
           let ip = !leave in
           (* rho := row ip of the basis inverse, via btran of e_ip *)
-          Array.fill t.cbw 0 t.m 0.0;
-          t.cbw.(ip) <- 1.0;
-          Lu.btran t.lu ~src:t.cbw ~dst:t.rho;
+          Lu.btran_unit t.lu ~pos:ip ~dst:t.rho;
+          let wip =
+            if t.pricing = Devex then begin
+              let exact = ref 0.0 in
+              for r = 0 to t.m - 1 do
+                exact := !exact +. (t.rho.(r) *. t.rho.(r))
+              done;
+              if !exact > devex_drift_factor *. t.drw.(ip) then begin
+                (* the reference framework no longer tracks the true
+                   row norms: reset it *)
+                Array.fill t.drw 0 t.m 1.0;
+                t.ndevex_reset <- t.ndevex_reset + 1
+              end;
+              Float.max t.drw.(ip) !exact
+            end
+            else 1.0
+          in
           compute_duals t t.cost;
           (* entering variable: dual ratio test over sign-eligible
              nonbasic columns *)
@@ -515,8 +792,9 @@ let dual_phase t limit out_of_time =
                   let d = reduced_cost t v in
                   let ratio = Float.abs d /. Float.abs a in
                   if
-                    ratio < !best_ratio -. 1e-12
-                    || (ratio < !best_ratio +. 1e-12 && Float.abs a > !best_mag)
+                    ratio < !best_ratio -. tie_tol
+                    || (ratio < !best_ratio +. tie_tol
+                        && Float.abs a > !best_mag)
                   then begin
                     best := v;
                     best_ratio := ratio;
@@ -531,6 +809,22 @@ let dual_phase t limit out_of_time =
             let q = !best in
             ftran t q;
             if Float.abs t.alpha.(ip) < pivot_tol then raise Numerical_trouble;
+            (if t.pricing = Devex then begin
+               (* dual Devex row-weight update from the entering
+                  column's ftran, O(m) per pivot *)
+               let piv = t.alpha.(ip) in
+               let inv2 = 1.0 /. (piv *. piv) in
+               for i = 0 to t.m - 1 do
+                 if i <> ip then begin
+                   let a = t.alpha.(i) in
+                   if Float.abs a > zero_tol then begin
+                     let w = a *. a *. inv2 *. wip in
+                     if w > t.drw.(i) then t.drw.(i) <- w
+                   end
+                 end
+               done;
+               t.drw.(ip) <- Float.max (wip *. inv2) 1.0
+             end);
             let leaver = t.basis.(ip) in
             let leave_loc = if !increase then -1 else -2 in
             t.basis.(ip) <- q;
@@ -626,7 +920,9 @@ let stats t =
   {
     pivots = t.niter;
     phase1_pivots = t.phase1_iters;
+    flips = t.nflip;
     refactorizations = t.nrefactor;
+    devex_resets = t.ndevex_reset;
     max_eta = t.max_eta;
     lu_fill = t.max_fill;
     basis_nnz = t.max_bnnz;
@@ -636,7 +932,15 @@ let set_trace t s = t.tr <- s
 
 let flush_trace t =
   Mm_obs.Trace.emit_hist t.tr "pivot" t.pivot_hist;
-  Mm_obs.Trace.emit_hist t.tr "refactor" t.refactor_hist
+  Mm_obs.Trace.emit_hist t.tr "refactor" t.refactor_hist;
+  if Mm_obs.Trace.active t.tr then begin
+    if t.nflip > t.flushed_flips then
+      Mm_obs.Trace.count t.tr "flip" (t.nflip - t.flushed_flips);
+    if t.ndevex_reset > t.flushed_resets then
+      Mm_obs.Trace.count t.tr "devex_reset" (t.ndevex_reset - t.flushed_resets)
+  end;
+  t.flushed_flips <- t.nflip;
+  t.flushed_resets <- t.ndevex_reset
 
 let set_bounds t j lb ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds";

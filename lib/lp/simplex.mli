@@ -9,6 +9,14 @@
     solves, which is how {!Branch_bound} warm-starts node relaxations
     from a parent basis snapshot.
 
+    Pricing is pluggable ({!pricing}): the default {!Devex} combines
+    reference-framework pricing with a rotating candidate-list window
+    and a Harris two-pass ratio test with bound flips; {!Dantzig} keeps
+    the full-scan most-negative-reduced-cost rule as a comparison
+    baseline (the Harris ratio test applies to both). Both strategies
+    are deterministic: repeated solves of the same problem perform the
+    same pivots.
+
     Integrality restrictions in the problem are ignored here. *)
 
 type t
@@ -19,10 +27,34 @@ type result =
   | Unbounded
   | Iteration_limit  (** ran out of pivots; solution is not meaningful *)
 
+type pricing =
+  | Dantzig  (** full scan, most negative reduced cost (baseline) *)
+  | Devex  (** reference-framework weights + candidate-list window *)
+
+val pricing_to_string : pricing -> string
+
+val pricing_of_string : string -> pricing option
+(** Inverse of {!pricing_to_string}; [None] on unknown names. *)
+
+type tolerances = {
+  feas : float;  (** primal feasibility on variable/row bounds *)
+  opt : float;  (** dual feasibility: reduced-cost pricing threshold *)
+  pivot : float;  (** smallest acceptable pivot magnitude *)
+  zero : float;  (** drop threshold for update arithmetic *)
+  ratio_tie : float;  (** tie window shared by primal and dual ratio tests *)
+  harris : float;  (** Harris pass-1 bound relaxation *)
+}
+
+val tols : tolerances
+(** The solver's numerical tolerances. One shared record so the primal,
+    dual and Harris ratio tests cannot drift apart again. *)
+
 type stats = {
   pivots : int;  (** simplex iterations, bound flips included *)
   phase1_pivots : int;  (** iterations spent restoring feasibility *)
+  flips : int;  (** bound flips performed without a basis change *)
   refactorizations : int;  (** sparse LU factorizations performed *)
+  devex_resets : int;  (** Devex reference frameworks abandoned on drift *)
   max_eta : int;  (** longest eta file reached between refactorizations *)
   lu_fill : int;  (** worst fill-in of any factorization *)
   basis_nnz : int;  (** largest basis nonzero count factored *)
@@ -37,8 +69,19 @@ val merge_stats : stats -> stats -> stats
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line human-readable rendering. *)
 
-val create : Problem.t -> t
-(** Builds solver state with the slack basis. *)
+val create : ?pricing:pricing -> Problem.t -> t
+(** Builds solver state with the slack basis. [pricing] defaults to
+    {!Devex}. *)
+
+val create_from : t -> Problem.t -> t
+(** [create_from prev p'] builds solver state for [p'], which must be
+    [prev]'s problem with extra rows appended (identical columns and
+    existing rows). The previous basis and Devex weights carry over and
+    the appended rows' slacks enter basic, so after an optimal [prev]
+    the new state is dual feasible and {!solve} [~prefer_dual:true]
+    re-optimizes in a few dual pivots — the root cut loop's warm
+    restart. Raises [Invalid_argument] if [p'] is not a row extension
+    of [prev]'s problem. *)
 
 val solve :
   ?iteration_limit:int -> ?deadline:float -> ?prefer_dual:bool -> t -> result
@@ -69,7 +112,7 @@ val duals : t -> float array
 (** Row dual multipliers at the final basis. *)
 
 val iterations : t -> int
-(** Total pivots performed since creation. *)
+(** Total pivots performed since creation, bound flips included. *)
 
 val stats : t -> stats
 (** Cumulative instrumentation counters since creation. *)
@@ -81,8 +124,9 @@ val set_trace : t -> Mm_obs.Trace.sink -> unit
     domain owning the sink. *)
 
 val flush_trace : t -> unit
-(** Emit the accumulated pivot/refactorization histograms as trace
-    events and reset them; a no-op without an active sink. *)
+(** Emit the accumulated pivot/refactorization histograms plus
+    bound-flip and Devex-reset count deltas as trace events and reset
+    them; a no-op without an active sink. *)
 
 val refactorize : t -> unit
 (** Discard the eta file, factor the current basis from scratch and

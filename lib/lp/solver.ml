@@ -8,6 +8,7 @@ type options = {
   cut_rounds : int;
   max_cuts_per_round : int;
   parallelism : int;
+  pricing : Simplex.pricing;
   trace : Mm_obs.Trace.t;
   bb : Branch_bound.options;
 }
@@ -19,26 +20,42 @@ let default_options =
     cut_rounds = 3;
     max_cuts_per_round = 50;
     parallelism = 1;
+    pricing = Simplex.Devex;
     trace = Mm_obs.Trace.disabled;
     bb = Branch_bound.default_options;
   }
 
 let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
-    ?(max_cuts_per_round = 50) ?parallelism ?trace
+    ?(max_cuts_per_round = 50) ?parallelism ?pricing ?trace
     ?(bb = Branch_bound.default_options) () =
-  (* explicit [?parallelism] / [?trace] override whatever [bb] carries *)
+  (* explicit [?parallelism] / [?pricing] / [?trace] override whatever
+     [bb] carries *)
   let parallelism =
     match parallelism with
     | Some j -> j
     | None -> bb.Branch_bound.parallelism
   in
+  let pricing =
+    match pricing with Some pr -> pr | None -> bb.Branch_bound.pricing
+  in
   let trace =
     match trace with Some tr -> tr | None -> bb.Branch_bound.trace
   in
-  { presolve; cuts; cut_rounds; max_cuts_per_round; parallelism; trace; bb }
+  {
+    presolve;
+    cuts;
+    cut_rounds;
+    max_cuts_per_round;
+    parallelism;
+    pricing;
+    trace;
+    bb;
+  }
 
-let quick_options ?time_limit ?parallelism ?trace () =
-  options ?parallelism ?trace ~bb:(Branch_bound.options ?time_limit ()) ()
+let quick_options ?time_limit ?parallelism ?pricing ?trace () =
+  options ?parallelism ?pricing ?trace
+    ~bb:(Branch_bound.options ?time_limit ())
+    ()
 
 type stats = {
   presolved_from : int * int;
@@ -53,7 +70,14 @@ type result = { mip : Branch_bound.result; stats : stats }
 
 (* Root cut loop: repeatedly solve the LP relaxation and add violated
    cover cuts. Cuts are valid for all integer points, so they are kept
-   as ordinary rows for the branch-and-bound run. *)
+   as ordinary rows for the branch-and-bound run.
+
+   The loop is warm-started: round 0 solves from scratch, every later
+   round rebuilds the simplex state with [Simplex.create_from] so the
+   previous optimal basis carries over with the new cut rows basic on
+   their slacks, and re-optimizes with the dual method. A round whose
+   separation finds no violated cut ends the loop immediately (traced
+   as [cut_noop_round]) instead of burning another cold re-solve. *)
 let add_root_cuts snk options p =
   let deadline =
     Option.map
@@ -61,33 +85,59 @@ let add_root_cuts snk options p =
       options.bb.Branch_bound.time_limit
   in
   let lp_stats = ref Simplex.empty_stats and lp_time = ref 0.0 in
-  let rec loop p round added =
-    if round >= options.cut_rounds then (p, added)
-    else begin
-      let sx = Simplex.create p in
-      Simplex.set_trace sx snk;
-      let t0 = Unix.gettimeofday () in
-      let r = Simplex.solve ?deadline sx in
-      lp_time := !lp_time +. (Unix.gettimeofday () -. t0);
-      lp_stats := Simplex.merge_stats !lp_stats (Simplex.stats sx);
-      Simplex.flush_trace sx;
-      match r with
-      | Simplex.Optimal ->
-          let x = Simplex.primal sx in
-          if Problem.integer_violation p x <= 1e-6 then (p, added)
+  let finish sx =
+    lp_stats := Simplex.merge_stats !lp_stats (Simplex.stats sx);
+    Simplex.flush_trace sx
+  in
+  let rec loop p sx round added =
+    let t0 = Unix.gettimeofday () in
+    let r = Simplex.solve ?deadline ~prefer_dual:(round > 0) sx in
+    lp_time := !lp_time +. (Unix.gettimeofday () -. t0);
+    match r with
+    | Simplex.Optimal ->
+        let x = Simplex.primal sx in
+        if Problem.integer_violation p x <= 1e-6 then begin
+          finish sx;
+          (p, added)
+        end
+        else begin
+          let cuts = Cuts.separate p x ~max_cuts:options.max_cuts_per_round in
+          if cuts = [] then begin
+            Mm_obs.Trace.count snk "cut_noop_round" 1;
+            finish sx;
+            (p, added)
+          end
           else begin
-            let cuts = Cuts.separate p x ~max_cuts:options.max_cuts_per_round in
-            if cuts = [] then (p, added)
+            Log.debug (fun m ->
+                m "cut round %d: %d cover cuts" round (List.length cuts));
+            let p' = Cuts.apply p cuts in
+            let added = added + List.length cuts in
+            if round + 1 >= options.cut_rounds then begin
+              (* the last allowed round's cuts still strengthen the
+                 branch-and-bound relaxations; no further re-solve *)
+              finish sx;
+              (p', added)
+            end
             else begin
-              Log.debug (fun m ->
-                  m "cut round %d: %d cover cuts" round (List.length cuts));
-              loop (Cuts.apply p cuts) (round + 1) (added + List.length cuts)
+              finish sx;
+              loop p' (Simplex.create_from sx p') (round + 1) added
             end
           end
-      | _ -> (p, added)
+        end
+    | _ ->
+        finish sx;
+        (p, added)
+  in
+  let p, added =
+    if options.cut_rounds <= 0 then (p, 0)
+    else begin
+      let sx0 = Simplex.create ~pricing:options.pricing p in
+      Simplex.set_trace sx0 snk;
+      loop p sx0 0 0
     end
   in
-  let p, added = loop p 0 0 in
+  if (!lp_stats).Simplex.pivots > 0 then
+    Mm_obs.Trace.count snk "cut_pivots" (!lp_stats).Simplex.pivots;
   (p, added, !lp_stats, !lp_time)
 
 let infeasible_result p t0 =
@@ -177,6 +227,7 @@ let solve ?(options = default_options) p =
           {
             options.bb with
             Branch_bound.parallelism = options.parallelism;
+            pricing = options.pricing;
             trace = options.trace;
           }
         in

@@ -9,6 +9,10 @@ type options = {
   parallelism : int;
       (** worker domains for the branch-and-bound tree search, default 1
           (deterministic serial schedule); overrides [bb.parallelism] *)
+  pricing : Simplex.pricing;
+      (** simplex pricing strategy for the root cut loop and every
+          branch-and-bound workspace, default {!Simplex.Devex};
+          overrides [bb.pricing] *)
   trace : Mm_obs.Trace.t;
       (** structured tracing (default disabled): the facade records
           presolve/cuts/bb/solve phase spans and a cut counter on the
@@ -25,16 +29,23 @@ val options :
   ?cut_rounds:int ->
   ?max_cuts_per_round:int ->
   ?parallelism:int ->
+  ?pricing:Simplex.pricing ->
   ?trace:Mm_obs.Trace.t ->
   ?bb:Branch_bound.options ->
   unit ->
   options
 (** Builder for {!options}; prefer this over record literals so future
-    fields stay non-breaking. When [?parallelism] or [?trace] is
-    omitted it is taken from [bb] (defaults: 1, disabled). *)
+    fields stay non-breaking. When [?parallelism], [?pricing] or
+    [?trace] is omitted it is taken from [bb] (defaults: 1, Devex,
+    disabled). *)
 
 val quick_options :
-  ?time_limit:float -> ?parallelism:int -> ?trace:Mm_obs.Trace.t -> unit -> options
+  ?time_limit:float ->
+  ?parallelism:int ->
+  ?pricing:Simplex.pricing ->
+  ?trace:Mm_obs.Trace.t ->
+  unit ->
+  options
 (** Options with a wall-clock limit, for benchmark harnesses. *)
 
 type stats = {

@@ -28,12 +28,17 @@ let default_options =
 
 let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
     ?(port_model = Preprocess.Fig3) ?(arbitration = false)
-    ?(solver_options = Mm_lp.Solver.default_options) ?parallelism ?trace
-    ?(max_retries = 5) ?(allow_overlap = true) ?(detailed = Greedy) () =
+    ?(solver_options = Mm_lp.Solver.default_options) ?parallelism ?pricing
+    ?trace ?(max_retries = 5) ?(allow_overlap = true) ?(detailed = Greedy) () =
   let solver_options =
     match parallelism with
     | None -> solver_options
     | Some j -> { solver_options with Mm_lp.Solver.parallelism = j }
+  in
+  let solver_options =
+    match pricing with
+    | None -> solver_options
+    | Some pr -> { solver_options with Mm_lp.Solver.pricing = pr }
   in
   (* the mapper and the ILP solver share one trace so every event lands
      in a single file; [?trace] overrides whatever [solver_options]

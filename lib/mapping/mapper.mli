@@ -42,6 +42,7 @@ val options :
   ?arbitration:bool ->
   ?solver_options:Mm_lp.Solver.options ->
   ?parallelism:int ->
+  ?pricing:Mm_lp.Simplex.pricing ->
   ?trace:Mm_obs.Trace.t ->
   ?max_retries:int ->
   ?allow_overlap:bool ->
@@ -51,9 +52,10 @@ val options :
 (** Builder for {!options}; prefer this over record literals so future
     fields stay non-breaking. [?parallelism] overrides
     [solver_options.parallelism] — the number of branch-and-bound worker
-    domains every ILP solve uses. [?trace] overrides
-    [solver_options.trace] and is threaded through every ILP solve and
-    the detailed placer. *)
+    domains every ILP solve uses. [?pricing] overrides
+    [solver_options.pricing] — the simplex pricing strategy every ILP
+    solve uses. [?trace] overrides [solver_options.trace] and is
+    threaded through every ILP solve and the detailed placer. *)
 
 type outcome = {
   method_ : method_;

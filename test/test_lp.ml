@@ -275,18 +275,74 @@ let random_lp_wide_gen =
       return (n, mrows, seed))
 
 let prop_sparse_matches_dense_oracle =
-  qtest ~count:300 "sparse LU engine agrees with the dense oracle"
+  qtest ~count:300
+    "sparse LU engine agrees with the dense oracle (all pricings x methods)"
+    random_lp_wide_gen (fun params ->
+      let p = build_random_lp params in
+      let d = Dense_simplex.create p in
+      let dr = Dense_simplex.solve d in
+      List.for_all
+        (fun (pricing, prefer_dual) ->
+          let s = Simplex.create ~pricing p in
+          match (Simplex.solve ~prefer_dual s, dr) with
+          | Simplex.Optimal, Dense_simplex.Optimal ->
+              let a = Simplex.objective s and b = Dense_simplex.objective d in
+              Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+          | Simplex.Infeasible, Dense_simplex.Infeasible -> true
+          | Simplex.Unbounded, Dense_simplex.Unbounded -> true
+          | _ -> false)
+        [
+          (Simplex.Dantzig, false);
+          (Simplex.Dantzig, true);
+          (Simplex.Devex, false);
+          (Simplex.Devex, true);
+        ])
+
+(* Single-step the solver ([iteration_limit:1] performs exactly one
+   iteration per call) and, whenever that iteration was a bound flip,
+   check the true objective moved by no more than the largest possible
+   flip delta at the pre-step basis: max |reduced cost| x bound gap over
+   nonbasic candidates (structural columns via [reduced_costs], slacks
+   via row duals). Valid in both phases: a flip of column q changes the
+   true objective by exactly its true reduced cost times the gap, even
+   when phase-1 pricing selected it. *)
+let prop_flip_objective_bounded =
+  qtest ~count:200 "bound flips move the objective by at most the flip delta"
     random_lp_wide_gen (fun params ->
       let p = build_random_lp params in
       let s = Simplex.create p in
-      let d = Dense_simplex.create p in
-      match (Simplex.solve s, Dense_simplex.solve d) with
-      | Simplex.Optimal, Dense_simplex.Optimal ->
-          let a = Simplex.objective s and b = Dense_simplex.objective d in
-          Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
-      | Simplex.Infeasible, Dense_simplex.Infeasible -> true
-      | Simplex.Unbounded, Dense_simplex.Unbounded -> true
-      | _ -> false)
+      let ok = ref true in
+      let steps = ref 0 in
+      let running = ref true in
+      while !running && !steps < 400 do
+        incr steps;
+        let obj0 = Simplex.objective s in
+        let flips0 = (Simplex.stats s).Simplex.flips in
+        let bound =
+          let b = ref 0.0 in
+          Array.iteri
+            (fun j dj ->
+              let gap = p.Problem.col_ub.(j) -. p.Problem.col_lb.(j) in
+              if Float.is_finite gap then
+                b := Float.max !b (Float.abs dj *. gap))
+            (Simplex.reduced_costs s);
+          Array.iteri
+            (fun r yr ->
+              let gap = p.Problem.row_ub.(r) -. p.Problem.row_lb.(r) in
+              if Float.is_finite gap then
+                b := Float.max !b (Float.abs yr *. gap))
+            (Simplex.duals s);
+          !b
+        in
+        match Simplex.solve ~iteration_limit:1 s with
+        | Simplex.Iteration_limit ->
+            if (Simplex.stats s).Simplex.flips > flips0 then begin
+              let delta = Float.abs (Simplex.objective s -. obj0) in
+              if delta > bound +. 1e-6 then ok := false
+            end
+        | _ -> running := false
+      done;
+      !ok)
 
 let prop_optimal_primal_within_row_bounds =
   qtest ~count:300 "optimal primal satisfies every row's bounds"
@@ -1295,6 +1351,7 @@ let () =
           prop_simplex_feasible_and_certified;
           prop_dual_matches_primal;
           prop_sparse_matches_dense_oracle;
+          prop_flip_objective_bounded;
           prop_optimal_primal_within_row_bounds;
           prop_refactorize_preserves_primal;
         ] );

@@ -70,6 +70,30 @@ let test_smallest_point_solvable () =
         (Mm_mapping.Validate.is_legal board design o.Mm_mapping.Mapper.mapping)
   | Error e -> Alcotest.fail (Mm_mapping.Mapper.error_to_string e)
 
+let test_table3_devex_objectives () =
+  (* regression: every Table-3 point proves the same optimal objective
+     under devex pricing at parallelism 1 and 2 as the dantzig serial
+     baseline (the global/detailed pipeline; the complete formulation
+     is covered by the bench's pricing_ab record) *)
+  List.iter
+    (fun (p : Table3.point) ->
+      let board, design = Gen.instance p.Table3.spec in
+      let solve pricing parallelism =
+        let options = Mm_mapping.Mapper.options ~pricing ~parallelism () in
+        match Mm_mapping.Mapper.run ~options board design with
+        | Ok o -> o.Mm_mapping.Mapper.objective
+        | Error e -> Alcotest.fail (Mm_mapping.Mapper.error_to_string e)
+      in
+      let reference = solve Mm_lp.Simplex.Dantzig 1 in
+      List.iter
+        (fun j ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "%d segs, devex j=%d" p.Table3.spec.Gen.segments j)
+            reference
+            (solve Mm_lp.Simplex.Devex j))
+        [ 1; 2 ])
+    Table3.points
+
 let test_rejects_inconsistent_spec () =
   Alcotest.check_raises "configs not multiple of 5"
     (Invalid_argument "Gen.board_of_spec: configs must be a multiple of 5")
@@ -139,6 +163,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
           Alcotest.test_case "segments fit" `Quick test_generated_segments_fit;
           Alcotest.test_case "smallest point solvable" `Quick test_smallest_point_solvable;
+          Alcotest.test_case "devex objectives at j=1,2" `Quick
+            test_table3_devex_objectives;
         ] );
       ( "gen",
         [
