@@ -197,6 +197,11 @@ type t3_cell = {
   domains : int;
   stolen : int;
   idle : float;
+  cuts_root : int;
+  cuts_node : int;
+  cuts_dropped : int;
+  cuts_fams : (string * int) list;
+  incumbent : string;
 }
 
 (* Traced re-run of the serial global leg: wall time with tracing
@@ -219,6 +224,11 @@ type t3_row = {
      cells above they form the pricing_ab record in BENCH_lp.json *)
   global_dz : t3_cell;
   complete_dz : t3_cell;
+  (* root-cover-only re-runs (Solver.baseline_options: no lifted covers,
+     no GMI, no aging, no node cuts, no diving heuristic); paired with
+     the full-pool cells above they form the cuts_ab record *)
+  global_base : t3_cell;
+  complete_base : t3_cell;
   traced : t3_traced;
 }
 
@@ -236,6 +246,11 @@ let failed_cell seconds =
     domains = 0;
     stolen = 0;
     idle = 0.0;
+    cuts_root = 0;
+    cuts_node = 0;
+    cuts_dropped = 0;
+    cuts_fams = [];
+    incumbent = "none";
   }
 
 let cell_of_outcome seconds (o : Mm_mapping.Mapper.outcome) =
@@ -251,6 +266,13 @@ let cell_of_outcome seconds (o : Mm_mapping.Mapper.outcome) =
     domains = par.Mm_lp.Branch_bound.domains_used;
     stolen = par.Mm_lp.Branch_bound.nodes_stolen;
     idle = par.Mm_lp.Branch_bound.idle_seconds;
+    cuts_root = r.Mm_lp.Solver.stats.Mm_lp.Solver.cuts_added;
+    cuts_node = r.Mm_lp.Solver.stats.Mm_lp.Solver.node_cuts_added;
+    cuts_dropped = r.Mm_lp.Solver.stats.Mm_lp.Solver.cuts_dropped;
+    cuts_fams = r.Mm_lp.Solver.stats.Mm_lp.Solver.cuts_by_family;
+    incumbent =
+      Mm_lp.Branch_bound.incumbent_source_to_string
+        mip.Mm_lp.Branch_bound.incumbent_source;
   }
 
 let table3_cache : t3_row list option ref = ref None
@@ -272,6 +294,14 @@ let measure_table3 () =
           ~solver_options:
             (Mm_lp.Solver.quick_options ~time_limit:cap
                ~pricing:Mm_lp.Simplex.Dantzig ())
+          ()
+      in
+      (* identical budget under the pre-pool cut configuration: knapsack
+         covers at the root only, no heuristics — the other arm of the
+         cuts_ab record (the default legs run the full pool) *)
+      let opts_base =
+        Mm_mapping.Mapper.options
+          ~solver_options:(Mm_lp.Solver.baseline_options ~time_limit:cap ())
           ()
       in
       (* same budget, [bench_parallelism] worker domains; the serial leg
@@ -323,6 +353,8 @@ let measure_table3 () =
             let complete = measure_complete opts in
             let global_dz = measure_global opts_dz board design in
             let complete_dz = measure_complete opts_dz in
+            let global_base = measure_global opts_base board design in
+            let complete_base = measure_complete opts_base in
             List.iter
               (fun (leg, dx, dz) ->
                 match (dx, dz) with
@@ -336,6 +368,20 @@ let measure_table3 () =
               [
                 ("global", global.objective, global_dz.objective);
                 ("complete", complete.objective, complete_dz.objective);
+              ];
+            List.iter
+              (fun (leg, full, base) ->
+                match (full, base) with
+                | Some a, Some b when Float.abs (a -. b) > 1e-6 ->
+                    Printf.eprintf
+                      "table3: WARNING %s full-pool/cover-only objective \
+                       mismatch (%g vs %g)\n\
+                       %!"
+                      leg a b
+                | _ -> ())
+              [
+                ("global", global.objective, global_base.objective);
+                ("complete", complete.objective, complete_base.objective);
               ];
             let traced =
               let tr = Mm_obs.Trace.create () in
@@ -373,7 +419,7 @@ let measure_table3 () =
               { traced_seconds; phases; counters }
             in
             { point; global; global_par; complete; global_dz; complete_dz;
-              traced })
+              global_base; complete_base; traced })
           Mm_workload.Table3.points
       in
       table3_cache := Some rows;
@@ -424,6 +470,44 @@ let pricing_pair ~dantzig ~devex =
   Printf.sprintf
     "{ \"dantzig\": %s, \"devex\": %s, \"pivot_reduction_pct\": %s }"
     (leg dantzig) (leg devex) reduction
+
+(* Cut-subsystem A/B record for one formulation: the root-cover-only
+   configuration (Solver.baseline_options, the pre-pool behavior) against
+   the full pool — lifted covers, GMI, aging, node separation and the
+   GUB diving heuristic.  The headline node reduction is null unless
+   both arms proved optimality with matching objectives. *)
+let cuts_pair ~baseline ~full =
+  let num v = if Float.is_nan v then "null" else Printf.sprintf "%.3f" v in
+  let opt_num = function Some v -> num v | None -> "null" in
+  let leg c =
+    let fams =
+      String.concat ", "
+        (List.map
+           (fun (fam, n) -> Printf.sprintf "\"%s\": %d" fam n)
+           c.cuts_fams)
+    in
+    Printf.sprintf
+      "{ \"seconds\": %s, \"optimal\": %b, \"objective\": %s, \"pivots\": %d, \
+       \"nodes\": %d, \"cuts\": { \"root\": %d, \"node\": %d, \"dropped\": %d, \
+       \"by_family\": { %s } }, \"incumbent_source\": \"%s\" }"
+      (num c.seconds) c.optimal (opt_num c.objective) c.pivots c.nodes
+      c.cuts_root c.cuts_node c.cuts_dropped fams c.incumbent
+  in
+  let reduction =
+    match (baseline.objective, full.objective) with
+    | Some a, Some b
+      when baseline.optimal && full.optimal
+           && Float.abs (a -. b) <= 1e-6
+           && baseline.nodes > 0 ->
+        Printf.sprintf "%.2f"
+          (100.0
+          *. float_of_int (baseline.nodes - full.nodes)
+          /. float_of_int baseline.nodes)
+    | _ -> "null"
+  in
+  Printf.sprintf
+    "{ \"cover_only\": %s, \"full_pool\": %s, \"node_reduction_pct\": %s }"
+    (leg baseline) (leg full) reduction
 
 (* Machine-readable record of the Table-3 sweep: per design point, wall
    time, status, objective, simplex pivots and branch-and-bound nodes for
@@ -488,6 +572,12 @@ let write_bench_json rows =
           (pricing_pair ~dantzig:r.complete_dz ~devex:r.complete)
           (pricing_pair ~dantzig:r.global_dz ~devex:r.global)
       in
+      let cuts_ab =
+        Printf.sprintf
+          "{ \"complete\": %s, \"global\": %s }"
+          (cuts_pair ~baseline:r.complete_base ~full:r.complete)
+          (cuts_pair ~baseline:r.global_base ~full:r.global)
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n\
@@ -496,11 +586,12 @@ let write_bench_json rows =
            \      \"global_parallel\": %s,\n\
            \      \"global_traced\": %s,\n\
            \      \"pricing_ab\": %s,\n\
+           \      \"cuts_ab\": %s,\n\
            \      \"complete_dense_baseline_60s\": %s }%s\n"
            spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
            spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs
            (cell r.complete) (cell r.global) (par_cell r.global_par) traced
-           pricing_ab dense
+           pricing_ab cuts_ab dense
            (if i < List.length rows - 1 then "," else ""))
     )
     rows;
@@ -617,6 +708,43 @@ let run_table3 () =
         ])
     rows;
   Table.print pt;
+  line "";
+  line "Cuts A/B, complete formulation (cover-only root vs full pool +";
+  line "node cuts + GUB diving; same budget, serial):";
+  let ct =
+    Table.create
+      [
+        ("#segs", Table.Right);
+        ("cover-only nodes", Table.Right);
+        ("full-pool nodes", Table.Right);
+        ("reduction", Table.Right);
+        ("cuts (root/node/drop)", Table.Right);
+        ("incumbent", Table.Left);
+      ]
+  in
+  List.iter
+    (fun r ->
+      let base = r.complete_base and full = r.complete in
+      let reduction =
+        if base.optimal && full.optimal && base.nodes > 0 then
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. float_of_int (base.nodes - full.nodes)
+            /. float_of_int base.nodes)
+        else "-"
+      in
+      Table.add_row ct
+        [
+          string_of_int r.point.Mm_workload.Table3.spec.Mm_workload.Gen.segments;
+          string_of_int base.nodes;
+          string_of_int full.nodes;
+          reduction;
+          Printf.sprintf "%d/%d/%d" full.cuts_root full.cuts_node
+            full.cuts_dropped;
+          full.incumbent;
+        ])
+    rows;
+  Table.print ct;
   write_bench_json rows
 
 let run_fig4 () =
@@ -1135,6 +1263,119 @@ let run_pricing_smoke () =
   else line "devex and dantzig agree on every objective."
 
 (* ------------------------------------------------------------------ *)
+(* Cuts smoke (CI leg)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The smallest Table-3 point under the full cut pool + GUB diving
+   heuristic versus the root-cover-only baseline, recorded as a minimal
+   BENCH_lp.json. Exits nonzero when the two configurations prove
+   different objectives — the CI guard for cut validity (an invalid cut
+   shows up as a changed optimum). Run-by-name only, like
+   pricing-smoke. *)
+let run_cuts_smoke () =
+  header "Cuts smoke: Table-3 point 0, cover-only baseline vs full pool";
+  let point = List.hd Mm_workload.Table3.points in
+  let spec = point.Mm_workload.Table3.spec in
+  let board, design = Mm_workload.Gen.instance spec in
+  let cap = quick_cap () in
+  let measure method_ solver_options =
+    let opts = Mm_mapping.Mapper.options ~solver_options () in
+    let t0 = Unix.gettimeofday () in
+    match Mm_mapping.Mapper.run ~method_ ~options:opts board design with
+    | Ok o ->
+        cell_of_outcome
+          (o.Mm_mapping.Mapper.ilp_seconds
+          +. o.Mm_mapping.Mapper.detailed_seconds)
+          o
+    | Error _ -> failed_cell (Unix.gettimeofday () -. t0)
+  in
+  let results =
+    List.map
+      (fun (name, m) ->
+        ( name,
+          measure m (Mm_lp.Solver.baseline_options ~time_limit:cap ()),
+          measure m (Mm_lp.Solver.quick_options ~time_limit:cap ()) ))
+      [
+        ("global", Mm_mapping.Mapper.Global_detailed);
+        ("complete", Mm_mapping.Mapper.Complete_flat);
+      ]
+  in
+  let t =
+    Table.create
+      [
+        ("formulation", Table.Left);
+        ("cuts", Table.Left);
+        ("time (s)", Table.Right);
+        ("nodes", Table.Right);
+        ("cuts (root/node/drop)", Table.Right);
+        ("incumbent", Table.Left);
+        ("objective", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, base, full) ->
+      List.iter
+        (fun (cn, (c : t3_cell)) ->
+          Table.add_row t
+            [
+              name;
+              cn;
+              fmt_time c.seconds c.optimal;
+              string_of_int c.nodes;
+              Printf.sprintf "%d/%d/%d" c.cuts_root c.cuts_node c.cuts_dropped;
+              c.incumbent;
+              (match c.objective with
+              | Some o -> Printf.sprintf "%.0f" o
+              | None -> "-");
+            ])
+        [ ("cover-only", base); ("full pool", full) ])
+    results;
+  Table.print t;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"cuts smoke (table3 point 0)\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"time_cap_seconds\": %.1f,\n" cap);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n"
+       spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
+       spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs);
+  Buffer.add_string buf "  \"cuts_ab\": {\n";
+  List.iteri
+    (fun i (name, base, full) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %s%s\n" name
+           (cuts_pair ~baseline:base ~full)
+           (if i < List.length results - 1 then "," else "")))
+    results;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  line "wrote BENCH_lp.json (cuts smoke)";
+  let mismatched =
+    List.filter
+      (fun ((_, base, full) : string * t3_cell * t3_cell) ->
+        match (base.objective, full.objective) with
+        | Some a, Some b -> Float.abs (a -. b) > 1e-6
+        | _ -> true)
+      results
+  in
+  if mismatched <> [] then begin
+    List.iter
+      (fun ((name, base, full) : string * t3_cell * t3_cell) ->
+        let obj = function
+          | Some o -> Printf.sprintf "%g" o
+          | None -> "none"
+        in
+        Printf.eprintf
+          "cuts-smoke: %s objective mismatch: cover-only %s vs full pool %s\n"
+          name (obj base.objective) (obj full.objective))
+      mismatched;
+    exit 1
+  end
+  else line "cover-only and full-pool configurations agree on every objective."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1248,6 +1489,7 @@ let experiments =
     ("ablation-portmodel", run_ablation_portmodel);
     ("ablation-arbitration", run_ablation_arbitration);
     ("pricing-smoke", run_pricing_smoke);
+    ("cuts-smoke", run_cuts_smoke);
     ("micro", run_micro);
   ]
 
@@ -1268,9 +1510,12 @@ let () =
   let to_run =
     match List.rev !requested with
     | [] ->
-        (* pricing-smoke is run-by-name only: it writes its own minimal
-           BENCH_lp.json and would clobber the table3 sweep's record *)
-        List.filter (fun n -> n <> "pricing-smoke") (List.map fst experiments)
+        (* the smoke legs are run-by-name only: each writes its own
+           minimal BENCH_lp.json and would clobber the table3 sweep's
+           record *)
+        List.filter
+          (fun n -> n <> "pricing-smoke" && n <> "cuts-smoke")
+          (List.map fst experiments)
     | names -> names
   in
   line "Memory-mapping evaluation harness (%s mode)"

@@ -32,6 +32,25 @@ let read_design path =
 
 (* ---- solve ---------------------------------------------------------- *)
 
+(* cut / heuristic flags, shared by [solve] and [solve-mps] *)
+let cut_rounds_arg =
+  Arg.(value & opt int 3 & info [ "cut-rounds" ] ~docv:"N"
+         ~doc:"Root cutting-plane separation rounds ($(b,0) keeps the \
+               solver cut-free at the root; node cuts may still fire).")
+
+let max_cuts_arg =
+  Arg.(value & opt int 50 & info [ "max-cuts-per-round" ] ~docv:"N"
+         ~doc:"Cap on cuts accepted per separation round.")
+
+let no_cuts_arg =
+  Arg.(value & flag & info [ "no-cuts" ]
+         ~doc:"Disable cutting planes entirely (root and node).")
+
+let no_heuristics_arg =
+  Arg.(value & flag & info [ "no-heuristics" ]
+         ~doc:"Disable the GUB diving heuristic that seeds the incumbent \
+               before the tree search.")
+
 let weights_conv =
   let parse s =
     match String.split_on_char ',' s with
@@ -129,8 +148,8 @@ let solve_cmd =
                    (full-scan baseline). Both prove the same objective.")
   in
   let run () board design method_ weights profiled detailed time_limit
-      parallelism pricing lp_out mps_out placements arbitration port_model
-      trace_out =
+      parallelism pricing cut_rounds max_cuts_per_round no_cuts no_heuristics
+      lp_out mps_out placements arbitration port_model trace_out =
     let board = read_board board and design = read_design design in
     let trace =
       match trace_out with
@@ -150,7 +169,8 @@ let solve_cmd =
           (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform)
         ~detailed ~arbitration ~port_model ~trace
         ~solver_options:
-          (Mm_lp.Solver.options ~parallelism ~pricing
+          (Mm_lp.Solver.options ~parallelism ~pricing ~cuts:(not no_cuts)
+             ~cut_rounds ~max_cuts_per_round ~heuristics:(not no_heuristics)
              ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
              ())
         ()
@@ -188,6 +208,9 @@ let solve_cmd =
           | Mm_mapping.Mapper.Solver_limit -> 4)
     | Ok o ->
         write_trace ();
+        print_endline
+          (Mm_mapping.Report.solver_config
+             options.Mm_mapping.Mapper.solver_options);
         if placements then print_string (Mm_mapping.Report.outcome board design o)
         else begin
           Printf.printf
@@ -218,7 +241,8 @@ let solve_cmd =
     Term.(
       const run $ logs_term $ board_arg $ design_arg $ method_arg $ weights_arg
       $ profiled_arg $ detailed_arg $ time_limit_arg $ parallelism_arg
-      $ pricing_arg $ lp_out_arg $ mps_out_arg $ placements_arg
+      $ pricing_arg $ cut_rounds_arg $ max_cuts_arg $ no_cuts_arg
+      $ no_heuristics_arg $ lp_out_arg $ mps_out_arg $ placements_arg
       $ arbitration_arg $ port_model_arg $ trace_arg)
 
 (* ---- generate ------------------------------------------------------- *)
@@ -356,7 +380,8 @@ let solve_mps_cmd =
              ~doc:"Simplex pricing strategy: $(b,devex) (default) or \
                    $(b,dantzig) (full-scan baseline).")
   in
-  let run () file time_limit parallelism pricing print_solution trace_out =
+  let run () file time_limit parallelism pricing cut_rounds max_cuts_per_round
+      no_cuts no_heuristics print_solution trace_out =
     let parsed =
       if Filename.check_suffix file ".lp" then Mm_lp.Lp_format.of_file file
       else Mm_lp.Mps.of_file file
@@ -374,9 +399,12 @@ let solve_mps_cmd =
         in
         let options =
           Mm_lp.Solver.options ~parallelism ~pricing ~trace
+            ~cuts:(not no_cuts) ~cut_rounds ~max_cuts_per_round
+            ~heuristics:(not no_heuristics)
             ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
             ()
         in
+        print_endline (Mm_mapping.Report.solver_config options);
         let r = Mm_lp.Solver.solve ~options p in
         (match trace_out with
         | None -> ()
@@ -397,6 +425,21 @@ let solve_mps_cmd =
         Format.printf "lp core: %a | lp time %.3fs\n%!" Mm_lp.Simplex.pp_stats
           r.Mm_lp.Solver.stats.Mm_lp.Solver.lp
           r.Mm_lp.Solver.stats.Mm_lp.Solver.lp_time;
+        (let st = r.Mm_lp.Solver.stats in
+         if st.Mm_lp.Solver.cuts_added + st.Mm_lp.Solver.node_cuts_added > 0
+         then
+           Printf.printf "cuts: %s (%d root, %d node, %d dropped)\n"
+             (String.concat ", "
+                (List.map
+                   (fun (fam, n) -> Printf.sprintf "%s=%d" fam n)
+                   st.Mm_lp.Solver.cuts_by_family))
+             st.Mm_lp.Solver.cuts_added st.Mm_lp.Solver.node_cuts_added
+             st.Mm_lp.Solver.cuts_dropped);
+        (match mip.Mm_lp.Branch_bound.incumbent_source with
+        | Mm_lp.Branch_bound.No_incumbent -> ()
+        | src ->
+            Printf.printf "incumbent from: %s\n"
+              (Mm_lp.Branch_bound.incumbent_source_to_string src));
         (match mip.Mm_lp.Branch_bound.objective with
         | Some o -> Printf.printf "objective: %.9g\n" o
         | None -> ());
@@ -414,7 +457,8 @@ let solve_mps_cmd =
        ~doc:"Solve an arbitrary MPS (or .lp) file with the built-in MIP              solver.")
     Term.(
       const run $ logs_term $ file_arg $ time_limit_arg $ parallelism_arg
-      $ pricing_arg $ print_solution_arg $ trace_arg)
+      $ pricing_arg $ cut_rounds_arg $ max_cuts_arg $ no_cuts_arg
+      $ no_heuristics_arg $ print_solution_arg $ trace_arg)
 
 (* ---- trace-summary ---------------------------------------------------- *)
 

@@ -13,6 +13,8 @@ type options = {
   parallelism : int;
   pricing : Simplex.pricing;
   trace : Mm_obs.Trace.t;
+  node_cut_depth : int;
+  node_cut_freq : int;
 }
 
 let default_options =
@@ -25,11 +27,14 @@ let default_options =
     parallelism = 1;
     pricing = Simplex.Devex;
     trace = Mm_obs.Trace.disabled;
+    node_cut_depth = 2;
+    node_cut_freq = 4;
   }
 
 let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
     ?log_every ?(parallelism = 1) ?(pricing = Simplex.Devex)
-    ?(trace = Mm_obs.Trace.disabled) () =
+    ?(trace = Mm_obs.Trace.disabled) ?(node_cut_depth = 2)
+    ?(node_cut_freq = 4) () =
   {
     time_limit;
     node_limit;
@@ -39,6 +44,8 @@ let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
     parallelism;
     pricing;
     trace;
+    node_cut_depth;
+    node_cut_freq;
   }
 
 type par_stats = {
@@ -56,6 +63,14 @@ let serial_par_stats =
     domain_pivots = [| 0 |];
   }
 
+type incumbent_source = No_incumbent | Heuristic | Rounding | Node_integral
+
+let incumbent_source_to_string = function
+  | No_incumbent -> "none"
+  | Heuristic -> "heuristic"
+  | Rounding -> "rounding"
+  | Node_integral -> "node"
+
 type result = {
   status : status;
   solution : float array option;
@@ -68,6 +83,7 @@ type result = {
   max_node_lp_time : float;
   lp_stats : Simplex.stats;
   par : par_stats;
+  incumbent_source : incumbent_source;
 }
 
 let gap r =
@@ -87,6 +103,9 @@ type node = {
   changes : (int * float * float) list;
   basis : Simplex.basis option;
       (* parent's optimal basis, shared by both children *)
+  ncuts : int;
+      (* pool-cut rows present in the LP the basis snapshot was taken
+         on; a worker syncs to at least this count before restoring *)
 }
 
 type pseudocost = {
@@ -101,7 +120,7 @@ let pc_avg sum cnt j fallback =
 
 (* The incumbent is published through a single atomic cell; a
    compare-and-set retry loop keeps concurrent improvements monotone. *)
-type incumbent = { obj : float; x : float array option }
+type incumbent = { obj : float; x : float array option; src : incumbent_source }
 
 type control = Run | Stop_gap | Stop_limit | Stop_unbounded
 
@@ -113,15 +132,25 @@ type control = Run | Stop_gap | Stop_limit | Stop_unbounded
    node relaxations race-free. *)
 type workspace = {
   id : int;
-  sx : Simplex.t;
-  root_bounds : float array * float array;
+  mutable sx : Simplex.t;
+  mutable prob : Problem.t;
+      (* the LP this worker currently holds: root problem plus pool-cut
+         rows [0 .. ncuts) — every worker appends the same global row
+         sequence, so basis snapshots stay exchangeable *)
+  mutable ncuts : int;
+  mutable root_bounds : float array * float array;
+      (* refreshed whenever cut rows extend the LP (slack bounds grow) *)
   pc : pseudocost;
   mutable current : node option;
+  mutable processed : int; (* nodes this worker ran (cut-frequency gate) *)
   mutable lp_time : float;
   mutable max_node_lp_time : float;
+  mutable retired : Simplex.stats;
+      (* stats of simplex instances replaced by cut-row extensions *)
+  mutable retired_pivots : int;
 }
 
-let solve ?(options = default_options) (p : Problem.t) =
+let solve ?(options = default_options) ?cuts ?initial (p : Problem.t) =
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun tl -> t0 +. tl) options.time_limit in
   let n = p.Problem.ncols in
@@ -138,7 +167,18 @@ let solve ?(options = default_options) (p : Problem.t) =
         | Problem.Continuous -> false)
       (Mm_util.Ints.range n)
   in
-  let incumbent = Atomic.make { obj = infinity; x = None } in
+  (* a heuristic incumbent (from [Heuristics.run] on the cut-extended
+     root) seeds the atomic cell so the very first nodes already prune
+     against it; it is re-validated against [p] out of caution *)
+  let incumbent =
+    Atomic.make
+      (match initial with
+      | Some (x, obj)
+        when Problem.max_violation p x <= 1e-7
+             && Problem.integer_violation p x <= 1e-6 ->
+          { obj; x = Some (Array.copy x); src = Heuristic }
+      | _ -> { obj = infinity; x = None; src = No_incumbent })
+  in
   let nodes = Atomic.make 0 in
   let control = Atomic.make Run in
   (* one sink per worker, registered here on the main domain so slot
@@ -168,17 +208,19 @@ let solve ?(options = default_options) (p : Problem.t) =
     let f = x.(j) -. Float.round x.(j) in
     Float.abs f > options.int_tol
   in
-  let rec try_incumbent snk x obj =
+  let rec try_incumbent snk ~src x obj =
     let cur = Atomic.get incumbent in
     if obj < cur.obj -. 1e-9 then
-      if Atomic.compare_and_set incumbent cur { obj; x = Some (Array.copy x) }
+      if
+        Atomic.compare_and_set incumbent cur
+          { obj; x = Some (Array.copy x); src }
       then begin
         Mm_obs.Trace.point snk "incumbent" obj;
         if Domain.self () = main_id then
           Log.debug (fun m ->
               m "new incumbent %g after %d nodes" obj (Atomic.get nodes))
       end
-      else try_incumbent snk x obj
+      else try_incumbent snk ~src x obj
   in
   let internal_obj x =
     let acc = ref p.Problem.obj_const in
@@ -191,7 +233,7 @@ let solve ?(options = default_options) (p : Problem.t) =
     let r = Array.copy x in
     List.iter (fun j -> r.(j) <- Float.round r.(j)) int_vars;
     if Problem.max_violation p r <= 1e-7 then
-      try_incumbent snk r (internal_obj r)
+      try_incumbent snk ~src:Rounding r (internal_obj r)
   in
   let select_branch_var pc x =
     (* pseudocost score with most-fractional fallback *)
@@ -215,16 +257,49 @@ let solve ?(options = default_options) (p : Problem.t) =
       int_vars;
     !best
   in
-  let apply_node ws nd =
-    Simplex.restore_bounds ws.sx ws.root_bounds;
+  (* Bring this worker's LP up to the pool's current activation count:
+     extend the problem with the missing cut rows and rebuild the
+     simplex instance around the same basis ([Simplex.create_from]
+     leaves the new rows basic on their slacks). Root bounds are
+     restored first so the refreshed [root_bounds] snapshot is
+     node-independent — callers re-apply node changes afterwards. The
+     replaced instance's statistics are banked in [retired]. *)
+  let sync_cuts ws =
+    match cuts with
+    | None -> ()
+    | Some cp ->
+        let rows = Cut_pool.rows_from cp ws.ncuts in
+        if rows <> [] then begin
+          Simplex.restore_bounds ws.sx ws.root_bounds;
+          let p' = Problem.extend_rows ws.prob rows in
+          ws.retired <- Simplex.merge_stats ws.retired (Simplex.stats ws.sx);
+          ws.retired_pivots <- ws.retired_pivots + Simplex.iterations ws.sx;
+          Simplex.flush_trace ws.sx;
+          let sx' = Simplex.create_from ws.sx p' in
+          Simplex.set_trace sx' sinks.(ws.id);
+          ws.sx <- sx';
+          ws.prob <- p';
+          ws.ncuts <- ws.ncuts + List.length rows;
+          ws.root_bounds <- Simplex.save_bounds ws.sx
+        end
+  in
+  let apply_changes ws nd =
     List.iter
       (fun (j, lb, ub) -> Simplex.set_bounds ws.sx j lb ub)
-      (List.rev nd.changes);
+      (List.rev nd.changes)
+  in
+  let apply_node ws (nd : node) =
+    (* a snapshot taken on an LP with more cut rows than we hold cannot
+       be restored — catch up first (the converse is fine: missing rows
+       come back basic on their slacks) *)
+    if nd.ncuts > ws.ncuts then sync_cuts ws;
+    Simplex.restore_bounds ws.sx ws.root_bounds;
+    apply_changes ws nd;
     Option.iter (Simplex.restore_basis ws.sx) nd.basis
   in
   (* tightest change wins: prepending child changes and applying in root
      order means later (deeper) changes overwrite, which is what we want *)
-  let process ws nd =
+  let process ws (nd : node) =
     let snk = sinks.(ws.id) in
     Mm_obs.Trace.point snk "node" nd.bound;
     let n_now = Atomic.fetch_and_add nodes 1 + 1 in
@@ -235,18 +310,22 @@ let solve ?(options = default_options) (p : Problem.t) =
               (Float.min (Node_pool.min_bound pool) (Atomic.get incumbent).obj)
               (Atomic.get incumbent).obj (Node_pool.queued pool))
     | _ -> ());
+    ws.processed <- ws.processed + 1;
     apply_node ws nd;
+    let timed_solve ?(prefer_dual = false) () =
+      let lp0 = Unix.gettimeofday () in
+      let r = Simplex.solve ?deadline ~prefer_dual ws.sx in
+      let node_lp = Unix.gettimeofday () -. lp0 in
+      ws.lp_time <- ws.lp_time +. node_lp;
+      if node_lp > ws.max_node_lp_time then ws.max_node_lp_time <- node_lp;
+      r
+    in
     (* warm start: re-solving with the primal simplex from the
        parent's restored basis needs only a short phase I (the basis
        is near-feasible after one bound change); the bounded dual is
        available via [prefer_dual] but grinds on these highly
        degenerate set-covering LPs, so it stays opt-in *)
-    let lp0 = Unix.gettimeofday () in
-    let lp_result = Simplex.solve ?deadline ws.sx in
-    let node_lp = Unix.gettimeofday () -. lp0 in
-    ws.lp_time <- ws.lp_time +. node_lp;
-    if node_lp > ws.max_node_lp_time then ws.max_node_lp_time <- node_lp;
-    (match lp_result with
+    (match timed_solve () with
     | Simplex.Infeasible -> ()
     | Simplex.Unbounded ->
         if nd.depth = 0 then begin
@@ -269,39 +348,129 @@ let solve ?(options = default_options) (p : Problem.t) =
            | Down j ->
                ws.pc.dn_sum.(j) <- ws.pc.dn_sum.(j) +. delta;
                ws.pc.dn_cnt.(j) <- ws.pc.dn_cnt.(j) + 1);
-        if obj >= (Atomic.get incumbent).obj -. 1e-9 then () (* bound prune *)
-        else begin
-          let x = Simplex.primal ws.sx in
-          let j = select_branch_var ws.pc x in
-          if j < 0 then try_incumbent snk x obj
+        (* Root reduced-cost fixing: with an incumbent z* already in
+           hand (the diving heuristic's seed) and the root LP bound z,
+           a nonbasic integer variable whose reduced cost exceeds the
+           gap z* - z cannot move off its bound in any solution
+           strictly better than z*, so its bound is fixed for the
+           whole tree — the fixings ride on every child's change list.
+           Without an incumbent before the tree (e.g. under
+           [Solver.baseline_options]) this is a no-op. *)
+        let root_fixings =
+          if nd.depth > 0 then []
           else begin
-            rounding_heuristic snk x;
-            let lbj, ubj = Simplex.get_bounds ws.sx j in
-            let f = x.(j) in
-            let snap = Some (Simplex.basis_snapshot ws.sx) in
-            let down =
-              {
-                bound = obj;
-                depth = nd.depth + 1;
-                dir = Down j;
-                changes = (j, lbj, Float.floor f) :: nd.changes;
-                basis = snap;
-              }
-            and up =
-              {
-                bound = obj;
-                depth = nd.depth + 1;
-                dir = Up j;
-                changes = (j, Float.ceil f, ubj) :: nd.changes;
-                basis = snap;
-              }
-            in
-            let frac = f -. Float.floor f in
-            let first, second = if frac < 0.5 then (down, up) else (up, down) in
-            ws.current <- Some first;
-            Node_pool.push pool ~worker:ws.id second
+            let inc = Atomic.get incumbent in
+            if not (Float.is_finite inc.obj) then []
+            else begin
+              let gap = inc.obj -. obj +. 1e-7 in
+              let d = Simplex.reduced_costs ws.sx in
+              let fixed = ref [] in
+              Array.iteri
+                (fun j kind ->
+                  match kind with
+                  | Problem.Continuous -> ()
+                  | Problem.Integer | Problem.Binary -> (
+                      match Simplex.var_status ws.sx j with
+                      | Simplex.At_lower when d.(j) > gap ->
+                          let l, _ = Simplex.get_bounds ws.sx j in
+                          Simplex.set_bounds ws.sx j l l;
+                          fixed := (j, l, l) :: !fixed
+                      | Simplex.At_upper when -.d.(j) > gap ->
+                          let _, u = Simplex.get_bounds ws.sx j in
+                          Simplex.set_bounds ws.sx j u u;
+                          fixed := (j, u, u) :: !fixed
+                      | _ -> ()))
+                ws.prob.Problem.kind;
+              if !fixed <> [] then
+                Mm_obs.Trace.count snk "rc_fixed" (List.length !fixed);
+              !fixed
+            end
           end
-        end);
+        in
+        (* the bound, integrality and branching decisions may run twice:
+           once on the warm node relaxation and once more after a
+           node-separation round tightens it (a single re-solve — cut
+           rounds do not iterate inside a node) *)
+        let rec evaluate obj ~may_cut =
+          if obj >= (Atomic.get incumbent).obj -. 1e-9 then ()
+            (* bound prune *)
+          else begin
+            let x = Simplex.primal ws.sx in
+            let j = select_branch_var ws.pc x in
+            if j < 0 then try_incumbent snk ~src:Node_integral x obj
+            else begin
+              rounding_heuristic snk x;
+              let did_cut =
+                may_cut
+                &&
+                match cuts with
+                | Some cp
+                  when options.node_cut_depth > 0
+                       && nd.depth > 0
+                       && nd.depth <= options.node_cut_depth
+                       && ws.processed mod options.node_cut_freq = 0 ->
+                    let before = ws.ncuts in
+                    let after = Cut_pool.node_separate cp ws.prob x in
+                    if after > before then begin
+                      sync_cuts ws;
+                      (* sync restored root bounds — put the node back *)
+                      apply_changes ws nd;
+                      true
+                    end
+                    else false
+                | _ -> false
+              in
+              if did_cut then begin
+                match timed_solve ~prefer_dual:true () with
+                | Simplex.Optimal ->
+                    evaluate (Simplex.objective ws.sx) ~may_cut:false
+                | Simplex.Infeasible ->
+                    (* pool cuts are globally valid, so an infeasible
+                       tightened node LP is a legitimate prune *)
+                    ()
+                | Simplex.Unbounded ->
+                    (* cannot appear: rows were added to a bounded LP *)
+                    ()
+                | Simplex.Iteration_limit ->
+                    signal Stop_limit;
+                    Node_pool.halt pool
+              end
+              else begin
+                let lbj, ubj = Simplex.get_bounds ws.sx j in
+                let f = x.(j) in
+                let snap = Some (Simplex.basis_snapshot ws.sx) in
+                let down =
+                  {
+                    bound = obj;
+                    depth = nd.depth + 1;
+                    dir = Down j;
+                    changes =
+                      (j, lbj, Float.floor f) :: (root_fixings @ nd.changes);
+                    basis = snap;
+                    ncuts = ws.ncuts;
+                  }
+                and up =
+                  {
+                    bound = obj;
+                    depth = nd.depth + 1;
+                    dir = Up j;
+                    changes =
+                      (j, Float.ceil f, ubj) :: (root_fixings @ nd.changes);
+                    basis = snap;
+                    ncuts = ws.ncuts;
+                  }
+                in
+                let frac = f -. Float.floor f in
+                let first, second =
+                  if frac < 0.5 then (down, up) else (up, down)
+                in
+                ws.current <- Some first;
+                Node_pool.push pool ~worker:ws.id second
+              end
+            end
+          end
+        in
+        evaluate obj ~may_cut:true);
     match ws.current with
     | Some c -> Node_pool.working pool ~worker:ws.id c.bound
     | None -> Node_pool.set_idle pool ~worker:ws.id
@@ -362,6 +531,8 @@ let solve ?(options = default_options) (p : Problem.t) =
     {
       id;
       sx;
+      prob = p;
+      ncuts = 0;
       root_bounds = Simplex.save_bounds sx;
       pc =
         {
@@ -371,15 +542,26 @@ let solve ?(options = default_options) (p : Problem.t) =
           dn_cnt = Array.make n 0;
         };
       current = None;
+      processed = 0;
       lp_time = 0.0;
       max_node_lp_time = 0.0;
+      retired = Simplex.empty_stats;
+      retired_pivots = 0;
     }
   in
   let workspaces = Array.init nworkers make_workspace in
   (* seed the root as worker 0's plunge node, marked in flight before
      any helper domain can observe an all-idle pool and quit early *)
   workspaces.(0).current <-
-    Some { bound = neg_infinity; depth = 0; dir = Root; changes = []; basis = None };
+    Some
+      {
+        bound = neg_infinity;
+        depth = 0;
+        dir = Root;
+        changes = [];
+        basis = None;
+        ncuts = 0;
+      };
   Node_pool.working pool ~worker:0 neg_infinity;
   let failures = Atomic.make [] in
   let rec record_failure e bt =
@@ -439,20 +621,27 @@ let solve ?(options = default_options) (p : Problem.t) =
     best_bound = to_user final_bound;
     nodes = Atomic.get nodes;
     simplex_iterations =
-      Array.fold_left (fun a ws -> a + Simplex.iterations ws.sx) 0 workspaces;
+      Array.fold_left
+        (fun a ws -> a + Simplex.iterations ws.sx + ws.retired_pivots)
+        0 workspaces;
     time = elapsed ();
     lp_time = Array.fold_left (fun a ws -> a +. ws.lp_time) 0.0 workspaces;
     max_node_lp_time =
       Array.fold_left (fun a ws -> Float.max a ws.max_node_lp_time) 0.0 workspaces;
     lp_stats =
       Array.fold_left
-        (fun a ws -> Simplex.merge_stats a (Simplex.stats ws.sx))
+        (fun a ws ->
+          Simplex.merge_stats a (Simplex.merge_stats ws.retired (Simplex.stats ws.sx)))
         Simplex.empty_stats workspaces;
     par =
       {
         domains_used = nworkers;
         nodes_stolen = Node_pool.nodes_stolen pool;
         idle_seconds = Node_pool.idle_seconds pool;
-        domain_pivots = Array.map (fun ws -> Simplex.iterations ws.sx) workspaces;
+        domain_pivots =
+          Array.map
+            (fun ws -> Simplex.iterations ws.sx + ws.retired_pivots)
+            workspaces;
       };
+    incumbent_source = inc.src;
   }

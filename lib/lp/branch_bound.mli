@@ -7,6 +7,13 @@
     optimal basis (shared by both children), restored before the node
     LP is solved.
 
+    When a {!Cut_pool} is supplied ([?cuts]), shallow nodes can
+    re-separate bound-free cut families on their fractional optimum:
+    accepted cuts enter the pool's global activation list and every
+    worker appends the same row sequence to its private LP (lazily, on
+    first contact with a node that needs them), which keeps basis
+    snapshots exchangeable across workers with different cut counts.
+
     With [parallelism > 1] the tree is explored by that many OCaml
     domains sharing a {!Node_pool}: each domain owns a private
     {!Simplex} workspace (and its LU factors) plus private pseudocost
@@ -39,6 +46,15 @@ type options = {
       (** structured tracing (default disabled): each worker domain
           registers one sink and records node, incumbent, steal and
           idle events plus pivot/refactorization latency histograms *)
+  node_cut_depth : int;
+      (** deepest node allowed to run a separation round (default 2 —
+          shallow nodes reshape the whole subtree below them, while
+          deep re-separation mostly buys dense LPs, measured on the
+          Table-3 sweep; [0] disables node cuts even when a pool is
+          supplied) *)
+  node_cut_freq : int;
+      (** a worker separates at every [freq]-th node it processes
+          within the depth window, default 4 *)
 }
 
 val default_options : options
@@ -52,6 +68,8 @@ val options :
   ?parallelism:int ->
   ?pricing:Simplex.pricing ->
   ?trace:Mm_obs.Trace.t ->
+  ?node_cut_depth:int ->
+  ?node_cut_freq:int ->
   unit ->
   options
 (** Builder for {!options}; prefer this over record literals so new
@@ -70,6 +88,14 @@ val serial_par_stats : par_stats
 (** The trivial stats of a one-domain run with no search: placeholder
     for results synthesized without entering the tree search. *)
 
+type incumbent_source =
+  | No_incumbent
+  | Heuristic  (** seeded by the pre-tree diving heuristic *)
+  | Rounding  (** the per-node nearest-integer rounding *)
+  | Node_integral  (** a node relaxation solved integral *)
+
+val incumbent_source_to_string : incumbent_source -> string
+
 type result = {
   status : status;
   solution : float array option;  (** structural values of the incumbent *)
@@ -84,9 +110,23 @@ type result = {
   max_node_lp_time : float;  (** slowest single node relaxation *)
   lp_stats : Simplex.stats;  (** simplex instrumentation, merged *)
   par : par_stats;  (** parallel-search instrumentation *)
+  incumbent_source : incumbent_source;
+      (** which mechanism produced the final incumbent *)
 }
 
 val gap : result -> float option
 (** Relative gap between incumbent and bound; [None] without incumbent. *)
 
-val solve : ?options:options -> Problem.t -> result
+val solve :
+  ?options:options ->
+  ?cuts:Cut_pool.t ->
+  ?initial:float array * float ->
+  Problem.t ->
+  result
+(** [solve ?options ?cuts ?initial p] explores [p]'s tree. [?cuts] is
+    the pool whose {!Cut_pool.root_problem} is [p]; it enables node
+    separation (see {!options.node_cut_depth}). [?initial] is a known
+    integer-feasible point with its internal (minimization-sense,
+    [obj_const]-inclusive) objective — typically {!Heuristics.run}'s
+    incumbent — validated against [p] and used to seed the atomic
+    incumbent before the root node is solved. *)

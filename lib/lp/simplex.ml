@@ -310,6 +310,13 @@ let create_from prev p' =
   if p'.Problem.ncols <> prev.n || p'.Problem.nrows < prev.m then
     invalid_arg "Simplex.create_from: not a row extension";
   let t = create ~pricing:prev.pricing p' in
+  (* carry the previous instance's *current* bounds for the shared
+     variables (structural and old slacks occupy the same indices). At
+     the root cut loop these equal [p']'s bounds; a branch-and-bound
+     worker extending its LP with pooled cut rows mid-tree keeps its
+     node bound tightenings this way. *)
+  Array.blit prev.lb 0 t.lb 0 prev.nt;
+  Array.blit prev.ub 0 t.ub 0 prev.nt;
   for v = 0 to prev.n - 1 do
     t.loc.(v) <- prev.loc.(v)
   done;
@@ -996,19 +1003,28 @@ let basis_snapshot t =
   { b = Array.copy t.basis; status }
 
 let restore_basis t { b; status } =
-  if Array.length b <> t.m || Bytes.length status <> t.nt then
+  let ms = Array.length b and nts = Bytes.length status in
+  (* a snapshot from the same problem with fewer rows (taken before
+     pooled cut rows were appended) is acceptable: the missing rows'
+     slacks enter basic on themselves, the [create_from] convention *)
+  if ms > t.m || nts - ms <> t.nt - t.m then
     invalid_arg "Simplex.restore_basis";
   for v = 0 to t.nt - 1 do
     t.loc.(v) <-
-      (match Bytes.unsafe_get status v with
-      | '\000' -> -1
-      | '\001' -> -2
-      | '\002' -> -3
-      | _ -> 0 (* basic; real position set below *))
+      (if v >= nts then 0 (* appended row's slack: basic, position below *)
+       else
+         match Bytes.unsafe_get status v with
+         | '\000' -> -1
+         | '\001' -> -2
+         | '\002' -> -3
+         | _ -> 0 (* basic; real position set below *))
   done;
-  Array.blit b 0 t.basis 0 t.m;
+  Array.blit b 0 t.basis 0 ms;
+  for r = ms to t.m - 1 do
+    t.basis.(r) <- t.n + r
+  done;
   for k = 0 to t.m - 1 do
-    t.loc.(b.(k)) <- k
+    t.loc.(t.basis.(k)) <- k
   done;
   (* bounds may have changed since the snapshot: snap nonbasic statuses *)
   for v = 0 to t.nt - 1 do
@@ -1022,3 +1038,42 @@ let restore_basis t { b; status } =
       t.xval.(v) <- nonbasic_value t v
     end
   done
+
+(* --- tableau access ----------------------------------------------------- *)
+
+type var_status = Basic | At_lower | At_upper | Free_nonbasic
+
+let num_rows t = t.m
+
+let basic_var t pos =
+  if pos < 0 || pos >= t.m then invalid_arg "Simplex.basic_var";
+  t.basis.(pos)
+
+let var_status t v =
+  if v < 0 || v >= t.nt then invalid_arg "Simplex.var_status";
+  match t.loc.(v) with
+  | -1 -> At_lower
+  | -2 -> At_upper
+  | -3 -> Free_nonbasic
+  | _ -> Basic
+
+let var_value t v =
+  if v < 0 || v >= t.nt then invalid_arg "Simplex.var_value";
+  t.xval.(v)
+
+let var_bounds_all t v =
+  if v < 0 || v >= t.nt then invalid_arg "Simplex.var_bounds_all";
+  (t.lb.(v), t.ub.(v))
+
+let tableau_row t ~pos =
+  if pos < 0 || pos >= t.m then invalid_arg "Simplex.tableau_row";
+  (* rho := row [pos] of B^-1, then one sparse dot product per nonbasic
+     column. Fresh scratch arrays: separation runs off the pivot hot
+     path and must not clobber the pricing buffers. *)
+  let rho = Array.make t.m 0.0 in
+  Lu.btran_unit t.lu ~pos ~dst:rho;
+  let row = Array.make t.nt 0.0 in
+  for v = 0 to t.nt - 1 do
+    if t.loc.(v) < 0 then row.(v) <- dot_col t rho v
+  done;
+  row

@@ -76,7 +76,9 @@ val create : ?pricing:pricing -> Problem.t -> t
 val create_from : t -> Problem.t -> t
 (** [create_from prev p'] builds solver state for [p'], which must be
     [prev]'s problem with extra rows appended (identical columns and
-    existing rows). The previous basis and Devex weights carry over and
+    existing rows). The previous basis, Devex weights and {e current}
+    variable bounds carry over (so a branch-and-bound worker extending
+    its LP with pooled cut rows keeps its node bound tightenings) and
     the appended rows' slacks enter basic, so after an optimal [prev]
     the new state is dual feasible and {!solve} [~prefer_dual:true]
     re-optimizes in a few dual pivots — the root cut loop's warm
@@ -152,7 +154,42 @@ type basis
 val basis_snapshot : t -> basis
 
 val restore_basis : t -> basis -> unit
-(** Restores a snapshot taken on the same problem. Nonbasic variables
-    whose bound has since become infinite are snapped to a valid
-    status. The factorization is rebuilt on the next {!solve} (or by an
-    explicit {!refactorize}). *)
+(** Restores a snapshot taken on the same problem, or on the same
+    problem with {e fewer} rows (a snapshot predating appended cut
+    rows): the missing rows' slacks enter basic on themselves, matching
+    the {!create_from} convention. Nonbasic variables whose bound has
+    since become infinite are snapped to a valid status. The
+    factorization is rebuilt on the next {!solve} (or by an explicit
+    {!refactorize}). *)
+
+(** {2 Tableau access}
+
+    Read-only access to the optimal basis, for cut separation (Gomory
+    mixed-integer rows). Only meaningful right after a {!solve} that
+    returned {!Optimal}. Variable indices run over the internal space
+    [0 .. ncols + nrows - 1]: structural columns first, then one slack
+    per row (constraint [r] reads [A_r x - s_r = 0] with
+    [row_lb <= s_r <= row_ub]). *)
+
+type var_status = Basic | At_lower | At_upper | Free_nonbasic
+
+val num_rows : t -> int
+(** Rows of the instance (slack count). *)
+
+val basic_var : t -> int -> int
+(** [basic_var t pos] is the variable basic at position [pos]. *)
+
+val var_status : t -> int -> var_status
+val var_value : t -> int -> float
+
+val var_bounds_all : t -> int -> float * float
+(** Current bounds of any internal variable, slacks included (unlike
+    {!get_bounds}, which is restricted to structural columns). *)
+
+val tableau_row : t -> pos:int -> float array
+(** [tableau_row t ~pos] is row [pos] of [B⁻¹ [A | -I]] as a dense
+    array over the internal variable space: the coefficients [a_w] of
+    the basic variable's row [x_B(pos) + Σ_w a_w x_w = 0]. Entries are
+    only computed for nonbasic variables (basic entries read 0 — the
+    unit column of the basic variable itself is implicit). Allocates
+    fresh arrays; meant for separation, not the pivot loop. *)

@@ -7,6 +7,9 @@ type options = {
   cuts : bool;
   cut_rounds : int;
   max_cuts_per_round : int;
+  cut_max_age : int;
+  separators : Separator.t list;
+  heuristics : bool;
   parallelism : int;
   pricing : Simplex.pricing;
   trace : Mm_obs.Trace.t;
@@ -19,6 +22,9 @@ let default_options =
     cuts = true;
     cut_rounds = 3;
     max_cuts_per_round = 50;
+    cut_max_age = 8;
+    separators = Separator.default;
+    heuristics = true;
     parallelism = 1;
     pricing = Simplex.Devex;
     trace = Mm_obs.Trace.disabled;
@@ -26,8 +32,9 @@ let default_options =
   }
 
 let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
-    ?(max_cuts_per_round = 50) ?parallelism ?pricing ?trace
-    ?(bb = Branch_bound.default_options) () =
+    ?(max_cuts_per_round = 50) ?(cut_max_age = 8)
+    ?(separators = Separator.default) ?(heuristics = true) ?parallelism
+    ?pricing ?trace ?(bb = Branch_bound.default_options) () =
   (* explicit [?parallelism] / [?pricing] / [?trace] override whatever
      [bb] carries *)
   let parallelism =
@@ -46,6 +53,9 @@ let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
     cuts;
     cut_rounds;
     max_cuts_per_round;
+    cut_max_age;
+    separators;
+    heuristics;
     parallelism;
     pricing;
     trace;
@@ -57,10 +67,25 @@ let quick_options ?time_limit ?parallelism ?pricing ?trace () =
     ~bb:(Branch_bound.options ?time_limit ())
     ()
 
+(* PR 4's root behavior — knapsack covers only, no node separation, no
+   diving, no aging — as a degenerate configuration of the new stack.
+   The pool's scoring and ordering reproduce the historical cut loop
+   pivot for pivot; benchmark A/B cells use this as the baseline arm. *)
+let baseline_options ?time_limit ?parallelism ?pricing ?trace () =
+  options ?parallelism ?pricing ?trace ~separators:Separator.cover_only
+    ~cut_max_age:max_int ~heuristics:false
+    ~bb:(Branch_bound.options ?time_limit ~node_cut_depth:0 ())
+    ()
+
 type stats = {
   presolved_from : int * int;
   presolved_to : int * int;
   cuts_added : int;
+  node_cuts_added : int;
+  cuts_dropped : int;
+  cuts_by_family : (string * int) list;
+  heuristic_obj : float option;
+  heuristic_dives : int;
   lp : Simplex.stats;
   lp_time : float;
   parallel : Branch_bound.par_stats;
@@ -68,77 +93,14 @@ type stats = {
 
 type result = { mip : Branch_bound.result; stats : stats }
 
-(* Root cut loop: repeatedly solve the LP relaxation and add violated
-   cover cuts. Cuts are valid for all integer points, so they are kept
-   as ordinary rows for the branch-and-bound run.
-
-   The loop is warm-started: round 0 solves from scratch, every later
-   round rebuilds the simplex state with [Simplex.create_from] so the
-   previous optimal basis carries over with the new cut rows basic on
-   their slacks, and re-optimizes with the dual method. A round whose
-   separation finds no violated cut ends the loop immediately (traced
-   as [cut_noop_round]) instead of burning another cold re-solve. *)
-let add_root_cuts snk options p =
-  let deadline =
-    Option.map
-      (fun tl -> Unix.gettimeofday () +. tl)
-      options.bb.Branch_bound.time_limit
-  in
-  let lp_stats = ref Simplex.empty_stats and lp_time = ref 0.0 in
-  let finish sx =
-    lp_stats := Simplex.merge_stats !lp_stats (Simplex.stats sx);
-    Simplex.flush_trace sx
-  in
-  let rec loop p sx round added =
-    let t0 = Unix.gettimeofday () in
-    let r = Simplex.solve ?deadline ~prefer_dual:(round > 0) sx in
-    lp_time := !lp_time +. (Unix.gettimeofday () -. t0);
-    match r with
-    | Simplex.Optimal ->
-        let x = Simplex.primal sx in
-        if Problem.integer_violation p x <= 1e-6 then begin
-          finish sx;
-          (p, added)
-        end
-        else begin
-          let cuts = Cuts.separate p x ~max_cuts:options.max_cuts_per_round in
-          if cuts = [] then begin
-            Mm_obs.Trace.count snk "cut_noop_round" 1;
-            finish sx;
-            (p, added)
-          end
-          else begin
-            Log.debug (fun m ->
-                m "cut round %d: %d cover cuts" round (List.length cuts));
-            let p' = Cuts.apply p cuts in
-            let added = added + List.length cuts in
-            if round + 1 >= options.cut_rounds then begin
-              (* the last allowed round's cuts still strengthen the
-                 branch-and-bound relaxations; no further re-solve *)
-              finish sx;
-              (p', added)
-            end
-            else begin
-              finish sx;
-              loop p' (Simplex.create_from sx p') (round + 1) added
-            end
-          end
-        end
-    | _ ->
-        finish sx;
-        (p, added)
-  in
-  let p, added =
-    if options.cut_rounds <= 0 then (p, 0)
-    else begin
-      let sx0 = Simplex.create ~pricing:options.pricing p in
-      Simplex.set_trace sx0 snk;
-      loop p sx0 0 0
-    end
-  in
-  if (!lp_stats).Simplex.pivots > 0 then
-    Mm_obs.Trace.count snk "cut_pivots" (!lp_stats).Simplex.pivots;
-  (p, added, !lp_stats, !lp_time)
+let no_cut_stats =
+  {
+    Cut_pool.added = 0;
+    dropped = 0;
+    by_family = [];
+    lp = Simplex.empty_stats;
+    lp_time = 0.0;
+  }
 
 let infeasible_result p t0 =
   {
@@ -153,6 +115,7 @@ let infeasible_result p t0 =
     max_node_lp_time = 0.0;
     lp_stats = Simplex.empty_stats;
     par = Branch_bound.serial_par_stats;
+    incumbent_source = Branch_bound.No_incumbent;
   }
 
 let unbounded_result p t0 =
@@ -168,12 +131,33 @@ let unbounded_result p t0 =
     max_node_lp_time = 0.0;
     lp_stats = Simplex.empty_stats;
     par = Branch_bound.serial_par_stats;
+    incumbent_source = Branch_bound.No_incumbent;
+  }
+
+let empty_stats before =
+  {
+    presolved_from = before;
+    presolved_to = (0, 0);
+    cuts_added = 0;
+    node_cuts_added = 0;
+    cuts_dropped = 0;
+    cuts_by_family = [];
+    heuristic_obj = None;
+    heuristic_dives = 0;
+    lp = Simplex.empty_stats;
+    lp_time = 0.0;
+    parallel = Branch_bound.serial_par_stats;
   }
 
 let solve ?(options = default_options) p =
   let snk = Mm_obs.Trace.root options.trace in
   Mm_obs.Trace.span snk "solve" @@ fun () ->
   let t0 = Unix.gettimeofday () in
+  let deadline =
+    Option.map
+      (fun tl -> t0 +. tl)
+      options.bb.Branch_bound.time_limit
+  in
   let before = (p.Problem.ncols, p.Problem.nrows) in
   let reduced, recover =
     if options.presolve then
@@ -184,44 +168,54 @@ let solve ?(options = default_options) p =
     else (Some (`Problem p), fun x -> x)
   in
   match reduced with
-  | None ->
-      {
-        mip = infeasible_result p t0;
-        stats =
-          {
-            presolved_from = before;
-            presolved_to = (0, 0);
-            cuts_added = 0;
-            lp = Simplex.empty_stats;
-            lp_time = 0.0;
-            parallel = Branch_bound.serial_par_stats;
-          };
-      }
-  | Some `Unbounded ->
-      {
-        mip = unbounded_result p t0;
-        stats =
-          {
-            presolved_from = before;
-            presolved_to = (0, 0);
-            cuts_added = 0;
-            lp = Simplex.empty_stats;
-            lp_time = 0.0;
-            parallel = Branch_bound.serial_par_stats;
-          };
-      }
+  | None -> { mip = infeasible_result p t0; stats = empty_stats before }
+  | Some `Unbounded -> { mip = unbounded_result p t0; stats = empty_stats before }
   | Some (`Problem q) ->
-      let q, cuts_added, cut_lp_stats, cut_lp_time =
-        if options.cuts && Problem.num_integer q > 0 then
-          Mm_obs.Trace.span snk "cuts" (fun () -> add_root_cuts snk options q)
-        else (q, 0, Simplex.empty_stats, 0.0)
+      (* root cutting planes: the pool owns the whole loop (separation,
+         dedup, scoring, aging) and afterwards serves node separation *)
+      let pool, q, cut_stats =
+        if
+          options.cuts && options.separators <> []
+          && Problem.num_integer q > 0
+        then begin
+          let pool =
+            Cut_pool.create
+              ~options:
+                (Cut_pool.options ~rounds:options.cut_rounds
+                   ~max_per_round:options.max_cuts_per_round
+                   ~max_age:options.cut_max_age
+                   ~separators:options.separators ())
+              q
+          in
+          let q', cs =
+            Mm_obs.Trace.span snk "cuts" (fun () ->
+                Cut_pool.root_loop ?deadline ~pricing:options.pricing ~snk pool)
+          in
+          (Some pool, q', cs)
+        end
+        else (None, q, no_cut_stats)
       in
-      if cuts_added > 0 then Mm_obs.Trace.count snk "cuts_added" cuts_added;
+      if cut_stats.Cut_pool.added > 0 then
+        Mm_obs.Trace.count snk "cuts_added" cut_stats.Cut_pool.added;
+      (* GUB diving on the strengthened root: an incumbent in O(segments)
+         LPs before the tree starts *)
+      let heur =
+        if options.heuristics && Problem.num_integer q > 0 then
+          Mm_obs.Trace.span snk "heuristic" (fun () ->
+              Heuristics.run ?deadline ~pricing:options.pricing ~snk q)
+        else
+          {
+            Heuristics.incumbent = None;
+            dives = 0;
+            lp = Simplex.empty_stats;
+            lp_time = 0.0;
+          }
+      in
       Log.debug (fun m ->
-          m "solving %a (%d cuts)" Problem.pp_stats q cuts_added);
-      (* the time limit covers presolve + cuts + branch and bound: hand
-         the tree search only the true remainder (possibly zero, in which
-         case it reports a clean limit status immediately) *)
+          m "solving %a (%d cuts)" Problem.pp_stats q cut_stats.Cut_pool.added);
+      (* the time limit covers presolve + cuts + heuristics + branch and
+         bound: hand the tree search only the true remainder (possibly
+         zero, in which case it reports a clean limit status immediately) *)
       let bb_options =
         let bb =
           {
@@ -239,13 +233,26 @@ let solve ?(options = default_options) p =
       in
       let r =
         Mm_obs.Trace.span snk "bb" (fun () ->
-            Branch_bound.solve ~options:bb_options q)
+            Branch_bound.solve ~options:bb_options ?cuts:pool
+              ?initial:heur.Heuristics.incumbent q)
       in
+      let node_cuts_added =
+        match pool with Some cp -> Cut_pool.node_count cp | None -> 0
+      in
+      if node_cuts_added > 0 then
+        Mm_obs.Trace.count snk "node_cuts_added" node_cuts_added;
       let solution = Option.map recover r.Branch_bound.solution in
       let objective =
         (* recompute on the original problem so that presolve's constant
            folding cannot skew reporting *)
         Option.map (fun x -> Problem.objective_value p x) solution
+      in
+      let heuristic_obj =
+        (* user-sense value of the heuristic incumbent, recovered through
+           presolve like the final solution *)
+        Option.map
+          (fun (x, _) -> Problem.objective_value p (recover x))
+          heur.Heuristics.incumbent
       in
       let time = Unix.gettimeofday () -. t0 in
       {
@@ -254,9 +261,20 @@ let solve ?(options = default_options) p =
           {
             presolved_from = before;
             presolved_to = (q.Problem.ncols, q.Problem.nrows);
-            cuts_added;
-            lp = Simplex.merge_stats cut_lp_stats r.Branch_bound.lp_stats;
-            lp_time = cut_lp_time +. r.Branch_bound.lp_time;
+            cuts_added = cut_stats.Cut_pool.added;
+            node_cuts_added;
+            cuts_dropped =
+              (match pool with Some cp -> Cut_pool.dropped cp | None -> 0);
+            cuts_by_family =
+              (match pool with Some cp -> Cut_pool.by_family cp | None -> []);
+            heuristic_obj;
+            heuristic_dives = heur.Heuristics.dives;
+            lp =
+              Simplex.merge_stats cut_stats.Cut_pool.lp
+                (Simplex.merge_stats heur.Heuristics.lp r.Branch_bound.lp_stats);
+            lp_time =
+              cut_stats.Cut_pool.lp_time +. heur.Heuristics.lp_time
+              +. r.Branch_bound.lp_time;
             parallel = r.Branch_bound.par;
           };
       }

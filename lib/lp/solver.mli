@@ -1,11 +1,21 @@
-(** High-level solve facade: presolve, root cutting planes, then
-    branch-and-bound. This is the entry point the memory mapper uses. *)
+(** High-level solve facade: presolve, root cutting planes (via
+    {!Cut_pool} over pluggable {!Separator} families), GUB diving
+    heuristics, then branch-and-bound with node-level re-separation.
+    This is the entry point the memory mapper uses. *)
 
 type options = {
   presolve : bool;  (** default true *)
-  cuts : bool;  (** root knapsack cover cuts, default true *)
-  cut_rounds : int;  (** default 3 *)
+  cuts : bool;  (** master switch for all cutting planes, default true *)
+  cut_rounds : int;  (** root separation rounds, default 3 *)
   max_cuts_per_round : int;  (** default 50 *)
+  cut_max_age : int;
+      (** root-loop activity aging threshold (see {!Cut_pool.options}),
+          default 8; [max_int] disables aging *)
+  separators : Separator.t list;
+      (** cut families to run, default {!Separator.default} (knapsack
+          covers, sequence-lifted covers, Gomory mixed-integer) *)
+  heuristics : bool;
+      (** GUB diving/rounding incumbent before the tree, default true *)
   parallelism : int;
       (** worker domains for the branch-and-bound tree search, default 1
           (deterministic serial schedule); overrides [bb.parallelism] *)
@@ -15,10 +25,12 @@ type options = {
           overrides [bb.pricing] *)
   trace : Mm_obs.Trace.t;
       (** structured tracing (default disabled): the facade records
-          presolve/cuts/bb/solve phase spans and a cut counter on the
-          trace's root sink and hands the trace down to
+          presolve/cuts/heuristic/bb/solve phase spans and cut counters
+          on the trace's root sink and hands the trace down to
           {!Branch_bound}; overrides [bb.trace] *)
   bb : Branch_bound.options;
+      (** node-cut gating ([node_cut_depth], [node_cut_freq]) rides
+          here *)
 }
 
 val default_options : options
@@ -28,6 +40,9 @@ val options :
   ?cuts:bool ->
   ?cut_rounds:int ->
   ?max_cuts_per_round:int ->
+  ?cut_max_age:int ->
+  ?separators:Separator.t list ->
+  ?heuristics:bool ->
   ?parallelism:int ->
   ?pricing:Simplex.pricing ->
   ?trace:Mm_obs.Trace.t ->
@@ -48,13 +63,35 @@ val quick_options :
   options
 (** Options with a wall-clock limit, for benchmark harnesses. *)
 
+val baseline_options :
+  ?time_limit:float ->
+  ?parallelism:int ->
+  ?pricing:Simplex.pricing ->
+  ?trace:Mm_obs.Trace.t ->
+  unit ->
+  options
+(** The pre-pool root behavior as a degenerate configuration: knapsack
+    cover cuts only, no aging, no node separation, no heuristics —
+    reproduces the historical cut loop pivot for pivot. Benchmark A/B
+    cells use this as the baseline arm. *)
+
 type stats = {
   presolved_from : int * int;  (** columns, rows before presolve *)
   presolved_to : int * int;
-  cuts_added : int;
+  cuts_added : int;  (** cuts accepted by the root loop *)
+  node_cuts_added : int;  (** cuts separated at tree nodes *)
+  cuts_dropped : int;  (** cuts aged out of the root LP *)
+  cuts_by_family : (string * int) list;
+      (** live accepted cuts per family ([cover] / [lcover] / [gmi]),
+          root and node combined, sorted by family name *)
+  heuristic_obj : float option;
+      (** objective of the GUB diving incumbent (user sense, original
+          variable space), when one was found *)
+  heuristic_dives : int;
   lp : Simplex.stats;
-      (** simplex instrumentation accumulated across the root cut loop
-          and the branch-and-bound run (all domains merged) *)
+      (** simplex instrumentation accumulated across the root cut loop,
+          the diving heuristic and the branch-and-bound run (all domains
+          merged) *)
   lp_time : float;  (** seconds spent inside LP solves *)
   parallel : Branch_bound.par_stats;
       (** parallel tree-search instrumentation: domains used, nodes

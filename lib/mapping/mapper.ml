@@ -29,7 +29,8 @@ let default_options =
 let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
     ?(port_model = Preprocess.Fig3) ?(arbitration = false)
     ?(solver_options = Mm_lp.Solver.default_options) ?parallelism ?pricing
-    ?trace ?(max_retries = 5) ?(allow_overlap = true) ?(detailed = Greedy) () =
+    ?cuts ?heuristics ?trace ?(max_retries = 5) ?(allow_overlap = true)
+    ?(detailed = Greedy) () =
   let solver_options =
     match parallelism with
     | None -> solver_options
@@ -39,6 +40,16 @@ let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
     match pricing with
     | None -> solver_options
     | Some pr -> { solver_options with Mm_lp.Solver.pricing = pr }
+  in
+  let solver_options =
+    match cuts with
+    | None -> solver_options
+    | Some b -> { solver_options with Mm_lp.Solver.cuts = b }
+  in
+  let solver_options =
+    match heuristics with
+    | None -> solver_options
+    | Some b -> { solver_options with Mm_lp.Solver.heuristics = b }
   in
   (* the mapper and the ILP solver share one trace so every event lands
      in a single file; [?trace] overrides whatever [solver_options]

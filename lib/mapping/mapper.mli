@@ -43,6 +43,8 @@ val options :
   ?solver_options:Mm_lp.Solver.options ->
   ?parallelism:int ->
   ?pricing:Mm_lp.Simplex.pricing ->
+  ?cuts:bool ->
+  ?heuristics:bool ->
   ?trace:Mm_obs.Trace.t ->
   ?max_retries:int ->
   ?allow_overlap:bool ->
@@ -54,8 +56,10 @@ val options :
     [solver_options.parallelism] — the number of branch-and-bound worker
     domains every ILP solve uses. [?pricing] overrides
     [solver_options.pricing] — the simplex pricing strategy every ILP
-    solve uses. [?trace] overrides [solver_options.trace] and is
-    threaded through every ILP solve and the detailed placer. *)
+    solve uses. [?cuts] / [?heuristics] override the matching
+    [solver_options] switches (cutting planes and the GUB diving
+    incumbent heuristic). [?trace] overrides [solver_options.trace] and
+    is threaded through every ILP solve and the detailed placer. *)
 
 type outcome = {
   method_ : method_;

@@ -182,6 +182,25 @@ let lp_core_summary (r : Mm_lp.Solver.result) =
       lp.Mm_lp.Simplex.basis_nnz s.Mm_lp.Solver.lp_time
       mip.Mm_lp.Branch_bound.max_node_lp_time
   in
+  let cuts_part =
+    if s.Mm_lp.Solver.cuts_added + s.Mm_lp.Solver.node_cuts_added = 0 then ""
+    else
+      Printf.sprintf " | cuts %s (%d root, %d node, %d dropped)"
+        (String.concat ", "
+           (List.map
+              (fun (fam, n) -> Printf.sprintf "%s=%d" fam n)
+              s.Mm_lp.Solver.cuts_by_family))
+        s.Mm_lp.Solver.cuts_added s.Mm_lp.Solver.node_cuts_added
+        s.Mm_lp.Solver.cuts_dropped
+  in
+  let inc_part =
+    match mip.Mm_lp.Branch_bound.incumbent_source with
+    | Mm_lp.Branch_bound.No_incumbent -> ""
+    | src ->
+        Printf.sprintf " | incumbent from %s"
+          (Mm_lp.Branch_bound.incumbent_source_to_string src)
+  in
+  let core = core ^ cuts_part ^ inc_part in
   let par = s.Mm_lp.Solver.parallel in
   if par.Mm_lp.Branch_bound.domains_used <= 1 then core
   else
@@ -190,6 +209,27 @@ let lp_core_summary (r : Mm_lp.Solver.result) =
         par.Mm_lp.Branch_bound.domains_used
         par.Mm_lp.Branch_bound.nodes_stolen
         par.Mm_lp.Branch_bound.idle_seconds
+
+(* One-line echo of the MIP configuration a solve ran under, so a report
+   is self-describing when flags flip cut families or heuristics. *)
+let solver_config (o : Mm_lp.Solver.options) =
+  let seps =
+    if not o.Mm_lp.Solver.cuts then "off"
+    else if o.Mm_lp.Solver.separators = [] then "none"
+    else
+      String.concat "+" (List.map Mm_lp.Separator.name o.Mm_lp.Solver.separators)
+  in
+  Printf.sprintf
+    "Solver config: cuts=%s rounds=%d max/round=%d max-age=%s node-depth=%d \
+     node-freq=%d heuristics=%s pricing=%s parallelism=%d"
+    seps o.Mm_lp.Solver.cut_rounds o.Mm_lp.Solver.max_cuts_per_round
+    (if o.Mm_lp.Solver.cut_max_age = max_int then "inf"
+     else string_of_int o.Mm_lp.Solver.cut_max_age)
+    o.Mm_lp.Solver.bb.Mm_lp.Branch_bound.node_cut_depth
+    o.Mm_lp.Solver.bb.Mm_lp.Branch_bound.node_cut_freq
+    (if o.Mm_lp.Solver.heuristics then "on" else "off")
+    (Mm_lp.Simplex.pricing_to_string o.Mm_lp.Solver.pricing)
+    o.Mm_lp.Solver.parallelism
 
 let outcome board design (o : Mapper.outcome) =
   let buf = Buffer.create 2048 in

@@ -956,31 +956,39 @@ let test_cover_cut_validity () =
     5.0;
   let p = Model.to_problem m in
   let frac = [| 0.55; 0.55; 0.55 |] in
-  let cuts = Cuts.separate p frac ~max_cuts:10 in
+  let cuts =
+    Separator.separate Separator.cover { Separator.p; x = frac; sx = None }
+  in
   Alcotest.(check bool) "found a cut" true (cuts <> []);
   (* every integer-feasible point must satisfy every cut *)
   List.iter
-    (fun (c : Cuts.cut) ->
+    (fun (c : Separator.cut) ->
       for mask = 0 to 7 do
         let xv = [| float_of_int (mask land 1); float_of_int ((mask lsr 1) land 1); float_of_int ((mask lsr 2) land 1) |] in
         if Problem.max_violation p xv <= 1e-9 then begin
-          let lhs =
-            List.fold_left (fun acc (j, a) -> acc +. (a *. xv.(j))) 0.0 c.Cuts.terms
-          in
-          Alcotest.(check bool) "cut valid" true (lhs <= c.Cuts.ub +. 1e-9)
+          let lhs = Separator.activity c.Separator.terms xv in
+          Alcotest.(check bool) "cut valid" true
+            (lhs <= c.Separator.ub +. 1e-9 && lhs >= c.Separator.lb -. 1e-9)
         end
       done)
     cuts
 
+(* every separator family must emit cuts satisfied by every feasible
+   integer point — the defining property of a valid cut *)
 let prop_cuts_never_cut_integer_points =
-  qtest ~count:200 "cover cuts valid for all feasible integer points"
+  qtest ~count:200 "all cut families valid for all feasible integer points"
     random_bip_gen (fun params ->
       let p = build_random_bip params in
       let s = Simplex.create p in
       match Simplex.solve s with
       | Simplex.Optimal ->
           let frac = Simplex.primal s in
-          let cuts = Cuts.separate p frac ~max_cuts:20 in
+          let ctx = { Separator.p; x = frac; sx = Some s } in
+          let cuts =
+            List.concat_map
+              (fun sep -> Separator.separate sep ctx)
+              Separator.default
+          in
           let n = p.Problem.ncols in
           let ok = ref true in
           for mask = 0 to (1 lsl n) - 1 do
@@ -989,19 +997,244 @@ let prop_cuts_never_cut_integer_points =
             in
             if Problem.max_violation p x <= 1e-9 then
               List.iter
-                (fun (c : Cuts.cut) ->
-                  let lhs =
-                    List.fold_left
-                      (fun acc (j, a) -> acc +. (a *. x.(j)))
-                      0.0 c.Cuts.terms
-                  in
-                  if lhs > c.Cuts.ub +. 1e-9 then ok := false)
+                (fun (c : Separator.cut) ->
+                  let lhs = Separator.activity c.Separator.terms x in
+                  if lhs > c.Separator.ub +. 1e-7 || lhs < c.Separator.lb -. 1e-7
+                  then ok := false)
                 cuts
           done;
           !ok
       | _ -> true)
 
+(* restricting the solver to any single separation family must never
+   change the optimum: cuts may only speed the search up *)
+let prop_single_family_objective_agreement =
+  qtest ~count:150 "each cut family alone preserves the optimum"
+    random_bip_gen (fun params ->
+      let p = build_random_bip params in
+      let oracle = brute_force_binary p in
+      List.for_all
+        (fun sep ->
+          let r =
+            (Solver.solve ~options:(Solver.options ~separators:[ sep ] ()) p)
+              .Solver.mip
+          in
+          match (r.Branch_bound.objective, oracle) with
+          | None, None -> true
+          | Some o, Some b -> Float.abs (o -. b) <= 1e-6
+          | _ -> false)
+        Separator.default)
 
+let knapsack_triple () =
+  let m = Model.create () in
+  let x = Model.binary m () and y = Model.binary m () and z = Model.binary m () in
+  Model.add_le m
+    Expr.(sum [ scale 3.0 (var x); scale 3.0 (var y); scale 3.0 (var z) ])
+    5.0;
+  Model.set_objective m Model.Maximize Expr.(sum [ var x; var y; var z ]);
+  Model.to_problem m
+
+let test_cut_pool_dedup_and_naming () =
+  let p = knapsack_triple () in
+  let pool = Cut_pool.create p in
+  let frac = [| 0.55; 0.55; 0.55 |] in
+  let k1 = Cut_pool.node_separate pool p frac in
+  Alcotest.(check bool) "first call accepts cuts" true (k1 > 0);
+  (* the same fractional point separates the same cuts: all duplicates *)
+  let k2 = Cut_pool.node_separate pool p frac in
+  Alcotest.(check int) "duplicates rejected" k1 k2;
+  let rows = Cut_pool.rows_from pool 0 in
+  Alcotest.(check int) "activation list complete" k1 (List.length rows);
+  List.iter
+    (fun (name, _, _, _) ->
+      let prefixed =
+        List.exists
+          (fun fam ->
+            String.length name > String.length fam
+            && String.sub name 0 (String.length fam + 1) = fam ^ ":")
+          [ "cover"; "lcover"; "gmi" ]
+      in
+      Alcotest.(check bool) ("family-prefixed name " ^ name) true prefixed)
+    rows;
+  let names = List.map (fun (n, _, _, _) -> n) rows in
+  Alcotest.(check int) "names unique"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  Alcotest.(check int) "by_family sums to accepted" k1
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Cut_pool.by_family pool))
+
+let test_cut_pool_aging_drops_loose_cuts () =
+  (* max_age = 0: every cut is loose-born, so the prune at the end of
+     the root loop must drop them all and hand back the base problem *)
+  let p = knapsack_triple () in
+  let pool =
+    Cut_pool.create ~options:(Cut_pool.options ~rounds:1 ~max_age:0 ()) p
+  in
+  let q, st =
+    Cut_pool.root_loop ~pricing:Simplex.Devex ~snk:Mm_obs.Trace.null pool
+  in
+  Alcotest.(check bool) "root loop added cuts" true (st.Cut_pool.added > 0);
+  Alcotest.(check int) "all dropped" st.Cut_pool.added st.Cut_pool.dropped;
+  Alcotest.(check int) "problem back to base rows" p.Problem.nrows
+    q.Problem.nrows;
+  Alcotest.(check int) "pool agrees" 0
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Cut_pool.by_family pool))
+
+(* the tableau rows read off the factorization must be valid equations:
+   for the homogeneous system  A x - s = 0, every row of  B^-1 [A -I]
+   annihilates the current solution vector *)
+let prop_tableau_rows_annihilate_solution =
+  qtest ~count:150 "tableau rows annihilate the optimal solution"
+    random_bip_gen (fun params ->
+      let p = build_random_bip params in
+      let s = Simplex.create p in
+      match Simplex.solve s with
+      | Simplex.Optimal ->
+          let nt = p.Problem.ncols + Simplex.num_rows s in
+          let ok = ref true in
+          for pos = 0 to Simplex.num_rows s - 1 do
+            let row = Simplex.tableau_row s ~pos in
+            let acc = ref (Simplex.var_value s (Simplex.basic_var s pos)) in
+            for v = 0 to nt - 1 do
+              if row.(v) <> 0.0 then
+                acc := !acc +. (row.(v) *. Simplex.var_value s v)
+            done;
+            if Float.abs !acc > 1e-6 then ok := false
+          done;
+          !ok
+      | _ -> true)
+
+(* --- heuristics ------------------------------------------------------------ *)
+
+(* random GUB assignment instances: one uniqueness row per segment plus
+   loose capacity rows — the structure [Heuristics.run] dives on *)
+let random_gub_gen =
+  QCheck.make
+    QCheck.Gen.(
+      let* nd = int_range 2 5 in
+      let* nt = int_range 2 4 in
+      let* seed = int_range 0 1_000_000 in
+      return (nd, nt, seed))
+
+let build_random_gub (nd, nt, seed) =
+  let rng = Mm_util.Prng.create (seed + 4321) in
+  let m = Model.create () in
+  let z = Array.init nd (fun _ -> Array.init nt (fun _ -> Model.binary m ())) in
+  for d = 0 to nd - 1 do
+    Model.add_eq m
+      (Expr.sum (List.map (fun t -> Expr.var z.(d).(t)) (Mm_util.Ints.range nt)))
+      1.0
+  done;
+  (* capacity rows; type 0 is big enough for everyone so the instance
+     always stays feasible *)
+  for t = 1 to nt - 1 do
+    Model.add_le m
+      (Expr.sum
+         (List.map
+            (fun d ->
+              Expr.var
+                ~coeff:(float_of_int (Mm_util.Prng.int_in rng 1 4))
+                z.(d).(t))
+            (Mm_util.Ints.range nd)))
+      (float_of_int (Mm_util.Prng.int_in rng 2 6))
+  done;
+  Model.set_objective m Model.Minimize
+    (Expr.sum
+       (List.concat_map
+          (fun d ->
+            List.map
+              (fun t ->
+                Expr.var
+                  ~coeff:(float_of_int (Mm_util.Prng.int_in rng 1 9))
+                  z.(d).(t))
+              (Mm_util.Ints.range nt))
+          (Mm_util.Ints.range nd)));
+  m
+
+let test_heuristics_round_point () =
+  let m = build_random_gub (1, 3, 0) in
+  let p = Model.to_problem m in
+  let gubs = Heuristics.gub_rows p in
+  Alcotest.(check int) "one GUB row" 1 (List.length gubs);
+  match Heuristics.round_point p ~gubs ~ints:[ 0; 1; 2 ] [| 0.6; 0.3; 0.1 |] with
+  | None -> Alcotest.fail "rounding should succeed"
+  | Some r ->
+      Alcotest.(check (float 0.0)) "winner" 1.0 r.(0);
+      Alcotest.(check (float 0.0)) "loser 1" 0.0 r.(1);
+      Alcotest.(check (float 0.0)) "loser 2" 0.0 r.(2)
+
+let prop_gub_heuristic_feasible_and_bounded =
+  qtest ~count:150 "GUB diving incumbent is feasible, above the optimum"
+    random_gub_gen (fun params ->
+      let p = Model.to_problem (build_random_gub params) in
+      let h =
+        Heuristics.run ~pricing:Simplex.Devex ~snk:Mm_obs.Trace.null p
+      in
+      match h.Heuristics.incumbent with
+      | None -> true (* allowed: the heuristic may come up empty *)
+      | Some (x, obj) -> (
+          Problem.max_violation p x <= 1e-7
+          && Problem.integer_violation p x <= 1e-6
+          &&
+          match brute_force_binary p with
+          | Some best -> obj >= best -. 1e-6
+          | None -> false))
+
+let prop_gub_heuristic_solver_agreement =
+  qtest ~count:100 "full pool+heuristics config matches brute force on GUBs"
+    random_gub_gen (fun params ->
+      let p = Model.to_problem (build_random_gub params) in
+      let r = (Solver.solve p).Solver.mip in
+      match (r.Branch_bound.objective, brute_force_binary p) with
+      | Some o, Some b ->
+          Float.abs (o -. b) <= 1e-6
+          && r.Branch_bound.incumbent_source <> Branch_bound.No_incumbent
+      | None, None -> true
+      | _ -> false)
+
+(* --- node cuts -------------------------------------------------------------- *)
+
+(* force node separation hard (every node, deep window) and make sure
+   the tree still proves the right optimum, serially and with workers
+   syncing cut rows across domains *)
+let prop_node_cuts_preserve_optimum =
+  qtest ~count:150 "node-level separation preserves the optimum"
+    random_bip_gen (fun params ->
+      let p = build_random_bip params in
+      let oracle = brute_force_binary p in
+      List.for_all
+        (fun j ->
+          let options =
+            Solver.options ~parallelism:j
+              ~bb:(Branch_bound.options ~node_cut_depth:50 ~node_cut_freq:1 ())
+              ()
+          in
+          let r = (Solver.solve ~options p).Solver.mip in
+          match (r.Branch_bound.objective, oracle) with
+          | None, None -> true
+          | Some o, Some b -> Float.abs (o -. b) <= 1e-6
+          | _ -> false)
+        [ 1; 2 ])
+
+let test_baseline_options_reproduce_cover_only () =
+  (* the degenerate configuration must behave like the historical
+     root-cover-only solver: no lcover/gmi rows, no heuristic incumbent *)
+  let p = build_random_bip (8, 5, 31415) in
+  let r = Solver.solve ~options:(Solver.baseline_options ()) p in
+  List.iter
+    (fun (fam, n) ->
+      if fam <> "cover" then
+        Alcotest.(check int) ("no " ^ fam ^ " cuts") 0 n)
+    r.Solver.stats.Solver.cuts_by_family;
+  Alcotest.(check int) "no node cuts" 0 r.Solver.stats.Solver.node_cuts_added;
+  Alcotest.(check int) "no dives" 0 r.Solver.stats.Solver.heuristic_dives;
+  Alcotest.(check bool) "no heuristic incumbent" true
+    (r.Solver.stats.Solver.heuristic_obj = None);
+  match (r.Solver.mip.Branch_bound.objective, brute_force_binary p) with
+  | Some o, Some b ->
+      Alcotest.(check (float 1e-6)) "objective matches brute force" b o
+  | None, None -> ()
+  | _ -> Alcotest.fail "status mismatch vs brute force"
 
 (* --- LP format parser --------------------------------------------------------- *)
 
@@ -1398,6 +1631,21 @@ let () =
         [
           Alcotest.test_case "cover validity" `Quick test_cover_cut_validity;
           prop_cuts_never_cut_integer_points;
+          prop_single_family_objective_agreement;
+          Alcotest.test_case "pool dedup and naming" `Quick
+            test_cut_pool_dedup_and_naming;
+          Alcotest.test_case "pool aging" `Quick
+            test_cut_pool_aging_drops_loose_cuts;
+          prop_tableau_rows_annihilate_solution;
+          prop_node_cuts_preserve_optimum;
+          Alcotest.test_case "baseline config" `Quick
+            test_baseline_options_reproduce_cover_only;
+        ] );
+      ( "heuristics",
+        [
+          Alcotest.test_case "GUB rounding" `Quick test_heuristics_round_point;
+          prop_gub_heuristic_feasible_and_bounded;
+          prop_gub_heuristic_solver_agreement;
         ] );
       ( "lp_format",
         [

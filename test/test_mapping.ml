@@ -1046,7 +1046,9 @@ let test_trace_phase_sums () =
   let evs = traced_mapper_run board design in
   let totals = Mm_obs.Summary.phase_totals evs in
   let total name = Option.value (List.assoc_opt name totals) ~default:0.0 in
-  let parts = total "presolve" +. total "cuts" +. total "bb" in
+  let parts =
+    total "presolve" +. total "cuts" +. total "heuristic" +. total "bb"
+  in
   let solve = total "solve" in
   Alcotest.(check bool) "solve span recorded" true (solve > 0.0);
   Alcotest.(check bool) "phases sum to the solve span within 5%" true
