@@ -1376,6 +1376,153 @@ let run_cuts_smoke () =
   else line "cover-only and full-pool configurations agree on every objective."
 
 (* ------------------------------------------------------------------ *)
+(* Serve smoke (CI leg)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The mapping service's warm-start A/B: repeat the smallest Table-3
+   point through [Mm_service.Engine] — the exact path [mmap serve]
+   workers run — and compare the cold first solve against the
+   cache-warmed repeats. Recorded as the serve_warm_ab cell of a
+   minimal BENCH_lp.json. Exits nonzero when a repeat misses the cache
+   or warm and cold objectives disagree (a warm start must accelerate
+   the search, never change the optimum). *)
+let run_serve_smoke () =
+  header "Serve smoke: warm-vs-cold through the service engine";
+  let point = List.hd Mm_workload.Table3.points in
+  let spec = point.Mm_workload.Table3.spec in
+  let board, design = Mm_workload.Gen.instance spec in
+  let cap = quick_cap () in
+  let knobs = Mm_service.Knobs.make ~time_limit:cap () in
+  let engine = Mm_service.Engine.create () in
+  let req = Mm_service.Request.make ~id:"bench" ~knobs board design in
+  let repeats = 4 in
+  let shots =
+    List.init repeats (fun i ->
+        let t0 = Unix.gettimeofday () in
+        match Mm_service.Engine.handle engine req with
+        | Mm_service.Request.Ok_response { cache_hit; warm_solves; report; _ }
+          ->
+            let seconds = Unix.gettimeofday () -. t0 in
+            let num path obj =
+              Option.bind (Mm_obs.Json.member path obj) Mm_obs.Json.to_float
+            in
+            let objective = num "objective" report in
+            let pivots =
+              match Option.bind (Mm_obs.Json.member "lp" report) (num "pivots")
+              with
+              | Some p -> int_of_float p
+              | None -> 0
+            in
+            (i, seconds, cache_hit, warm_solves, objective, pivots)
+        | Mm_service.Request.Error_response { message; _ } ->
+            Printf.eprintf "serve-smoke: request %d failed: %s\n" i message;
+            exit 1)
+  in
+  let t =
+    Table.create
+      [
+        ("request", Table.Right);
+        ("cache", Table.Left);
+        ("warm solves", Table.Right);
+        ("time (s)", Table.Right);
+        ("pivots", Table.Right);
+        ("objective", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (i, seconds, hit, solves, objective, pivots) ->
+      Table.add_row t
+        [
+          string_of_int i;
+          (if hit then "hit" else "miss");
+          string_of_int solves;
+          Printf.sprintf "%.3f" seconds;
+          string_of_int pivots;
+          (match objective with
+          | Some o -> Printf.sprintf "%.0f" o
+          | None -> "-");
+        ])
+    shots;
+  Table.print t;
+  let cold = List.hd shots in
+  let warm = List.filteri (fun i _ -> i > 0) shots in
+  let mean f xs =
+    List.fold_left (fun a x -> a +. f x) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let sec (_, s, _, _, _, _) = s in
+  let piv (_, _, _, _, _, p) = float_of_int p in
+  let obj (_, _, _, _, o, _) = o in
+  let _, cold_s, _, _, cold_obj, cold_piv = cold in
+  let warm_s = mean sec warm in
+  let warm_piv = mean piv warm in
+  let reduction =
+    if cold_piv > 0 then
+      100.0 *. (float_of_int cold_piv -. warm_piv) /. float_of_int cold_piv
+    else 0.0
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "{\n  \"benchmark\": \"serve smoke (table3 point 0)\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"time_cap_seconds\": %.1f,\n" cap);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"segments\": %d, \"banks\": %d, \"ports\": %d, \"configs\": %d,\n"
+       spec.Mm_workload.Gen.segments spec.Mm_workload.Gen.banks
+       spec.Mm_workload.Gen.ports spec.Mm_workload.Gen.configs);
+  let opt_num = function
+    | Some v -> Printf.sprintf "%.3f" v
+    | None -> "null"
+  in
+  Buffer.add_string buf "  \"serve_warm_ab\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"cold\": { \"seconds\": %.3f, \"pivots\": %d, \"objective\": %s \
+        },\n"
+       cold_s cold_piv (opt_num cold_obj));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"warm\": { \"repeats\": %d, \"mean_seconds\": %.3f, \
+        \"mean_pivots\": %.1f, \"objective\": %s },\n"
+       (List.length warm) warm_s warm_piv
+       (opt_num (obj (List.hd warm))));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"pivot_reduction_percent\": %.2f\n" reduction);
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  line "wrote BENCH_lp.json (serve smoke)";
+  let misses =
+    List.filter (fun (i, _, hit, _, _, _) -> i > 0 && not hit) shots
+  in
+  let mismatched =
+    List.filter
+      (fun shot ->
+        match (cold_obj, obj shot) with
+        | Some a, Some b -> Float.abs (a -. b) > 1e-6
+        | _ -> true)
+      warm
+  in
+  if misses <> [] then begin
+    List.iter
+      (fun (i, _, _, _, _, _) ->
+        Printf.eprintf "serve-smoke: repeat request %d missed the warm cache\n"
+          i)
+      misses;
+    exit 1
+  end;
+  if mismatched <> [] then begin
+    List.iter
+      (fun shot ->
+        Printf.eprintf "serve-smoke: warm objective %s differs from cold %s\n"
+          (opt_num (obj shot)) (opt_num cold_obj))
+      mismatched;
+    exit 1
+  end;
+  line "every repeat hit the warm cache at the cold objective (pivots %.2f%%)."
+    reduction
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1490,6 +1637,7 @@ let experiments =
     ("ablation-arbitration", run_ablation_arbitration);
     ("pricing-smoke", run_pricing_smoke);
     ("cuts-smoke", run_cuts_smoke);
+    ("serve-smoke", run_serve_smoke);
     ("micro", run_micro);
   ]
 

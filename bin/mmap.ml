@@ -2,9 +2,15 @@
 
    Subcommands:
      solve     map a design file onto a board file and print the report
+     serve     long-lived mapping daemon over a Unix socket
+     request   client for a running serve daemon
      generate  emit a synthetic board + design pair (Table 3 style)
      devices   print the built-in device library (the paper's Table 1)
-     example   write template board/design files to get started *)
+     example   write template board/design files to get started
+
+   The solver knobs (-j, --pricing, --cut-rounds, --max-cuts-per-round,
+   --no-cuts, --no-heuristics, --time-limit) live in Solver_flags and
+   are shared by solve, solve-mps and serve. *)
 
 open Cmdliner
 
@@ -31,25 +37,6 @@ let read_design path =
       exit 1
 
 (* ---- solve ---------------------------------------------------------- *)
-
-(* cut / heuristic flags, shared by [solve] and [solve-mps] *)
-let cut_rounds_arg =
-  Arg.(value & opt int 3 & info [ "cut-rounds" ] ~docv:"N"
-         ~doc:"Root cutting-plane separation rounds ($(b,0) keeps the \
-               solver cut-free at the root; node cuts may still fire).")
-
-let max_cuts_arg =
-  Arg.(value & opt int 50 & info [ "max-cuts-per-round" ] ~docv:"N"
-         ~doc:"Cap on cuts accepted per separation round.")
-
-let no_cuts_arg =
-  Arg.(value & flag & info [ "no-cuts" ]
-         ~doc:"Disable cutting planes entirely (root and node).")
-
-let no_heuristics_arg =
-  Arg.(value & flag & info [ "no-heuristics" ]
-         ~doc:"Disable the GUB diving heuristic that seeds the incumbent \
-               before the tree search.")
 
 let weights_conv =
   let parse s =
@@ -97,17 +84,6 @@ let solve_cmd =
            Mm_mapping.Mapper.Greedy
          & info [ "detailed" ] ~doc:"Detailed-mapping engine.")
   in
-  let time_limit_arg =
-    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
-           ~doc:"Wall-clock budget for each ILP solve.")
-  in
-  let parallelism_arg =
-    Arg.(value & opt int 1 & info [ "j"; "parallelism" ] ~docv:"N"
-           ~doc:"Worker domains for the branch-and-bound tree search. \
-                 $(b,1) (default) is the deterministic serial schedule; \
-                 $(b,0) uses all available cores. Any value proves the \
-                 same optimal objective.")
-  in
   let lp_out_arg =
     Arg.(value & opt (some string) None & info [ "lp-out" ] ~docv:"FILE"
            ~doc:"Also dump the global ILP in CPLEX LP format.")
@@ -132,24 +108,14 @@ let solve_cmd =
          & info [ "port-model" ]
              ~doc:"Consumed-port estimate: $(b,fig3) (the paper) or                    $(b,improved) (Section 6 refinement for >2-port banks).")
   in
-  let trace_arg =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Record a structured solve trace (JSONL) to $(docv); \
-                 inspect it with $(b,mmap trace-summary).")
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the machine-readable report (the same JSON object \
+                 every $(b,mmap serve) response carries) instead of the \
+                 text tables.")
   in
-  let pricing_arg =
-    Arg.(value
-         & opt (enum [ ("devex", Mm_lp.Simplex.Devex);
-                       ("dantzig", Mm_lp.Simplex.Dantzig) ])
-             Mm_lp.Simplex.Devex
-         & info [ "pricing" ]
-             ~doc:"Simplex pricing strategy: $(b,devex) (default; reference \
-                   weights, partial pricing, bound flips) or $(b,dantzig) \
-                   (full-scan baseline). Both prove the same objective.")
-  in
-  let run () board design method_ weights profiled detailed time_limit
-      parallelism pricing cut_rounds max_cuts_per_round no_cuts no_heuristics
-      lp_out mps_out placements arbitration port_model trace_out =
+  let run () board design method_ weights profiled detailed knobs lp_out
+      mps_out placements arbitration port_model json trace_out =
     let board = read_board board and design = read_design design in
     let trace =
       match trace_out with
@@ -168,11 +134,7 @@ let solve_cmd =
         ~access_model:
           (if profiled then Mm_mapping.Cost.Profiled else Mm_mapping.Cost.Uniform)
         ~detailed ~arbitration ~port_model ~trace
-        ~solver_options:
-          (Mm_lp.Solver.options ~parallelism ~pricing ~cuts:(not no_cuts)
-             ~cut_rounds ~max_cuts_per_round ~heuristics:(not no_heuristics)
-             ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
-             ())
+        ~solver_options:(Mm_service.Knobs.to_solver_options knobs)
         ()
     in
     let dump out writer =
@@ -208,6 +170,12 @@ let solve_cmd =
           | Mm_mapping.Mapper.Solver_limit -> 4)
     | Ok o ->
         write_trace ();
+        if json then
+          print_endline
+            (Mm_obs.Json.to_string
+               (Mm_mapping.Report.to_json
+                  (Mm_mapping.Report.of_outcome board design o)))
+        else begin
         print_endline
           (Mm_mapping.Report.solver_config
              options.Mm_mapping.Mapper.solver_options);
@@ -226,6 +194,7 @@ let solve_cmd =
                o.Mm_mapping.Mapper.assignment);
           print_endline
             (Mm_mapping.Report.lp_core_summary o.Mm_mapping.Mapper.ilp_result)
+        end
         end;
         let violations =
           Mm_mapping.Validate.check ~port_model ~arbitration board design
@@ -240,10 +209,9 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc:"Map a design onto a board.")
     Term.(
       const run $ logs_term $ board_arg $ design_arg $ method_arg $ weights_arg
-      $ profiled_arg $ detailed_arg $ time_limit_arg $ parallelism_arg
-      $ pricing_arg $ cut_rounds_arg $ max_cuts_arg $ no_cuts_arg
-      $ no_heuristics_arg $ lp_out_arg $ mps_out_arg $ placements_arg
-      $ arbitration_arg $ port_model_arg $ trace_arg)
+      $ profiled_arg $ detailed_arg $ Solver_flags.term $ lp_out_arg
+      $ mps_out_arg $ placements_arg $ arbitration_arg $ port_model_arg
+      $ json_arg $ Solver_flags.trace_arg)
 
 (* ---- generate ------------------------------------------------------- *)
 
@@ -354,34 +322,10 @@ let solve_mps_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"MPS file to solve.")
   in
-  let time_limit_arg =
-    Arg.(value & opt (some float) None & info [ "time-limit" ] ~docv:"SECONDS"
-           ~doc:"Wall-clock budget.")
-  in
-  let parallelism_arg =
-    Arg.(value & opt int 1 & info [ "j"; "parallelism" ] ~docv:"N"
-           ~doc:"Worker domains for the branch-and-bound tree search \
-                 ($(b,0) = all cores).")
-  in
   let print_solution_arg =
     Arg.(value & flag & info [ "solution" ] ~doc:"Print variable values.")
   in
-  let trace_arg =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Record a structured solve trace (JSONL) to $(docv); \
-                 inspect it with $(b,mmap trace-summary).")
-  in
-  let pricing_arg =
-    Arg.(value
-         & opt (enum [ ("devex", Mm_lp.Simplex.Devex);
-                       ("dantzig", Mm_lp.Simplex.Dantzig) ])
-             Mm_lp.Simplex.Devex
-         & info [ "pricing" ]
-             ~doc:"Simplex pricing strategy: $(b,devex) (default) or \
-                   $(b,dantzig) (full-scan baseline).")
-  in
-  let run () file time_limit parallelism pricing cut_rounds max_cuts_per_round
-      no_cuts no_heuristics print_solution trace_out =
+  let run () file knobs print_solution trace_out =
     let parsed =
       if Filename.check_suffix file ".lp" then Mm_lp.Lp_format.of_file file
       else Mm_lp.Mps.of_file file
@@ -397,13 +341,7 @@ let solve_mps_cmd =
           | None -> Mm_obs.Trace.disabled
           | Some _ -> Mm_obs.Trace.create ()
         in
-        let options =
-          Mm_lp.Solver.options ~parallelism ~pricing ~trace
-            ~cuts:(not no_cuts) ~cut_rounds ~max_cuts_per_round
-            ~heuristics:(not no_heuristics)
-            ~bb:(Mm_lp.Branch_bound.options ?time_limit ())
-            ()
-        in
+        let options = Mm_service.Knobs.to_solver_options ~trace knobs in
         print_endline (Mm_mapping.Report.solver_config options);
         let r = Mm_lp.Solver.solve ~options p in
         (match trace_out with
@@ -456,9 +394,152 @@ let solve_mps_cmd =
     (Cmd.info "solve-mps"
        ~doc:"Solve an arbitrary MPS (or .lp) file with the built-in MIP              solver.")
     Term.(
-      const run $ logs_term $ file_arg $ time_limit_arg $ parallelism_arg
-      $ pricing_arg $ cut_rounds_arg $ max_cuts_arg $ no_cuts_arg
-      $ no_heuristics_arg $ print_solution_arg $ trace_arg)
+      const run $ logs_term $ file_arg $ Solver_flags.term
+      $ print_solution_arg $ Solver_flags.trace_arg)
+
+(* ---- serve ----------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None & info [ "socket"; "s" ]
+         ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains answering requests concurrently.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 16 & info [ "queue-capacity" ] ~docv:"N"
+           ~doc:"Pending-request bound; requests beyond it are answered \
+                 with $(b,overloaded) immediately (backpressure).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 64 & info [ "cache-capacity" ] ~docv:"N"
+           ~doc:"Warm-start cache entries (boards) retained, LRU; \
+                 $(b,0) disables warm starts.")
+  in
+  let run () socket workers queue_capacity cache_capacity knobs trace_out =
+    let trace =
+      match trace_out with
+      | None -> Mm_obs.Trace.disabled
+      | Some _ -> Mm_obs.Trace.create ()
+    in
+    let stats =
+      Mm_service.Server.run
+        (Mm_service.Server.options ~workers ~queue_capacity ~cache_capacity
+           ~default_knobs:knobs ~trace socket)
+    in
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        Mm_obs.Trace.write_jsonl trace path;
+        Printf.printf "wrote trace %s\n" path);
+    Printf.printf
+      "served: cache hits %d, misses %d, evictions %d, entries %d\n"
+      stats.Mm_service.Cache.hits stats.Mm_service.Cache.misses
+      stats.Mm_service.Cache.evictions stats.Mm_service.Cache.entries
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived mapping service: newline-delimited JSON \
+             requests over a Unix socket, answered concurrently by a \
+             worker-domain pool with per-board warm-start caching. The \
+             solver flags set the default knobs for requests that carry \
+             none. Stop it with $(b,mmap request --shutdown).")
+    Term.(
+      const run $ logs_term $ socket_arg $ workers_arg $ queue_arg
+      $ cache_arg $ Solver_flags.term $ Solver_flags.trace_arg)
+
+(* ---- request ---------------------------------------------------------- *)
+
+let request_cmd =
+  let board_arg =
+    Arg.(value & opt (some file) None & info [ "board"; "b" ] ~docv:"FILE"
+           ~doc:"Board description file.")
+  in
+  let design_arg =
+    Arg.(value & opt (some file) None & info [ "design"; "d" ] ~docv:"FILE"
+           ~doc:"Design description file.")
+  in
+  let method_arg =
+    Arg.(value & opt (enum [ ("global", Mm_mapping.Mapper.Global_detailed);
+                             ("complete", Mm_mapping.Mapper.Complete_flat) ])
+           Mm_mapping.Mapper.Global_detailed
+         & info [ "method" ] ~doc:"Mapping method for the request.")
+  in
+  let id_arg =
+    Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID"
+           ~doc:"Correlation id echoed in the response.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Send the mapping request $(docv) times on one \
+                 connection (exercises the daemon's warm-start cache).")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Query daemon statistics instead of mapping.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the daemon to shut down gracefully.")
+  in
+  let run () socket board design method_ id repeat knobs stats shutdown =
+    let fail msg =
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    in
+    let op name =
+      Mm_obs.Json.to_string
+        (Mm_obs.Json.Obj
+           [ ("id", Mm_obs.Json.Str id); ("op", Mm_obs.Json.Str name) ])
+    in
+    let lines =
+      if stats then [ op "stats" ]
+      else if shutdown then [ op "shutdown" ]
+      else
+        match (board, design) with
+        | Some b, Some d ->
+            let board = read_board b and design = read_design d in
+            let line i =
+              Mm_obs.Json.to_string
+                (Mm_service.Request.to_json
+                   (Mm_service.Request.make
+                      ~id:(if repeat = 1 then id
+                           else Printf.sprintf "%s-%d" id i)
+                      ~method_ ~knobs board design))
+            in
+            List.init (max 1 repeat) line
+        | _ -> fail "request: need --board and --design (or --stats/--shutdown)"
+    in
+    match Mm_service.Client.roundtrip ~socket lines with
+    | Error e -> fail e
+    | Ok resps ->
+        List.iter print_endline resps;
+        (* nonzero exit when any response is an error, so scripts can
+           chain requests without parsing JSON *)
+        let failed =
+          List.exists
+            (fun r ->
+              match Mm_obs.Json.of_string r with
+              | Ok j ->
+                  Option.bind (Mm_obs.Json.member "status" j)
+                    Mm_obs.Json.to_str
+                  = Some "error"
+              | Error _ -> true)
+            resps
+        in
+        if failed then exit 2
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send requests to a running $(b,mmap serve) daemon and print \
+             the JSON response lines. The solver flags become the \
+             request's knobs.")
+    Term.(
+      const run $ logs_term $ socket_arg $ board_arg $ design_arg
+      $ method_arg $ id_arg $ repeat_arg $ Solver_flags.term $ stats_arg
+      $ shutdown_arg)
 
 (* ---- trace-summary ---------------------------------------------------- *)
 
@@ -494,6 +575,8 @@ let () =
           [
             solve_cmd;
             solve_mps_cmd;
+            serve_cmd;
+            request_cmd;
             trace_summary_cmd;
             generate_cmd;
             devices_cmd;

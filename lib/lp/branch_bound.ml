@@ -71,6 +71,24 @@ let incumbent_source_to_string = function
   | Rounding -> "rounding"
   | Node_integral -> "node"
 
+type pseudocost = {
+  up_sum : float array;
+  up_cnt : int array;
+  dn_sum : float array;
+  dn_cnt : int array;
+}
+
+(* The public snapshot type is the workspace record itself; arrays are
+   copied at both the seed and export boundaries so a snapshot is
+   immutable from the caller's point of view. *)
+type pseudocosts = pseudocost
+
+let empty_pseudocosts =
+  { up_sum = [||]; up_cnt = [||]; dn_sum = [||]; dn_cnt = [||] }
+
+let pseudocosts_observations pc =
+  Array.fold_left ( + ) 0 pc.up_cnt + Array.fold_left ( + ) 0 pc.dn_cnt
+
 type result = {
   status : status;
   solution : float array option;
@@ -84,6 +102,7 @@ type result = {
   lp_stats : Simplex.stats;
   par : par_stats;
   incumbent_source : incumbent_source;
+  pseudocosts : pseudocosts;
 }
 
 let gap r =
@@ -106,13 +125,6 @@ type node = {
   ncuts : int;
       (* pool-cut rows present in the LP the basis snapshot was taken
          on; a worker syncs to at least this count before restoring *)
-}
-
-type pseudocost = {
-  up_sum : float array;
-  up_cnt : int array;
-  dn_sum : float array;
-  dn_cnt : int array;
 }
 
 let pc_avg sum cnt j fallback =
@@ -150,7 +162,8 @@ type workspace = {
   mutable retired_pivots : int;
 }
 
-let solve ?(options = default_options) ?cuts ?initial (p : Problem.t) =
+let solve ?(options = default_options) ?cuts ?initial ?warm_pc (p : Problem.t)
+    =
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun tl -> t0 +. tl) options.time_limit in
   let n = p.Problem.ncols in
@@ -535,12 +548,24 @@ let solve ?(options = default_options) ?cuts ?initial (p : Problem.t) =
       ncuts = 0;
       root_bounds = Simplex.save_bounds sx;
       pc =
-        {
-          up_sum = Array.make n 0.0;
-          up_cnt = Array.make n 0;
-          dn_sum = Array.make n 0.0;
-          dn_cnt = Array.make n 0;
-        };
+        (* seed from a caller-supplied snapshot (a warm-start cache
+           entry trained on a previous solve of this problem) when its
+           dimensions match; private copies keep workers race-free *)
+        (match warm_pc with
+        | Some w when Array.length w.up_sum = n ->
+            {
+              up_sum = Array.copy w.up_sum;
+              up_cnt = Array.copy w.up_cnt;
+              dn_sum = Array.copy w.dn_sum;
+              dn_cnt = Array.copy w.dn_cnt;
+            }
+        | _ ->
+            {
+              up_sum = Array.make n 0.0;
+              up_cnt = Array.make n 0;
+              dn_sum = Array.make n 0.0;
+              dn_cnt = Array.make n 0;
+            });
       current = None;
       processed = 0;
       lp_time = 0.0;
@@ -644,4 +669,38 @@ let solve ?(options = default_options) ?cuts ?initial (p : Problem.t) =
             workspaces;
       };
     incumbent_source = inc.src;
+    pseudocosts =
+      (* every worker trained private statistics; the merged sums are
+         what a warm-start cache should carry into the next solve of
+         the same problem. Each workspace started from a copy of the
+         seed, so the seed is subtracted [nworkers - 1] times to count
+         it exactly once. *)
+      (let merged =
+         {
+           up_sum = Array.make n 0.0;
+           up_cnt = Array.make n 0;
+           dn_sum = Array.make n 0.0;
+           dn_cnt = Array.make n 0;
+         }
+       in
+       Array.iter
+         (fun ws ->
+           for j = 0 to n - 1 do
+             merged.up_sum.(j) <- merged.up_sum.(j) +. ws.pc.up_sum.(j);
+             merged.up_cnt.(j) <- merged.up_cnt.(j) + ws.pc.up_cnt.(j);
+             merged.dn_sum.(j) <- merged.dn_sum.(j) +. ws.pc.dn_sum.(j);
+             merged.dn_cnt.(j) <- merged.dn_cnt.(j) + ws.pc.dn_cnt.(j)
+           done)
+         workspaces;
+       (match warm_pc with
+       | Some w when Array.length w.up_sum = n && nworkers > 1 ->
+           let k = float_of_int (nworkers - 1) in
+           for j = 0 to n - 1 do
+             merged.up_sum.(j) <- merged.up_sum.(j) -. (k *. w.up_sum.(j));
+             merged.up_cnt.(j) <- merged.up_cnt.(j) - ((nworkers - 1) * w.up_cnt.(j));
+             merged.dn_sum.(j) <- merged.dn_sum.(j) -. (k *. w.dn_sum.(j));
+             merged.dn_cnt.(j) <- merged.dn_cnt.(j) - ((nworkers - 1) * w.dn_cnt.(j))
+           done
+       | _ -> ());
+       merged);
   }

@@ -96,6 +96,21 @@ type incumbent_source =
 
 val incumbent_source_to_string : incumbent_source -> string
 
+type pseudocosts
+(** Immutable snapshot of the branching pseudocost statistics merged
+    across worker domains — the per-variable up/down objective
+    degradation averages the tree search learns. A snapshot from one
+    solve can seed the next solve of the {e same} problem (see
+    {!solve}'s [?warm_pc]), which is how a warm-start cache amortizes
+    branching knowledge across repeat requests. *)
+
+val empty_pseudocosts : pseudocosts
+(** The untrained snapshot (also what synthesized results carry). *)
+
+val pseudocosts_observations : pseudocosts -> int
+(** Total branching observations recorded (up and down combined);
+    [0] for {!empty_pseudocosts}. *)
+
 type result = {
   status : status;
   solution : float array option;  (** structural values of the incumbent *)
@@ -112,6 +127,9 @@ type result = {
   par : par_stats;  (** parallel-search instrumentation *)
   incumbent_source : incumbent_source;
       (** which mechanism produced the final incumbent *)
+  pseudocosts : pseudocosts;
+      (** branching statistics trained by this solve, merged across
+          domains — feed back via [?warm_pc] on a repeat solve *)
 }
 
 val gap : result -> float option
@@ -121,6 +139,7 @@ val solve :
   ?options:options ->
   ?cuts:Cut_pool.t ->
   ?initial:float array * float ->
+  ?warm_pc:pseudocosts ->
   Problem.t ->
   result
 (** [solve ?options ?cuts ?initial p] explores [p]'s tree. [?cuts] is
@@ -129,4 +148,9 @@ val solve :
     integer-feasible point with its internal (minimization-sense,
     [obj_const]-inclusive) objective — typically {!Heuristics.run}'s
     incumbent — validated against [p] and used to seed the atomic
-    incumbent before the root node is solved. *)
+    incumbent before the root node is solved. [?warm_pc] seeds every
+    worker's pseudocost statistics from a previous solve of the same
+    problem (silently ignored when the column count differs); seeded
+    branching changes the node order, so it is opt-in — the
+    [parallelism = 1] determinism contract only covers unseeded
+    runs. *)

@@ -147,6 +147,7 @@ type root_stats = {
   by_family : (string * int) list;
   lp : Simplex.stats;
   lp_time : float;
+  root_basis : Simplex.basis option;
 }
 
 (* Activity-based aging: after each root LP solve, a cut row sitting
@@ -193,7 +194,7 @@ let prune t p =
    the loop immediately (traced as [cut_noop_round]); the last allowed
    round's cuts are kept without a further re-solve since they still
    strengthen the branch-and-bound relaxations. *)
-let root_loop ?deadline ~pricing ~snk t =
+let root_loop ?basis ?deadline ~pricing ~snk t =
   let opts = t.opts in
   let lp_stats = ref Simplex.empty_stats and lp_time = ref 0.0 in
   let finish sx =
@@ -201,12 +202,18 @@ let root_loop ?deadline ~pricing ~snk t =
     Simplex.flush_trace sx
   in
   let added = ref 0 in
+  (* the pre-cut optimum's basis, snapshot for warm-starting a later
+     solve of the same base problem (the service cache's "last-good
+     basis"): it is valid on [t.base] regardless of which cuts this or
+     a future run accepts *)
+  let root_basis = ref None in
   let rec loop p sx round =
     let t0 = Unix.gettimeofday () in
     let r = Simplex.solve ?deadline ~prefer_dual:(round > 0) sx in
     lp_time := !lp_time +. (Unix.gettimeofday () -. t0);
     match r with
     | Simplex.Optimal ->
+        if round = 0 then root_basis := Some (Simplex.basis_snapshot sx);
         let x = Simplex.primal sx in
         age_update t x;
         if Problem.integer_violation p x <= 1e-6 then begin
@@ -248,6 +255,11 @@ let root_loop ?deadline ~pricing ~snk t =
     if opts.rounds <= 0 || opts.separators = [] then t.base
     else begin
       let sx0 = Simplex.create ~pricing t.base in
+      (* warm restart: a basis cached from a previous solve of the same
+         base problem replaces the slack basis before the first solve *)
+      (match basis with
+      | Some b -> Simplex.restore_basis sx0 b
+      | None -> ());
       Simplex.set_trace sx0 snk;
       loop t.base sx0 0
     end
@@ -267,6 +279,7 @@ let root_loop ?deadline ~pricing ~snk t =
       by_family = by_family t;
       lp = !lp_stats;
       lp_time = !lp_time;
+      root_basis = !root_basis;
     } )
 
 let root_problem t = t.root

@@ -36,9 +36,14 @@ type root_stats = {
   by_family : (string * int) list;  (** live accepted cuts per family *)
   lp : Simplex.stats;
   lp_time : float;
+  root_basis : Simplex.basis option;
+      (** the pre-cut root optimum's basis — valid on the base problem
+          independently of accepted cuts, so a later solve of the same
+          base can restore it (the warm-start cache's last-good basis) *)
 }
 
 val root_loop :
+  ?basis:Simplex.basis ->
   ?deadline:float ->
   pricing:Simplex.pricing ->
   snk:Mm_obs.Trace.sink ->
@@ -50,7 +55,12 @@ val root_loop :
     [rounds]. Cuts left loose for [max_age] consecutive solves are
     dropped before the strengthened problem is returned (their hashes
     are forgotten so they may be rediscovered later). Single-threaded;
-    call before spawning workers. *)
+    call before spawning workers.
+
+    [?basis] replaces the slack basis before the first solve — pass a
+    {!root_stats.root_basis} snapshot from a previous run over the same
+    base problem and the round-0 LP re-optimizes in a handful of
+    pivots instead of a cold two-phase solve. *)
 
 val root_problem : t -> Problem.t
 (** The base problem plus surviving root cuts ([root_loop]'s result;

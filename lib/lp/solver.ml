@@ -89,9 +89,45 @@ type stats = {
   lp : Simplex.stats;
   lp_time : float;
   parallel : Branch_bound.par_stats;
+  warm_applied : string list;
 }
 
 type result = { mip : Branch_bound.result; stats : stats }
+
+(* Warm-start state carried between solves of the same problem: the
+   cached presolve (reduced problem + recovery closure), the pre-cut
+   root optimum's basis and the trained pseudocosts. All components are
+   guarded by dimension checks, so feeding stale state to a different
+   problem degrades to a cold solve instead of corrupting it — but the
+   intended contract is one [warm] per identical problem (the service's
+   cache key). Not thread-safe: lease one warm state to one solve at a
+   time. *)
+type warm = {
+  mutable w_presolved : (Problem.t * (float array -> float array)) option;
+  mutable w_orig_dims : int * int;
+  mutable w_basis : Simplex.basis option;
+  mutable w_basis_dims : int * int;
+  mutable w_pc : Branch_bound.pseudocosts option;
+  mutable w_solves : int;
+}
+
+let warm () =
+  {
+    w_presolved = None;
+    w_orig_dims = (0, 0);
+    w_basis = None;
+    w_basis_dims = (0, 0);
+    w_pc = None;
+    w_solves = 0;
+  }
+
+let warm_solves w = w.w_solves
+let warm_has_basis w = w.w_basis <> None
+
+let warm_observations w =
+  match w.w_pc with
+  | None -> 0
+  | Some pc -> Branch_bound.pseudocosts_observations pc
 
 let no_cut_stats =
   {
@@ -100,6 +136,7 @@ let no_cut_stats =
     by_family = [];
     lp = Simplex.empty_stats;
     lp_time = 0.0;
+    root_basis = None;
   }
 
 let infeasible_result p t0 =
@@ -116,6 +153,7 @@ let infeasible_result p t0 =
     lp_stats = Simplex.empty_stats;
     par = Branch_bound.serial_par_stats;
     incumbent_source = Branch_bound.No_incumbent;
+    pseudocosts = Branch_bound.empty_pseudocosts;
   }
 
 let unbounded_result p t0 =
@@ -132,6 +170,7 @@ let unbounded_result p t0 =
     lp_stats = Simplex.empty_stats;
     par = Branch_bound.serial_par_stats;
     incumbent_source = Branch_bound.No_incumbent;
+    pseudocosts = Branch_bound.empty_pseudocosts;
   }
 
 let empty_stats before =
@@ -147,9 +186,10 @@ let empty_stats before =
     lp = Simplex.empty_stats;
     lp_time = 0.0;
     parallel = Branch_bound.serial_par_stats;
+    warm_applied = [];
   }
 
-let solve ?(options = default_options) p =
+let solve ?(options = default_options) ?warm p =
   let snk = Mm_obs.Trace.root options.trace in
   Mm_obs.Trace.span snk "solve" @@ fun () ->
   let t0 = Unix.gettimeofday () in
@@ -159,12 +199,35 @@ let solve ?(options = default_options) p =
       options.bb.Branch_bound.time_limit
   in
   let before = (p.Problem.ncols, p.Problem.nrows) in
+  let warm_applied = ref [] in
+  let apply_warm name =
+    warm_applied := name :: !warm_applied;
+    Mm_obs.Trace.count snk ("warm_" ^ name) 1
+  in
   let reduced, recover =
-    if options.presolve then
-      match Mm_obs.Trace.span snk "presolve" (fun () -> Presolve.presolve p) with
-      | Presolve.Infeasible -> (None, fun x -> x)
-      | Presolve.Unbounded -> (Some `Unbounded, fun x -> x)
-      | Presolve.Reduced (q, r) -> (Some (`Problem q), r)
+    if options.presolve then begin
+      match warm with
+      | Some w when w.w_presolved <> None && w.w_orig_dims = before ->
+          (* same original dimensions as the solve that trained this
+             state — the cache contract says it is the same problem, so
+             the presolve fixpoint is reusable verbatim *)
+          apply_warm "presolve";
+          let q, r = Option.get w.w_presolved in
+          (Some (`Problem q), r)
+      | _ -> (
+          match
+            Mm_obs.Trace.span snk "presolve" (fun () -> Presolve.presolve p)
+          with
+          | Presolve.Infeasible -> (None, fun x -> x)
+          | Presolve.Unbounded -> (Some `Unbounded, fun x -> x)
+          | Presolve.Reduced (q, r) ->
+              (match warm with
+              | Some w ->
+                  w.w_presolved <- Some (q, r);
+                  w.w_orig_dims <- before
+              | None -> ());
+              (Some (`Problem q), r))
+    end
     else (Some (`Problem p), fun x -> x)
   in
   match reduced with
@@ -187,10 +250,25 @@ let solve ?(options = default_options) p =
                    ~separators:options.separators ())
               q
           in
+          let basis =
+            match warm with
+            | Some w
+              when w.w_basis <> None
+                   && w.w_basis_dims = (q.Problem.ncols, q.Problem.nrows) ->
+                apply_warm "basis";
+                w.w_basis
+            | _ -> None
+          in
           let q', cs =
             Mm_obs.Trace.span snk "cuts" (fun () ->
-                Cut_pool.root_loop ?deadline ~pricing:options.pricing ~snk pool)
+                Cut_pool.root_loop ?basis ?deadline ~pricing:options.pricing
+                  ~snk pool)
           in
+          (match (warm, cs.Cut_pool.root_basis) with
+          | Some w, Some b ->
+              w.w_basis <- Some b;
+              w.w_basis_dims <- (q.Problem.ncols, q.Problem.nrows)
+          | _ -> ());
           (Some pool, q', cs)
         end
         else (None, q, no_cut_stats)
@@ -231,11 +309,23 @@ let solve ?(options = default_options) p =
             let spent = Unix.gettimeofday () -. t0 in
             { bb with Branch_bound.time_limit = Some (Float.max 0.0 (tl -. spent)) }
       in
+      let warm_pc =
+        match warm with
+        | Some w when warm_observations w > 0 ->
+            apply_warm "pseudocosts";
+            w.w_pc
+        | _ -> None
+      in
       let r =
         Mm_obs.Trace.span snk "bb" (fun () ->
             Branch_bound.solve ~options:bb_options ?cuts:pool
-              ?initial:heur.Heuristics.incumbent q)
+              ?initial:heur.Heuristics.incumbent ?warm_pc q)
       in
+      (match warm with
+      | Some w ->
+          w.w_pc <- Some r.Branch_bound.pseudocosts;
+          w.w_solves <- w.w_solves + 1
+      | None -> ());
       let node_cuts_added =
         match pool with Some cp -> Cut_pool.node_count cp | None -> 0
       in
@@ -276,7 +366,8 @@ let solve ?(options = default_options) p =
               cut_stats.Cut_pool.lp_time +. heur.Heuristics.lp_time
               +. r.Branch_bound.lp_time;
             parallel = r.Branch_bound.par;
+            warm_applied = List.rev !warm_applied;
           };
       }
 
-let solve_model ?options m = solve ?options (Model.to_problem m)
+let solve_model ?options ?warm m = solve ?options ?warm (Model.to_problem m)

@@ -96,14 +96,48 @@ type stats = {
   parallel : Branch_bound.par_stats;
       (** parallel tree-search instrumentation: domains used, nodes
           stolen, idle seconds, per-domain pivot counts *)
+  warm_applied : string list;
+      (** warm-start components consumed by this solve, in application
+          order (["presolve"], ["basis"], ["pseudocosts"]); empty on a
+          cold solve *)
 }
 
 type result = { mip : Branch_bound.result; stats : stats }
 
-val solve : ?options:options -> Problem.t -> result
+(** {2 Warm-start state}
+
+    Repeat solves of the {e same} problem — the mapping service's
+    workload — can amortize solver state: the presolve fixpoint, the
+    pre-cut root optimum's basis (restored via the same
+    {!Simplex.restore_basis} path the cut loop warm restart uses) and
+    the branching pseudocosts trained by the tree search. A {!warm}
+    value carries all three between solves; {!solve} consumes whatever
+    components match the problem's dimensions and re-trains the state
+    for the next solve. Dimension guards make stale state degrade to a
+    cold solve, but the contract is one [warm] per identical problem
+    (key your cache accordingly). Not thread-safe — lease a [warm] to
+    one solve at a time. *)
+
+type warm
+
+val warm : unit -> warm
+(** A fresh, untrained warm-start state (the first solve fills it). *)
+
+val warm_solves : warm -> int
+(** Number of completed solves that re-trained this state. *)
+
+val warm_has_basis : warm -> bool
+
+val warm_observations : warm -> int
+(** Pseudocost branching observations carried ([0] when untrained). *)
+
+val solve : ?options:options -> ?warm:warm -> Problem.t -> result
 (** Solves to proven optimality unless limits are set. The solution in
     [mip.solution] is expressed in the {e original} variable space
-    (presolve recovery already applied). *)
+    (presolve recovery already applied). [?warm] consumes and re-trains
+    warm-start state (see above); [stats.warm_applied] records which
+    components were actually used. Warm-started runs may visit a
+    different node order than cold runs (same proven objective). *)
 
-val solve_model : ?options:options -> Model.t -> result
+val solve_model : ?options:options -> ?warm:warm -> Model.t -> result
 (** [solve_model m] freezes and solves the model. *)

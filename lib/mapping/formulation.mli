@@ -77,6 +77,7 @@ type error =
 
 val solve_built :
   ?solver_options:Mm_lp.Solver.options ->
+  ?warm:Mm_lp.Solver.warm ->
   build_seconds:float ->
   Mm_lp.Problem.t ->
   (float array -> 's) ->
@@ -89,6 +90,10 @@ val solve_built :
 val solve :
   's t ->
   ?solver_options:Mm_lp.Solver.options ->
+  ?warm:Mm_lp.Solver.warm ->
   ctx ->
   ('s * stats, error * stats option) result
-(** [solve (module F) ctx] = [F.build] + {!solve_built}. *)
+(** [solve (module F) ctx] = [F.build] + {!solve_built}. [?warm] is
+    handed straight to {!Mm_lp.Solver.solve} — only pass state trained
+    on the {e same} built problem (same board, design and knobs, no
+    no-good cuts). *)

@@ -72,12 +72,22 @@ let options ?(weights = Cost.default_weights) ?(access_model = Cost.Uniform)
     trace;
   }
 
+type attempt = {
+  index : int;
+  ilp_status : Mm_lp.Branch_bound.status;
+  ilp_objective : float option;
+  ilp_nodes : int;
+  ilp_seconds : float;
+  detailed_failure : string option;
+}
+
 type outcome = {
   method_ : method_;
   assignment : Global_ilp.assignment;
   mapping : Detailed.t;
   objective : float;
   retries : int;
+  attempts : attempt list;
   ilp_seconds : float;
   detailed_seconds : float;
   total_seconds : float;
@@ -121,10 +131,26 @@ let run_detailed options board design assignment =
             ~allow_overlap:options.allow_overlap
             ~allow_port_sharing:options.arbitration board design assignment)
 
-let run ?(method_ = Global_detailed) ?(options = default_options) board design =
+let run ?(method_ = Global_detailed) ?(options = default_options) ?warm board
+    design =
   let snk = Mm_obs.Trace.root options.trace in
   let t0 = Unix.gettimeofday () in
   let ilp_seconds = ref 0.0 and detailed_seconds = ref 0.0 in
+  let attempts = ref [] in
+  let record_attempt ~index ~(stats : Formulation.stats) ~detailed_failure =
+    let mip = stats.Formulation.ilp.Mm_lp.Solver.mip in
+    attempts :=
+      {
+        index;
+        ilp_status = mip.Mm_lp.Branch_bound.status;
+        ilp_objective = mip.Mm_lp.Branch_bound.objective;
+        ilp_nodes = mip.Mm_lp.Branch_bound.nodes;
+        ilp_seconds =
+          stats.Formulation.build_seconds +. stats.Formulation.solve_seconds;
+        detailed_failure;
+      }
+      :: !attempts
+  in
   let finish ~retries ~assignment ~mapping ~ilp_result =
     let objective =
       Global_ilp.assignment_cost ~weights:options.weights
@@ -138,6 +164,7 @@ let run ?(method_ = Global_detailed) ?(options = default_options) board design =
         mapping;
         objective;
         retries;
+        attempts = List.rev !attempts;
         ilp_seconds = !ilp_seconds;
         detailed_seconds = !detailed_seconds;
         total_seconds = Unix.gettimeofday () -. t0;
@@ -154,9 +181,15 @@ let run ?(method_ = Global_detailed) ?(options = default_options) board design =
           ~access_model:options.access_model ~port_model:options.port_model
           ~arbitration:options.arbitration ~forbidden board design
       in
+      (* warm-start state is only valid on the first attempt's problem:
+         no-good cut rows on retries change the ILP, and training the
+         cache on a cut-extended problem would poison every later
+         request for the same board/design *)
+      let warm = if retries = 0 then warm else None in
       match
         Mm_obs.Trace.span snk "ilp" (fun () ->
-            Formulation.solve fm ~solver_options:options.solver_options ctx)
+            Formulation.solve fm ~solver_options:options.solver_options ?warm
+              ctx)
       with
       | Error (Formulation.Build_failed msg, _) -> Error (Unmappable msg)
       | Error (Formulation.Ilp_infeasible, _) ->
@@ -176,11 +209,14 @@ let run ?(method_ = Global_detailed) ?(options = default_options) board design =
           | Ok mapping ->
               detailed_seconds :=
                 !detailed_seconds +. (Unix.gettimeofday () -. td);
+              record_attempt ~index:retries ~stats ~detailed_failure:None;
               finish ~retries ~assignment ~mapping
                 ~ilp_result:stats.Formulation.ilp
           | Error f ->
               detailed_seconds :=
                 !detailed_seconds +. (Unix.gettimeofday () -. td);
+              record_attempt ~index:retries ~stats
+                ~detailed_failure:(Some f.Detailed.reason);
               if F.supports_forbidden then
                 attempt (retries + 1) (assignment :: forbidden)
               else

@@ -61,12 +61,27 @@ val options :
     incumbent heuristic). [?trace] overrides [solver_options.trace] and
     is threaded through every ILP solve and the detailed placer. *)
 
+type attempt = {
+  index : int;  (** 0 is the first global solve *)
+  ilp_status : Mm_lp.Branch_bound.status;
+  ilp_objective : float option;  (** ILP incumbent of this attempt *)
+  ilp_nodes : int;
+  ilp_seconds : float;  (** build + solve of this attempt alone *)
+  detailed_failure : string option;
+      (** why the detailed placer rejected this attempt's assignment;
+          [None] on the attempt that produced the final mapping *)
+}
+(** One global-solve/detailed-place iteration of the retry loop. *)
+
 type outcome = {
   method_ : method_;
   assignment : Global_ilp.assignment;
   mapping : Detailed.t;
   objective : float;  (** cost of the assignment under the options' weights *)
   retries : int;  (** global/detailed iterations beyond the first *)
+  attempts : attempt list;
+      (** chronological per-attempt record; the last entry is the
+          attempt whose assignment the final mapping came from *)
   ilp_seconds : float;  (** ILP build + solve time (the Table 3 metric) *)
   detailed_seconds : float;
   total_seconds : float;
@@ -87,12 +102,19 @@ val formulation : method_ -> Formulation.assignment Formulation.t
 val run :
   ?method_:method_ ->
   ?options:options ->
+  ?warm:Mm_lp.Solver.warm ->
   Mm_arch.Board.t ->
   Mm_design.Design.t ->
   (outcome, error) result
 (** Both methods share one loop: build the method's formulation, solve,
     run the detailed placer, and — only when the formulation supports
     no-good cuts (i.e. [Global_detailed]) — retry with the failing
-    assignment forbidden, up to [max_retries] times. *)
+    assignment forbidden, up to [max_retries] times.
+
+    [?warm] is solver warm-start state for repeat runs of the same
+    board/design/options (the mapping service's cache); it is consumed
+    on the {e first} attempt only — retries extend the ILP with no-good
+    cut rows, and training the cache on that extended problem would
+    poison later first attempts. *)
 
 val error_to_string : error -> string

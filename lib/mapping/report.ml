@@ -260,3 +260,131 @@ let outcome board design (o : Mapper.outcome) =
   Buffer.add_char buf '\n';
   Buffer.add_string buf (placement_table board design o.Mapper.mapping);
   Buffer.contents buf
+
+(* {2 Structured reports}
+
+   [t] is the wire-format view of an outcome: everything [mmap solve
+   --json] prints and every [mmap serve] response carries, derived once
+   from the same mapper outcome the text report renders. *)
+
+type t = {
+  board : Mm_arch.Board.t;
+  design : Mm_design.Design.t;
+  result : Mapper.outcome;
+}
+
+let of_outcome board design result = { board; design; result }
+let render t = outcome t.board t.design t.result
+
+let method_to_string = function
+  | Mapper.Global_detailed -> "global"
+  | Mapper.Complete_flat -> "complete"
+
+let status_to_string = function
+  | Mm_lp.Branch_bound.Optimal -> "optimal"
+  | Mm_lp.Branch_bound.Feasible -> "feasible"
+  | Mm_lp.Branch_bound.Infeasible -> "infeasible"
+  | Mm_lp.Branch_bound.Unbounded -> "unbounded"
+  | Mm_lp.Branch_bound.Unknown -> "unknown"
+
+let to_json t =
+  let module J = Mm_obs.Json in
+  let o = t.result in
+  let board = t.board and design = t.design in
+  let mip = o.Mapper.ilp_result.Mm_lp.Solver.mip in
+  let stats = o.Mapper.ilp_result.Mm_lp.Solver.stats in
+  let lp = stats.Mm_lp.Solver.lp in
+  let opt_num = function None -> J.Null | Some v -> J.Num v in
+  let attempt (a : Mapper.attempt) =
+    J.Obj
+      [
+        ("index", J.Num (float_of_int a.Mapper.index));
+        ("ilp_status", J.Str (status_to_string a.Mapper.ilp_status));
+        ("ilp_objective", opt_num a.Mapper.ilp_objective);
+        ("ilp_nodes", J.Num (float_of_int a.Mapper.ilp_nodes));
+        ("ilp_seconds", J.Num a.Mapper.ilp_seconds);
+        ( "detailed_failure",
+          match a.Mapper.detailed_failure with
+          | None -> J.Null
+          | Some r -> J.Str r );
+      ]
+  in
+  let assignment =
+    List.map
+      (fun d ->
+        let seg = Mm_design.Design.segment design d in
+        let bt = Mm_arch.Board.bank_type board o.Mapper.assignment.(d) in
+        J.Obj
+          [
+            ("segment", J.Str seg.Mm_design.Segment.name);
+            ("type", J.Str bt.Mm_arch.Bank_type.name);
+          ])
+      (Mm_util.Ints.range (Mm_design.Design.num_segments design))
+  in
+  let placement (p : Detailed.placement) =
+    let f = p.Detailed.fragment in
+    let bt = Mm_arch.Board.bank_type board p.Detailed.type_index in
+    let seg = Mm_design.Design.segment design f.Detailed.segment in
+    J.Obj
+      [
+        ("type", J.Str bt.Mm_arch.Bank_type.name);
+        ("instance", J.Num (float_of_int p.Detailed.instance));
+        ("segment", J.Str seg.Mm_design.Segment.name);
+        ("part", J.Str (part_name f.Detailed.part));
+        ("config", J.Str (Mm_arch.Config.to_string f.Detailed.config));
+        ("words", J.Num (float_of_int f.Detailed.words));
+        ("rounded_words", J.Num (float_of_int f.Detailed.rounded_words));
+        ("first_port", J.Num (float_of_int p.Detailed.first_port));
+        ("ports", J.Num (float_of_int f.Detailed.ports_needed));
+        ("offset_bits", J.Num (float_of_int p.Detailed.offset_bits));
+        ("shared", J.Bool p.Detailed.shared);
+      ]
+  in
+  J.Obj
+    [
+      ("method", J.Str (method_to_string o.Mapper.method_));
+      ("objective", J.Num o.Mapper.objective);
+      ("status", J.Str (status_to_string mip.Mm_lp.Branch_bound.status));
+      ("best_bound", J.Num mip.Mm_lp.Branch_bound.best_bound);
+      ("retries", J.Num (float_of_int o.Mapper.retries));
+      ("attempts", J.List (List.map attempt o.Mapper.attempts));
+      ( "timing",
+        J.Obj
+          [
+            ("ilp_seconds", J.Num o.Mapper.ilp_seconds);
+            ("detailed_seconds", J.Num o.Mapper.detailed_seconds);
+            ("total_seconds", J.Num o.Mapper.total_seconds);
+          ] );
+      ( "lp",
+        J.Obj
+          [
+            ("nodes", J.Num (float_of_int mip.Mm_lp.Branch_bound.nodes));
+            ("pivots", J.Num (float_of_int lp.Mm_lp.Simplex.pivots));
+            ( "cuts_added",
+              J.Num (float_of_int stats.Mm_lp.Solver.cuts_added) );
+            ( "node_cuts_added",
+              J.Num (float_of_int stats.Mm_lp.Solver.node_cuts_added) );
+            ( "warm_applied",
+              J.List
+                (List.map
+                   (fun n -> J.Str n)
+                   stats.Mm_lp.Solver.warm_applied) );
+          ] );
+      ( "fragmentation",
+        J.Num (float_of_int (Detailed.fragmentation o.Mapper.mapping)) );
+      ( "instances_used",
+        J.List
+          (List.map
+             (fun (ti, c) ->
+               J.Obj
+                 [
+                   ( "type",
+                     J.Str
+                       (Mm_arch.Board.bank_type board ti)
+                         .Mm_arch.Bank_type.name );
+                   ("count", J.Num (float_of_int c));
+                 ])
+             (Detailed.instances_used o.Mapper.mapping)) );
+      ("assignment", J.List assignment);
+      ("placements", J.List (List.map placement o.Mapper.mapping.Detailed.placements));
+    ]

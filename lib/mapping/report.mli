@@ -40,3 +40,26 @@ val solver_config : Mm_lp.Solver.options -> string
 
 val outcome : Mm_arch.Board.t -> Mm_design.Design.t -> Mapper.outcome -> string
 (** Full report: summary, costs, placements, timing, LP-core stats. *)
+
+(** {2 Structured reports}
+
+    The machine-readable view of an outcome. [mmap solve --json] and
+    every [mmap serve] response body are both {!to_json} of the same
+    value, so the CLI and the service share one wire format (decoded by
+    [Mm_service.Request.report_of_json]). *)
+
+type t
+(** A mapping outcome bound to the board and design it was computed
+    for — everything needed to render either the text report or the
+    JSON wire format. *)
+
+val of_outcome : Mm_arch.Board.t -> Mm_design.Design.t -> Mapper.outcome -> t
+
+val render : t -> string
+(** The full text report ({!outcome} of the bound arguments). *)
+
+val to_json : t -> Mm_obs.Json.t
+(** The wire format: method, objective, status, best bound, per-attempt
+    retry history, timing, LP-core counters (including
+    [warm_applied]), fragmentation, instances used, the
+    segment-to-bank-type assignment and the placement list. *)

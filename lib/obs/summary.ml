@@ -178,17 +178,43 @@ let render events =
            ])
        points;
      section "" (Mm_util.Table.render tbl));
-  (* histograms, aggregated over domains *)
+  (* histograms, aggregated over domains; bucket counts are merged so
+     percentiles cover every sink's samples *)
+  let merge_buckets a b =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (ub, c) ->
+        Hashtbl.replace tbl ub
+          (c + Option.value (Hashtbl.find_opt tbl ub) ~default:0))
+      (a @ b);
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  (* upper estimate: the bound of the first bucket whose cumulative
+     count reaches the quantile — exact to within one log2 bucket *)
+  let percentile buckets q =
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+    if total = 0 then None
+    else
+      let rec go acc = function
+        | [] -> None
+        | (ub, c) :: rest ->
+            let acc = acc + c in
+            if float_of_int acc >= q *. float_of_int total then Some ub
+            else go acc rest
+      in
+      go 0 buckets
+  in
   let hists =
     accumulate
-      (fun (n, tot, mx) (n', tot', mx') -> (n + n', tot +. tot', Float.max mx mx'))
-      (0, 0.0, 0.0)
+      (fun (n, tot, mx, bk) (n', tot', mx', bk') ->
+        (n + n', tot +. tot', Float.max mx mx', merge_buckets bk bk'))
+      (0, 0.0, 0.0, [])
       (fun ev ->
         if ev.kind = "hist" then
           let mx =
             List.fold_left (fun acc (ub, _) -> Float.max acc ub) 0.0 ev.buckets
           in
-          Some (ev.name, (ev.n, ev.total_s, mx))
+          Some (ev.name, (ev.n, ev.total_s, mx, ev.buckets))
         else None)
       events
   in
@@ -200,17 +226,26 @@ let render events =
            ("samples", Mm_util.Table.Right);
            ("total s", Mm_util.Table.Right);
            ("mean us", Mm_util.Table.Right);
+           ("p50 us", Mm_util.Table.Right);
+           ("p99 us", Mm_util.Table.Right);
            ("max bucket", Mm_util.Table.Right);
          ]
      in
+     let pctl bk q =
+       match percentile bk q with
+       | Some ub -> Printf.sprintf "%g" (ub *. 1e6)
+       | None -> "-"
+     in
      List.iter
-       (fun (name, (n, tot, mx)) ->
+       (fun (name, (n, tot, mx, bk)) ->
          Mm_util.Table.add_row tbl
            [
              name;
              string_of_int n;
              fsec tot;
              Printf.sprintf "%.2f" (tot /. float_of_int (max n 1) *. 1e6);
+             pctl bk 0.5;
+             pctl bk 0.99;
              Printf.sprintf "%gus" (mx *. 1e6);
            ])
        hists;

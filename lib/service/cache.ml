@@ -1,0 +1,104 @@
+type entry = {
+  warm : Mm_lp.Solver.warm;
+  mutable leased : bool;
+  mutable last_used : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mu : Mutex.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  {
+    capacity = max 0 capacity;
+    tbl = Hashtbl.create 16;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mu = Mutex.create ();
+  }
+
+type lease = { key : string; warm : Mm_lp.Solver.warm; hit : bool }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let acquire t key =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.tbl key with
+      | Some e when not e.leased ->
+          e.leased <- true;
+          e.last_used <- t.tick;
+          t.hits <- t.hits + 1;
+          { key; warm = e.warm; hit = true }
+      | _ ->
+          (* absent, or leased by a concurrent request for the same
+             board — either way this request trains a fresh state and
+             counts as a miss (warm state is single-writer) *)
+          t.misses <- t.misses + 1;
+          { key; warm = Mm_lp.Solver.warm (); hit = false })
+
+(* smallest last_used among unleased entries; leased entries are pinned *)
+let evict_victim t =
+  Hashtbl.fold
+    (fun k e acc ->
+      if e.leased then acc
+      else
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (k, e))
+    t.tbl None
+
+let release t (l : lease) =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      match Hashtbl.find_opt t.tbl l.key with
+      | Some e when l.hit ->
+          e.leased <- false;
+          e.last_used <- t.tick
+      | Some _ ->
+          (* a fresh (miss) lease raced another insert for the same
+             key; keep the installed entry, drop this one *)
+          ()
+      | None ->
+          if t.capacity > 0 && not l.hit then begin
+            if Hashtbl.length t.tbl >= t.capacity then begin
+              match evict_victim t with
+              | Some (k, _) ->
+                  Hashtbl.remove t.tbl k;
+                  t.evictions <- t.evictions + 1
+              | None -> () (* every entry leased: allow a brief overshoot *)
+            end;
+            Hashtbl.replace t.tbl l.key
+              { warm = l.warm; leased = false; last_used = t.tick }
+          end)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.tbl;
+      })
+
+let stats_to_json (s : stats) =
+  let module J = Mm_obs.Json in
+  J.Obj
+    [
+      ("hits", J.Num (float_of_int s.hits));
+      ("misses", J.Num (float_of_int s.misses));
+      ("evictions", J.Num (float_of_int s.evictions));
+      ("entries", J.Num (float_of_int s.entries));
+    ]

@@ -1,0 +1,34 @@
+(** The per-board warm-start cache: an LRU of {!Mm_lp.Solver.warm}
+    states keyed by request fingerprint ({!Request.fingerprint}).
+
+    A [warm] value is single-writer — {!Mm_lp.Solver.solve} mutates it
+    in place — so entries are handed out under an exclusive {e lease}:
+    {!acquire} marks the entry leased and a concurrent request for the
+    same key gets a fresh state (counted as a miss) instead of racing
+    the borrower. {!release} returns the lease; a miss lease is
+    installed as a new entry (evicting the least-recently-used
+    unleased entry when over capacity), a racing duplicate is dropped.
+    Leased entries are never evicted. Thread- and domain-safe
+    (mutex-guarded). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity <= 0] disables caching: every acquire is a miss and
+    nothing is retained. *)
+
+type lease = {
+  key : string;
+  warm : Mm_lp.Solver.warm;  (** exclusively borrowed until release *)
+  hit : bool;  (** true iff this is a previously-trained state *)
+}
+
+val acquire : t -> string -> lease
+val release : t -> lease -> unit
+(** Call exactly once per lease, after the solve (even a failed one —
+    partial training is still training). *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+val stats_to_json : stats -> Mm_obs.Json.t

@@ -1,0 +1,57 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | () -> Ok ()
+  | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection lost"
+
+let recv t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception (End_of_file | Sys_error _) -> Error "connection closed"
+
+let roundtrip ~socket lines =
+  match connect socket with
+  | Error e -> Error e
+  | Ok t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          let rec send_all = function
+            | [] -> Ok ()
+            | l :: rest -> (
+                match send t l with Ok () -> send_all rest | Error e -> Error e)
+          in
+          match send_all lines with
+          | Error e -> Error e
+          | Ok () ->
+              let rec recv_n n acc =
+                if n = 0 then Ok (List.rev acc)
+                else
+                  match recv t with
+                  | Ok line -> recv_n (n - 1) (line :: acc)
+                  | Error e -> Error e
+              in
+              recv_n (List.length lines) [])
+
+let request ~socket line =
+  match roundtrip ~socket [ line ] with
+  | Ok [ resp ] -> Ok resp
+  | Ok _ -> Error "protocol error: response count mismatch"
+  | Error e -> Error e

@@ -1,0 +1,19 @@
+(** Minimal client for the {!Server} wire protocol, used by
+    [mmap request] and the service tests. Every line written to the
+    daemon produces exactly one response line (mapping requests,
+    control ops and malformed lines alike), so a batch of [n] lines is
+    answered by the next [n] lines — though mapping responses may
+    arrive out of submission order; correlate by [id]. *)
+
+type t
+
+val connect : string -> (t, string) result
+val close : t -> unit
+val send : t -> string -> (unit, string) result
+val recv : t -> (string, string) result
+
+val roundtrip : socket:string -> string list -> (string list, string) result
+(** Connect, send every line, read one response per line, close. *)
+
+val request : socket:string -> string -> (string, string) result
+(** One-line {!roundtrip}. *)

@@ -1,0 +1,106 @@
+module Trace = Mm_obs.Trace
+module J = Mm_obs.Json
+
+type t = { cache : Cache.t; default_knobs : Knobs.t }
+
+let create ?(cache_capacity = 64) ?(default_knobs = Knobs.default) () =
+  { cache = Cache.create ~capacity:cache_capacity; default_knobs }
+
+let cache_stats t = Cache.stats t.cache
+
+type timing = { queue_wait : Trace.hist; solve : Trace.hist; encode : Trace.hist }
+
+let timing () =
+  {
+    queue_wait = Trace.hist_create ();
+    solve = Trace.hist_create ();
+    encode = Trace.hist_create ();
+  }
+
+let emit_timing snk tm =
+  Trace.emit_hist snk "queue_wait" tm.queue_wait;
+  Trace.emit_hist snk "solve" tm.solve;
+  Trace.emit_hist snk "encode" tm.encode
+
+let code_of_error = function
+  | Mm_mapping.Mapper.Unmappable _ -> Request.Unmappable
+  | Mm_mapping.Mapper.Retries_exhausted _ -> Request.Retries_exhausted
+  | Mm_mapping.Mapper.Solver_limit -> Request.Solver_limit
+
+let handle t ?(snk = Trace.null) (req : Request.t) =
+  let key = Request.fingerprint req in
+  let lease = Cache.acquire t.cache key in
+  Trace.count snk (if lease.Cache.hit then "cache_hit" else "cache_miss") 1;
+  let warm_solves = Mm_lp.Solver.warm_solves lease.Cache.warm in
+  (* the mapper runs with tracing disabled: the solver's own sinks are
+     per-solve and the service records request-level spans itself, so
+     worker domains never share the trace's root sink *)
+  let options =
+    Mm_mapping.Mapper.options
+      ~solver_options:(Knobs.to_solver_options req.Request.knobs)
+      ()
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Cache.release t.cache lease)
+      (fun () ->
+        try
+          Ok
+            (Mm_mapping.Mapper.run ~method_:req.Request.method_ ~options
+               ~warm:lease.Cache.warm req.Request.board req.Request.design)
+        with exn -> Error (Printexc.to_string exn))
+  in
+  match result with
+  | Ok (Ok outcome) ->
+      let report =
+        Mm_mapping.Report.to_json
+          (Mm_mapping.Report.of_outcome req.Request.board req.Request.design
+             outcome)
+      in
+      Request.Ok_response
+        { id = req.Request.id; cache_hit = lease.Cache.hit; warm_solves; report }
+  | Ok (Error e) ->
+      Request.Error_response
+        {
+          id = req.Request.id;
+          code = code_of_error e;
+          message = Mm_mapping.Mapper.error_to_string e;
+        }
+  | Error msg ->
+      Request.Error_response
+        { id = req.Request.id; code = Request.Server_error; message = msg }
+
+let handle_json t ?timing:tm ?(snk = Trace.null) json =
+  let solve f =
+    match tm with
+    | None -> Trace.span snk "request" f
+    | Some tm ->
+        let t0 = Trace.now_ns () in
+        let r = Trace.span snk "request" f in
+        Trace.hist_add tm.solve (Int64.sub (Trace.now_ns ()) t0);
+        r
+  in
+  match Request.of_json ~default:t.default_knobs json with
+  | Error msg ->
+      let id =
+        Option.value
+          (Option.bind (J.member "id" json) J.to_str)
+          ~default:""
+      in
+      Request.Error_response { id; code = Request.Bad_request; message = msg }
+  | Ok req -> solve (fun () -> handle t ~snk req)
+
+let handle_line t ?timing:tm ?(snk = Trace.null) line =
+  let resp =
+    match J.of_string line with
+    | Error msg ->
+        Request.Error_response
+          { id = ""; code = Request.Bad_request; message = msg }
+    | Ok json -> handle_json t ?timing:tm ~snk json
+  in
+  let t0 = Trace.now_ns () in
+  let out = J.to_string (Request.response_to_json resp) in
+  (match tm with
+  | Some tm -> Trace.hist_add tm.encode (Int64.sub (Trace.now_ns ()) t0)
+  | None -> ());
+  out

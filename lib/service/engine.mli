@@ -1,0 +1,53 @@
+(** The service's request processor, socket-free: decode, lease warm
+    state, run the mapper, encode. {!Server} workers drive this over
+    the Unix socket; tests and the bench harness drive it directly
+    (the [serve_warm_ab] cell measures warm-vs-cold through the same
+    path the daemon uses). Thread- and domain-safe: all shared state
+    lives in the {!Cache}. *)
+
+type t
+
+val create : ?cache_capacity:int -> ?default_knobs:Knobs.t -> unit -> t
+(** Default capacity 64 boards; [0] disables warm-start caching.
+    [?default_knobs] backs requests that carry no [knobs] field. *)
+
+val cache_stats : t -> Cache.stats
+
+(** {2 Request-level latency histograms}
+
+    One [timing] per worker (histograms are single-writer, like trace
+    sinks). [queue_wait] is recorded by the server at dequeue,
+    [solve]/[encode] by {!handle_json}/{!handle_line};
+    {!emit_timing} flushes all three to the worker's sink after the
+    last request, which is what [mmap trace-summary] turns into
+    p50/p99 service latency. *)
+
+type timing = {
+  queue_wait : Mm_obs.Trace.hist;
+  solve : Mm_obs.Trace.hist;
+  encode : Mm_obs.Trace.hist;
+}
+
+val timing : unit -> timing
+val emit_timing : Mm_obs.Trace.sink -> timing -> unit
+
+val handle : t -> ?snk:Mm_obs.Trace.sink -> Request.t -> Request.response
+(** Process one decoded request: acquire a warm-cache lease
+    ({!Request.fingerprint} key), run {!Mm_mapping.Mapper.run} with the
+    leased state and the request's knobs (tracing disabled inside the
+    mapper — the solver's root sink is single-writer and the service is
+    not), release the lease, classify the outcome. Records
+    [cache_hit]/[cache_miss] counters and a ["request"] span on
+    [snk]. Never raises: mapper exceptions become [Server_error]
+    responses. *)
+
+val handle_json :
+  t -> ?timing:timing -> ?snk:Mm_obs.Trace.sink -> Mm_obs.Json.t ->
+  Request.response
+(** Decode-then-{!handle}; undecodable requests become [Bad_request]
+    responses (echoing the [id] field when one is salvageable). *)
+
+val handle_line :
+  t -> ?timing:timing -> ?snk:Mm_obs.Trace.sink -> string -> string
+(** One wire line in, one wire line out ([handle_json] composed with
+    the response codec). *)

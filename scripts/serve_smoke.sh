@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the mmap serve daemon (the CI serve-smoke
+# leg, also runnable locally): generate a workload, start the daemon,
+# fire repeat mapping requests plus control ops, assert every response
+# is valid JSON at one objective with warm-cache hits, shut the daemon
+# down cleanly, and summarize its trace (p50/p99 service latency).
+#
+#   MMAP=...   command to run mmap          (default: dune exec bin/mmap.exe --)
+#   TRACE=...  daemon trace path, kept      (default: <tmpdir>/serve-trace.jsonl)
+set -euo pipefail
+
+MMAP=${MMAP:-dune exec bin/mmap.exe --}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+SOCK="$DIR/mm.sock"
+TRACE=${TRACE:-$DIR/serve-trace.jsonl}
+
+$MMAP generate --segments 12 --banks 8 --ports 14 --configs 20 --seed 7 \
+  --out-board "$DIR/board.mm" --out-design "$DIR/design.mm"
+
+$MMAP serve -s "$SOCK" --workers 2 --time-limit 120 --trace "$TRACE" \
+  > "$DIR/serve.out" 2>&1 &
+SRV=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon did not bind $SOCK" >&2; exit 1; }
+
+# four identical requests: the first trains the warm cache, repeats hit
+$MMAP request -s "$SOCK" -b "$DIR/board.mm" -d "$DIR/design.mm" \
+  --repeat 4 > "$DIR/responses.jsonl"
+$MMAP request -s "$SOCK" --stats | tee "$DIR/stats.json"
+$MMAP request -s "$SOCK" --shutdown
+wait "$SRV"
+echo "--- daemon output:"
+cat "$DIR/serve.out"
+
+python3 - "$DIR/responses.jsonl" "$DIR/stats.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert len(lines) == 4, f"expected 4 responses, got {len(lines)}"
+for r in lines:
+    assert r["status"] == "ok", r
+    assert "objective" in r.get("report", {}), r
+hits = sum(r["cache"] == "hit" for r in lines)
+objs = {r["report"]["objective"] for r in lines}
+assert len(objs) == 1, f"objectives diverge across repeats: {objs}"
+assert hits > 0, "no warm-cache hits on repeat requests"
+stats = json.load(open(sys.argv[2]))
+assert stats["cache"]["hits"] + stats["cache"]["misses"] == 4, stats
+print(f"serve smoke ok: {hits} warm hits, objective {objs.pop()}")
+EOF
+
+$MMAP trace-summary "$TRACE"
