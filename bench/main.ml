@@ -1523,6 +1523,164 @@ let run_serve_smoke () =
     reduction
 
 (* ------------------------------------------------------------------ *)
+(* Scaling (CI leg)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Stress the generator and the LP core well past the paper's Table-3
+   envelope (132 segments / 180 banks / 265 ports / 375 configs at its
+   largest): each [Gen.scale_tier] instance is generated, frozen into
+   the global ILP and solved under a per-tier wall-clock cap, and the
+   resulting nodes/pivots/seconds curve is recorded as the scaling cell
+   of a minimal BENCH_lp.json. Run-by-name (CI's scaling leg).
+
+   Regression thresholds, all deliberately loose — they catch
+   complexity-class regressions (an accidentally quadratic generator,
+   a simplex that stops making progress), not machine noise:
+   - generating + building a tier's model must fit its model budget;
+   - every capped solve must make branching progress (the root
+     relaxation finished and the tree search processed nodes; proving
+     optimality on the big tiers is a --full luxury);
+   - simplex throughput must not collapse below a pivots/second
+     floor. *)
+let run_scaling () =
+  header "Scaling: generator + LP core beyond the Table-3 envelope";
+  let cap = quick_cap () in
+  let tiers =
+    if !full_mode then Mm_workload.Gen.scale_tiers
+    else List.filteri (fun i _ -> i < 3) Mm_workload.Gen.scale_tiers
+  in
+  let shots =
+    List.map
+      (fun (tier : Mm_workload.Gen.tier) ->
+        let t0 = Unix.gettimeofday () in
+        let board, design = Mm_workload.Gen.tier_instance tier in
+        match Mm_mapping.Global_ilp.build board design with
+        | Error e ->
+            Printf.eprintf "scaling: %s failed to build: %s\n"
+              tier.Mm_workload.Gen.tier_name e;
+            exit 1
+        | Ok b ->
+            let p = b.Mm_mapping.Global_ilp.problem in
+            let model_seconds = Unix.gettimeofday () -. t0 in
+            let options =
+              Mm_lp.Solver.quick_options ~time_limit:cap
+                ~parallelism:bench_parallelism ()
+            in
+            let r = Mm_lp.Solver.solve ~options p in
+            let mip = r.Mm_lp.Solver.mip in
+            (tier, p, model_seconds, r, mip))
+      tiers
+  in
+  let status_name (mip : Mm_lp.Branch_bound.result) =
+    match mip.Mm_lp.Branch_bound.status with
+    | Mm_lp.Branch_bound.Optimal -> "optimal"
+    | Mm_lp.Branch_bound.Feasible -> "feasible"
+    | Mm_lp.Branch_bound.Infeasible -> "infeasible"
+    | Mm_lp.Branch_bound.Unbounded -> "unbounded"
+    | Mm_lp.Branch_bound.Unknown -> "unknown"
+  in
+  let t =
+    Table.create
+      [
+        ("tier", Table.Left);
+        ("segs", Table.Right);
+        ("banks", Table.Right);
+        ("vars", Table.Right);
+        ("rows", Table.Right);
+        ("model (s)", Table.Right);
+        ("solve (s)", Table.Right);
+        ("nodes", Table.Right);
+        ("pivots", Table.Right);
+        ("status", Table.Left);
+      ]
+  in
+  List.iter
+    (fun ((tier : Mm_workload.Gen.tier), p, model_seconds, r, mip) ->
+      Table.add_row t
+        [
+          tier.Mm_workload.Gen.tier_name;
+          string_of_int tier.Mm_workload.Gen.spec.Mm_workload.Gen.segments;
+          string_of_int tier.Mm_workload.Gen.spec.Mm_workload.Gen.banks;
+          string_of_int p.Mm_lp.Problem.ncols;
+          string_of_int p.Mm_lp.Problem.nrows;
+          Printf.sprintf "%.2f" model_seconds;
+          Printf.sprintf "%.2f" mip.Mm_lp.Branch_bound.time;
+          string_of_int mip.Mm_lp.Branch_bound.nodes;
+          string_of_int r.Mm_lp.Solver.stats.Mm_lp.Solver.lp.Mm_lp.Simplex.pivots;
+          status_name mip;
+        ])
+    shots;
+  Table.print t;
+  (* model budget: generation plus ILP freeze; throughput floor is in
+     pivots per second of LP time *)
+  let model_budget = if !full_mode then 120.0 else 30.0 in
+  let throughput_floor = 200.0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"scaling (Gen.scale_tiers)\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"time_cap_seconds\": %.1f,\n" cap);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"parallelism\": %d,\n" bench_parallelism);
+  Buffer.add_string buf "  \"scaling\": [\n";
+  List.iteri
+    (fun i ((tier : Mm_workload.Gen.tier), p, model_seconds, r, mip) ->
+      let spec = tier.Mm_workload.Gen.spec in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"tier\": %S, \"segments\": %d, \"banks\": %d, \"ports\": \
+            %d, \"configs\": %d, \"vars\": %d, \"rows\": %d, \
+            \"model_seconds\": %.3f, \"solve_seconds\": %.3f, \"nodes\": %d, \
+            \"pivots\": %d, \"status\": %S }%s\n"
+           tier.Mm_workload.Gen.tier_name spec.Mm_workload.Gen.segments
+           spec.Mm_workload.Gen.banks spec.Mm_workload.Gen.ports
+           spec.Mm_workload.Gen.configs p.Mm_lp.Problem.ncols
+           p.Mm_lp.Problem.nrows model_seconds mip.Mm_lp.Branch_bound.time
+           mip.Mm_lp.Branch_bound.nodes
+           r.Mm_lp.Solver.stats.Mm_lp.Solver.lp.Mm_lp.Simplex.pivots
+           (status_name mip)
+           (if i = List.length shots - 1 then "" else ",")))
+    shots;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_lp.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  line "wrote BENCH_lp.json (scaling, %d tiers)" (List.length shots);
+  let failures = ref [] in
+  List.iter
+    (fun ((tier : Mm_workload.Gen.tier), _, model_seconds, r, mip) ->
+      let name = tier.Mm_workload.Gen.tier_name in
+      if model_seconds > model_budget then
+        failures :=
+          Printf.sprintf "%s: model construction took %.1fs (budget %.0fs)"
+            name model_seconds model_budget
+          :: !failures;
+      if
+        mip.Mm_lp.Branch_bound.status = Mm_lp.Branch_bound.Unknown
+        && mip.Mm_lp.Branch_bound.nodes <= 1
+      then
+        failures :=
+          Printf.sprintf
+            "%s: no branching progress within the %.0fs cap (root \
+             relaxation stalled)"
+            name cap
+          :: !failures;
+      let lp_time = r.Mm_lp.Solver.stats.Mm_lp.Solver.lp_time in
+      let pivots = r.Mm_lp.Solver.stats.Mm_lp.Solver.lp.Mm_lp.Simplex.pivots in
+      if lp_time > 1.0 && float_of_int pivots /. lp_time < throughput_floor
+      then
+        failures :=
+          Printf.sprintf "%s: simplex throughput %.0f pivots/s (floor %.0f)"
+            name
+            (float_of_int pivots /. lp_time)
+            throughput_floor
+          :: !failures)
+    shots;
+  (match !failures with
+  | [] -> line "all %d tiers within regression thresholds." (List.length shots)
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "scaling: %s\n" f) (List.rev fs);
+      exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1638,6 +1796,7 @@ let experiments =
     ("pricing-smoke", run_pricing_smoke);
     ("cuts-smoke", run_cuts_smoke);
     ("serve-smoke", run_serve_smoke);
+    ("scaling", run_scaling);
     ("micro", run_micro);
   ]
 
@@ -1662,7 +1821,8 @@ let () =
            minimal BENCH_lp.json and would clobber the table3 sweep's
            record *)
         List.filter
-          (fun n -> n <> "pricing-smoke" && n <> "cuts-smoke")
+          (fun n ->
+            n <> "pricing-smoke" && n <> "cuts-smoke" && n <> "scaling")
           (List.map fst experiments)
     | names -> names
   in

@@ -425,9 +425,13 @@ let serve_cmd =
       | Some _ -> Mm_obs.Trace.create ()
     in
     let stats =
-      Mm_service.Server.run
-        (Mm_service.Server.options ~workers ~queue_capacity ~cache_capacity
-           ~default_knobs:knobs ~trace socket)
+      try
+        Mm_service.Server.run
+          (Mm_service.Server.options ~workers ~queue_capacity ~cache_capacity
+             ~default_knobs:knobs ~trace socket)
+      with Mm_service.Server.Already_running path ->
+        Printf.eprintf "mmap serve: a daemon is already listening on %s\n" path;
+        exit 1
     in
     (match trace_out with
     | None -> ()
@@ -564,6 +568,121 @@ let trace_summary_cmd =
              node-throughput timeline.")
     Term.(const run $ logs_term $ file_arg)
 
+(* ---- fuzz ------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let cases_arg =
+    Arg.(value & opt int 2000 & info [ "cases"; "n" ] ~docv:"N"
+           ~doc:"Differential cases to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Campaign seed; case $(i,i) derives its own seed from \
+                 $(i,SEED) and $(i,i), so single cases replay in \
+                 isolation.")
+  in
+  let time_limit_arg =
+    Arg.(value & opt float 60.0 & info [ "time-limit" ] ~docv:"SECONDS"
+           ~doc:"Per-solve wall-clock limit; limit hits are skipped, \
+                 not failed.")
+  in
+  let replay_dir_arg =
+    Arg.(value & opt (some string) None & info [ "replay-dir" ] ~docv:"DIR"
+           ~doc:"Write each (shrunk) failing case to $(i,DIR) as a JSON \
+                 replay file.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Replay a single saved case against the full \
+                 configuration matrix, then exit.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some dir) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Instead of generating cases, solve every .mps file in \
+                 $(i,DIR) and check each against its MANIFEST line.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"N"
+           ~doc:"Stop the campaign after this many failures.")
+  in
+  let run () cases seed time_limit replay_dir replay corpus max_failures =
+    match (replay, corpus) with
+    | Some file, _ -> (
+        match Mm_fuzz.Replay.load file with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        | Ok case -> (
+            Printf.printf "replaying %s\n%!" (Mm_fuzz.Case.describe case);
+            match Mm_fuzz.Campaign.run_one ~time_limit case with
+            | Ok r ->
+                Printf.printf "ok: %d arms agree%s\n" r.Mm_fuzz.Differential.arms_run
+                  (if r.Mm_fuzz.Differential.oracle_checked then
+                     " (oracle checked)"
+                   else "")
+            | Error f ->
+                Printf.eprintf "FAIL %s\n" (Mm_fuzz.Differential.failure_to_string f);
+                exit 1))
+    | None, Some dir -> (
+        match Mm_fuzz.Corpus.run ~time_limit ~dir () with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            exit 1
+        | Ok s ->
+            Printf.printf "corpus: %d files checked, %d matched manifest\n"
+              s.Mm_fuzz.Corpus.checked s.Mm_fuzz.Corpus.matched;
+            if s.Mm_fuzz.Corpus.errors <> [] then begin
+              List.iter
+                (fun (file, msg) -> Printf.eprintf "FAIL %s: %s\n" file msg)
+                s.Mm_fuzz.Corpus.errors;
+              exit 1
+            end)
+    | None, None ->
+        let config =
+          {
+            Mm_fuzz.Campaign.cases;
+            seed;
+            time_limit;
+            replay_dir;
+            max_failures;
+          }
+        in
+        let progress i (o : Mm_fuzz.Campaign.outcome) =
+          Printf.printf
+            "%d/%d cases | %d solves | %d oracle-checked | %d skipped | %d limit hits\n%!"
+            i cases o.Mm_fuzz.Campaign.solves o.Mm_fuzz.Campaign.oracle_checks
+            o.Mm_fuzz.Campaign.skipped o.Mm_fuzz.Campaign.limit_hits
+        in
+        let o = Mm_fuzz.Campaign.run ~progress config in
+        Printf.printf
+          "campaign: %d cases (%d executed, %d skipped), %d solves, %d \
+           oracle-checked, %d limit hits\n"
+          o.Mm_fuzz.Campaign.generated o.Mm_fuzz.Campaign.executed
+          o.Mm_fuzz.Campaign.skipped o.Mm_fuzz.Campaign.solves
+          o.Mm_fuzz.Campaign.oracle_checks o.Mm_fuzz.Campaign.limit_hits;
+        if o.Mm_fuzz.Campaign.failures <> [] then begin
+          List.iter
+            (fun f ->
+              Printf.eprintf "FAIL %s\n" (Mm_fuzz.Differential.failure_to_string f))
+            o.Mm_fuzz.Campaign.failures;
+          (match replay_dir with
+          | Some d -> Printf.eprintf "replay files written under %s\n" d
+          | None -> ());
+          exit 1
+        end;
+        print_endline "no disagreements"
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing of the MIP core: solve generated \
+             instances under many solver configurations (parallelism, \
+             pricing, cuts, warm starts) plus a brute-force oracle on \
+             small binary cases, and fail on any disagreement. Failing \
+             cases are shrunk to minimal reproducers.")
+    Term.(
+      const run $ logs_term $ cases_arg $ seed_arg $ time_limit_arg
+      $ replay_dir_arg $ replay_arg $ corpus_arg $ max_failures_arg)
+
 let () =
   let info =
     Cmd.info "mmap" ~version:"1.0.0"
@@ -578,6 +697,7 @@ let () =
             serve_cmd;
             request_cmd;
             trace_summary_cmd;
+            fuzz_cmd;
             generate_cmd;
             devices_cmd;
             example_cmd;

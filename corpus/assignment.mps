@@ -1,0 +1,35 @@
+* 2x2 assignment: min 3 x11 + 5 x12 + 4 x21 + 2 x22, each row and
+* column assigned exactly once; optimum 5 at x11 = x22 = 1
+NAME assignment
+ROWS
+ N obj
+ E r1
+ E r2
+ E c1
+ E c2
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    x11  obj  3
+    x11  r1  1
+    x11  c1  1
+    x12  obj  5
+    x12  r1  1
+    x12  c2  1
+    x21  obj  4
+    x21  r2  1
+    x21  c1  1
+    x22  obj  2
+    x22  r2  1
+    x22  c2  1
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  r1  1
+    rhs  r2  1
+    rhs  c1  1
+    rhs  c2  1
+BOUNDS
+ BV bnd  x11
+ BV bnd  x12
+ BV bnd  x21
+ BV bnd  x22
+ENDATA

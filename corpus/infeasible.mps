@@ -1,0 +1,18 @@
+* two binaries cannot sum to 3: infeasible by integrality and bounds
+NAME infeasible
+ROWS
+ N obj
+ G need
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    x  obj  1
+    x  need  1
+    y  obj  1
+    y  need  1
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  need  3
+BOUNDS
+ BV bnd  x
+ BV bnd  y
+ENDATA

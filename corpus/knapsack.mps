@@ -1,0 +1,22 @@
+* 0/1 knapsack: max 10a + 6b + 4c st 5a + 4b + 3c <= 10
+* written as min -10a - 6b - 4c; optimum -16 at a=b=1, c=0
+NAME knapsack
+ROWS
+ N obj
+ L cap
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    a  obj  -10
+    a  cap  5
+    b  obj  -6
+    b  cap  4
+    c  obj  -4
+    c  cap  3
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  cap  10
+BOUNDS
+ BV bnd  a
+ BV bnd  b
+ BV bnd  c
+ENDATA

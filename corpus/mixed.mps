@@ -1,0 +1,20 @@
+* mixed integer/continuous:
+* min -2i - c  st  i + c <= 3.5,  i integer in [0,3],  c in [0,1.25]
+* optimum -6.5 at i = 3, c = 0.5 (the cap binds c below its bound)
+NAME mixed
+ROWS
+ N obj
+ L cap
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    i  obj  -2
+    i  cap  1
+    M2  'MARKER'  'INTEND'
+    c  obj  -1
+    c  cap  1
+RHS
+    rhs  cap  3.5
+BOUNDS
+ UI bnd  i  3
+ UP bnd  c  1.25
+ENDATA

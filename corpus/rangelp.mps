@@ -1,0 +1,21 @@
+* continuous LP with a range row and an objective constant:
+* min x + 2y + 1  st  4 <= x + y <= 6,  x <= 5, y <= 5
+* optimum 5 at x = 4, y = 0
+NAME rangelp
+ROWS
+ N obj
+ L band
+COLUMNS
+    x  obj  1
+    x  band  1
+    y  obj  2
+    y  band  1
+RHS
+    rhs  band  6
+    rhs  obj  -1
+RANGES
+    rng  band  2
+BOUNDS
+ UP bnd  x  5
+ UP bnd  y  5
+ENDATA

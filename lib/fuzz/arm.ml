@@ -1,0 +1,56 @@
+module Solver = Mm_lp.Solver
+module Simplex = Mm_lp.Simplex
+module Branch_bound = Mm_lp.Branch_bound
+
+type cuts_mode = Full | Off | Baseline
+
+type t = {
+  name : string;
+  parallelism : int;
+  pricing : Mm_lp.Simplex.pricing;
+  cuts : cuts_mode;
+  warm : bool;
+}
+
+let mk name parallelism pricing cuts warm =
+  { name; parallelism; pricing; cuts; warm }
+
+let reference = mk "j1-devex-full" 1 Simplex.Devex Full false
+
+let matrix =
+  [
+    mk "j2-devex-full" 2 Simplex.Devex Full false;
+    mk "j4-devex-full" 4 Simplex.Devex Full false;
+    mk "j1-dantzig-full" 1 Simplex.Dantzig Full false;
+    mk "j2-dantzig-full" 2 Simplex.Dantzig Full false;
+    mk "j1-devex-nocuts" 1 Simplex.Devex Off false;
+    mk "j1-dantzig-nocuts" 1 Simplex.Dantzig Off false;
+    mk "j4-dantzig-nocuts" 4 Simplex.Dantzig Off false;
+    mk "j1-devex-baseline" 1 Simplex.Devex Baseline false;
+    mk "j2-devex-baseline" 2 Simplex.Devex Baseline false;
+    mk "j1-devex-full-warm" 1 Simplex.Devex Full true;
+    mk "j2-devex-full-warm" 2 Simplex.Devex Full true;
+  ]
+
+let solver_options ?time_limit t =
+  let bb = Branch_bound.options ?time_limit () in
+  match t.cuts with
+  | Full ->
+      Solver.options ~parallelism:t.parallelism ~pricing:t.pricing ~bb ()
+  | Off ->
+      Solver.options ~cuts:false ~parallelism:t.parallelism ~pricing:t.pricing
+        ~bb ()
+  | Baseline ->
+      Solver.baseline_options ?time_limit ~parallelism:t.parallelism
+        ~pricing:t.pricing ()
+
+let solve ?time_limit t p =
+  let options = solver_options ?time_limit t in
+  if not t.warm then Solver.solve ~options p
+  else begin
+    (* first solve trains the state, the reported result is the
+       warm-started repeat — the mapping service's hot path *)
+    let warm = Solver.warm () in
+    ignore (Solver.solve ~options ~warm p);
+    Solver.solve ~options ~warm p
+  end

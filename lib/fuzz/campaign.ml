@@ -1,0 +1,106 @@
+module Prng = Mm_util.Prng
+
+type config = {
+  cases : int;
+  seed : int;
+  time_limit : float;
+  replay_dir : string option;
+  max_failures : int;
+}
+
+let default_config =
+  {
+    cases = 2000;
+    seed = 2026;
+    time_limit = 60.0;
+    replay_dir = None;
+    max_failures = 1;
+  }
+
+type outcome = {
+  generated : int;
+  executed : int;
+  skipped : int;
+  limit_hits : int;
+  oracle_checks : int;
+  solves : int;
+  failures : Differential.failure list;
+}
+
+let empty_outcome =
+  {
+    generated = 0;
+    executed = 0;
+    skipped = 0;
+    limit_hits = 0;
+    oracle_checks = 0;
+    solves = 0;
+    failures = [];
+  }
+
+let arms_for i = List.filteri (fun j _ -> (i + j) mod 3 = 0) Arm.matrix
+
+let run_one ?time_limit case =
+  Differential.run_case ?time_limit ~arms:Arm.matrix case
+
+let run ?progress config =
+  let acc = ref empty_outcome in
+  let still_fails ~arms case =
+    match Differential.run_case ~time_limit:config.time_limit ~arms case with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  let i = ref 0 in
+  while
+    !i < config.cases && List.length !acc.failures < config.max_failures
+  do
+    let idx = !i in
+    let rng = Prng.create (Prng.hash_list [ config.seed; idx ]) in
+    let case = Case.generate rng in
+    let arms = arms_for idx in
+    (match
+       Differential.run_case ~time_limit:config.time_limit ~arms case
+     with
+    | Ok r ->
+        acc :=
+          {
+            !acc with
+            generated = !acc.generated + 1;
+            executed = (!acc.executed + if r.Differential.skipped then 0 else 1);
+            skipped = (!acc.skipped + if r.Differential.skipped then 1 else 0);
+            limit_hits =
+              (!acc.limit_hits + if r.Differential.limit_hit then 1 else 0);
+            oracle_checks =
+              (!acc.oracle_checks + if r.Differential.oracle_checked then 1 else 0);
+            solves = !acc.solves + r.Differential.arms_run;
+          }
+    | Error failure ->
+        let shrunk =
+          Shrink.minimize ~still_fails:(still_fails ~arms)
+            failure.Differential.case
+        in
+        (* re-run the minimized case to get its (possibly different)
+           arm/reason; fall back to the original on a flaky shrink *)
+        let failure =
+          match
+            Differential.run_case ~time_limit:config.time_limit ~arms shrunk
+          with
+          | Error f -> f
+          | Ok _ -> failure
+        in
+        Option.iter
+          (fun dir -> ignore (Replay.save ~dir failure))
+          config.replay_dir;
+        acc :=
+          {
+            !acc with
+            generated = !acc.generated + 1;
+            executed = !acc.executed + 1;
+            failures = !acc.failures @ [ failure ];
+          });
+    incr i;
+    match progress with
+    | Some f when !i mod 200 = 0 -> f !i !acc
+    | _ -> ()
+  done;
+  !acc

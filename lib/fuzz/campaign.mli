@@ -1,0 +1,43 @@
+(** Fixed-seed differential campaigns.
+
+    Case [i] of a campaign is generated from
+    [Prng.hash_list [seed; i]], so any single case replays in isolation
+    without re-running its predecessors. Arms rotate per case: every
+    case runs the reference plus a third of the matrix, so a few
+    thousand cases cover every arm thousands of times without paying
+    the full matrix on each. *)
+
+type config = {
+  cases : int;
+  seed : int;
+  time_limit : float;  (** per solve, seconds *)
+  replay_dir : string option;  (** where failing cases are written *)
+  max_failures : int;  (** stop after this many (shrunk) failures *)
+}
+
+val default_config : config
+(** 2000 cases, seed 2026, 60s limit, no replay dir, stop at first
+    failure. *)
+
+type outcome = {
+  generated : int;  (** cases drawn, including skipped ones *)
+  executed : int;  (** cases actually solved *)
+  skipped : int;  (** descriptors that did not materialize *)
+  limit_hits : int;  (** cases where some solve hit the time limit *)
+  oracle_checks : int;  (** cases cross-checked against brute force *)
+  solves : int;  (** total arm solves, references included *)
+  failures : Differential.failure list;  (** shrunk, replay-saved *)
+}
+
+val arms_for : int -> Arm.t list
+(** The rotating arm subset for case index [i] (reference excluded). *)
+
+val run : ?progress:(int -> outcome -> unit) -> config -> outcome
+(** Runs the campaign. [progress] is called every few hundred cases
+    with the index and the running tallies. Failures are shrunk with
+    {!Shrink.minimize} before being recorded (and saved when
+    [replay_dir] is set). *)
+
+val run_one :
+  ?time_limit:float -> Case.t -> (Differential.report, Differential.failure) result
+(** Replays a single case against the {e full} arm matrix. *)

@@ -1,0 +1,231 @@
+module Prng = Mm_util.Prng
+module Model = Mm_lp.Model
+module Expr = Mm_lp.Expr
+module Problem = Mm_lp.Problem
+module Gen = Mm_workload.Gen
+module J = Mm_obs.Json
+
+type t =
+  | Mip of { vars : int; rows : int; seed : int; pure_binary : bool }
+  | Workload of {
+      segments : int;
+      banks : int;
+      ports : int;
+      configs : int;
+      seed : int;
+    }
+
+(* ---- generation ------------------------------------------------------- *)
+
+let fresh_seed rng = Prng.int rng 1_000_000_000
+
+let generate_workload rng =
+  (* rejection-sample a composable spec; the window below composes for
+     most draws, so the fallback is rarely reached *)
+  let draw () =
+    let banks = Prng.int_in rng 2 14 in
+    let ports = banks + Prng.int_in rng 0 8 in
+    Workload
+      {
+        segments = Prng.int_in rng 2 10;
+        banks;
+        ports;
+        configs = 5 * Prng.int_in rng 1 6;
+        seed = fresh_seed rng;
+      }
+  in
+  let valid = function
+    | Workload { segments; banks; ports; configs; seed } ->
+        Gen.validate_spec { Gen.segments; banks; ports; configs; seed }
+        = Ok ()
+    | Mip _ -> true
+  in
+  let rec try_draw n =
+    if n = 0 then
+      Workload { segments = 4; banks = 5; ports = 7; configs = 10; seed = fresh_seed rng }
+    else
+      let c = draw () in
+      if valid c then c else try_draw (n - 1)
+  in
+  try_draw 20
+
+let generate rng =
+  if Prng.int rng 100 < 65 then
+    Mip
+      {
+        vars = Prng.int_in rng 2 14;
+        rows = Prng.int_in rng 1 8;
+        seed = fresh_seed rng;
+        pure_binary = Prng.int rng 10 < 7;
+      }
+  else generate_workload rng
+
+(* ---- materialization -------------------------------------------------- *)
+
+(* All variables are bounded, so generated MIPs are Optimal or
+   Infeasible — never Unbounded — and every arm must agree on which. *)
+let mip_problem ~vars ~rows ~seed ~pure_binary =
+  let rng = Prng.create (Prng.hash_list [ 0x4d49; vars; rows; seed ]) in
+  let m = Model.create ~name:"fuzz-mip" () in
+  let vs =
+    Array.init vars (fun i ->
+        let obj = float_of_int (Prng.int_in rng (-5) 5) in
+        let name = Printf.sprintf "x%d" i in
+        if pure_binary || Prng.int rng 10 < 6 then
+          Model.binary m ~name ~obj ()
+        else if Prng.bool rng then
+          Model.add_var m ~name ~obj
+            ~ub:(float_of_int (Prng.int_in rng 1 3))
+            Problem.Integer
+        else
+          Model.add_var m ~name ~obj
+            ~ub:(float_of_int (Prng.int_in rng 1 4))
+            Problem.Continuous)
+  in
+  for r = 0 to rows - 1 do
+    let k = Prng.int_in rng 2 (min vars 4) in
+    let terms =
+      List.init k (fun _ ->
+          let j = Prng.int rng vars in
+          let c = Prng.int_in rng (-4) 4 in
+          (j, float_of_int (if c = 0 then 1 else c)))
+    in
+    let e = Expr.sum (List.map (fun (j, c) -> Expr.var ~coeff:c vs.(j)) terms) in
+    (* choose the rhs inside (or slightly outside) the row's activity
+       window so both feasible and infeasible instances are common *)
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (j, c) ->
+          ignore j;
+          (* every generated variable lives in [0, u] with u <= 4 *)
+          let u = 4.0 in
+          if c >= 0.0 then (lo, hi +. (c *. u)) else (lo +. (c *. u), hi))
+        (0.0, 0.0) terms
+    in
+    let b =
+      float_of_int
+        (Prng.int_in rng (int_of_float lo - 2) (int_of_float hi + 2))
+    in
+    (match Prng.int rng 6 with
+    | 0 | 1 -> Model.add_le m ~name:(Printf.sprintf "r%d" r) e b
+    | 2 | 3 -> Model.add_ge m ~name:(Printf.sprintf "r%d" r) e b
+    | 4 -> Model.add_eq m ~name:(Printf.sprintf "r%d" r) e b
+    | _ ->
+        Model.add_range m
+          ~name:(Printf.sprintf "r%d" r)
+          b e
+          (b +. float_of_int (Prng.int_in rng 1 4)))
+  done;
+  Model.to_problem m
+
+let problem = function
+  | Mip { vars; rows; seed; pure_binary } ->
+      Some (mip_problem ~vars ~rows ~seed ~pure_binary)
+  | Workload { segments; banks; ports; configs; seed } -> (
+      let spec = { Gen.segments; banks; ports; configs; seed } in
+      match Gen.validate_spec spec with
+      | Error _ -> None
+      | Ok () -> (
+          let board, design = Gen.instance spec in
+          match Mm_mapping.Global_ilp.build board design with
+          | Ok b -> Some b.Mm_mapping.Global_ilp.problem
+          | Error _ -> None))
+
+(* ---- shrinking -------------------------------------------------------- *)
+
+let shrink = function
+  | Mip { vars; rows; seed; pure_binary } ->
+      let mk vars rows = Mip { vars; rows; seed; pure_binary } in
+      List.filter_map Fun.id
+        [
+          (if vars > 2 then Some (mk (max 2 (vars / 2)) rows) else None);
+          (if rows > 1 then Some (mk vars (max 1 (rows / 2))) else None);
+          (if vars > 2 then Some (mk (vars - 1) rows) else None);
+          (if rows > 1 then Some (mk vars (rows - 1)) else None);
+          (if pure_binary then None
+           else Some (Mip { vars; rows; seed; pure_binary = true }));
+        ]
+  | Workload { segments; banks; ports; configs; seed } ->
+      let mk segments banks ports configs =
+        let c = Workload { segments; banks; ports; configs; seed } in
+        if
+          Gen.validate_spec { Gen.segments; banks; ports; configs; seed }
+          = Ok ()
+        then Some c
+        else None
+      in
+      let extra = ports - banks in
+      List.filter_map Fun.id
+        [
+          (if segments > 2 then mk (max 2 (segments / 2)) banks ports configs
+           else None);
+          (if banks > 2 then
+             let b = max 2 (banks / 2) in
+             mk segments b (b + extra) configs
+           else None);
+          (if configs > 5 then
+             mk segments banks ports (5 * max 1 (configs / 10))
+           else None);
+          (if segments > 2 then mk (segments - 1) banks ports configs
+           else None);
+          (if extra > 0 then mk segments banks (ports - 1) configs else None);
+        ]
+
+(* ---- descriptions and codec ------------------------------------------- *)
+
+let describe = function
+  | Mip { vars; rows; seed; pure_binary } ->
+      Printf.sprintf "mip vars=%d rows=%d seed=%d%s" vars rows seed
+        (if pure_binary then " pure-binary" else "")
+  | Workload { segments; banks; ports; configs; seed } ->
+      Printf.sprintf "workload segments=%d banks=%d ports=%d configs=%d seed=%d"
+        segments banks ports configs seed
+
+let to_json = function
+  | Mip { vars; rows; seed; pure_binary } ->
+      J.Obj
+        [
+          ("family", J.Str "mip");
+          ("vars", J.Num (float_of_int vars));
+          ("rows", J.Num (float_of_int rows));
+          ("seed", J.Num (float_of_int seed));
+          ("pure_binary", J.Bool pure_binary);
+        ]
+  | Workload { segments; banks; ports; configs; seed } ->
+      J.Obj
+        [
+          ("family", J.Str "workload");
+          ("segments", J.Num (float_of_int segments));
+          ("banks", J.Num (float_of_int banks));
+          ("ports", J.Num (float_of_int ports));
+          ("configs", J.Num (float_of_int configs));
+          ("seed", J.Num (float_of_int seed));
+        ]
+
+let of_json json =
+  let num k =
+    match Option.bind (J.member k json) J.to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or non-numeric field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  match Option.bind (J.member "family" json) J.to_str with
+  | Some "mip" ->
+      let* vars = num "vars" in
+      let* rows = num "rows" in
+      let* seed = num "seed" in
+      let pure_binary =
+        match J.member "pure_binary" json with
+        | Some (J.Bool b) -> b
+        | _ -> false
+      in
+      Ok (Mip { vars; rows; seed; pure_binary })
+  | Some "workload" ->
+      let* segments = num "segments" in
+      let* banks = num "banks" in
+      let* ports = num "ports" in
+      let* configs = num "configs" in
+      let* seed = num "seed" in
+      Ok (Workload { segments; banks; ports; configs; seed })
+  | Some f -> Error (Printf.sprintf "unknown case family %S" f)
+  | None -> Error "missing case family"

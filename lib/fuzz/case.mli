@@ -1,0 +1,39 @@
+(** Generated fuzz instances, as small serializable descriptors.
+
+    A case is regenerated deterministically from its descriptor, so a
+    replay file only needs the descriptor — not the instance — and
+    shrinking is descriptor-level (smaller parameters, same seed).
+
+    Two families:
+    - [Mip]: a random small mixed-integer program built directly on
+      {!Mm_lp.Model} — pure-binary variants are checkable against the
+      brute-force {!Oracle};
+    - [Workload]: a {!Mm_workload.Gen} spec run through the global
+      mapping ILP ({!Mm_mapping.Global_ilp.build}), exercising the
+      solver on the paper's actual constraint structure. *)
+
+type t =
+  | Mip of { vars : int; rows : int; seed : int; pure_binary : bool }
+  | Workload of {
+      segments : int;
+      banks : int;
+      ports : int;
+      configs : int;
+      seed : int;
+    }
+
+val generate : Mm_util.Prng.t -> t
+(** Draws a descriptor; workload specs are pre-screened with
+    {!Mm_workload.Gen.validate_spec} so they always compose. *)
+
+val problem : t -> Mm_lp.Problem.t option
+(** Deterministic materialization; [None] when the descriptor does not
+    build (an uncomposable shrunk spec, or a workload whose ILP has no
+    feasible type for some segment). *)
+
+val shrink : t -> t list
+(** Strictly smaller candidate descriptors, most aggressive first. *)
+
+val describe : t -> string
+val to_json : t -> Mm_obs.Json.t
+val of_json : Mm_obs.Json.t -> (t, string) result

@@ -1,0 +1,31 @@
+(** External-corpus runner: solve every MPS file in a directory and
+    check each against a [MANIFEST] of expected results.
+
+    [MANIFEST] grammar, one entry per line:
+    {v
+    # comment
+    <file.mps> <optimal|infeasible|unbounded> [objective]
+    v}
+    The objective (user sense) is optional and checked to relative
+    tolerance 1e-6 when present. Files in the directory without a
+    manifest line are still solved — their result must simply not
+    crash and must validate intrinsically. *)
+
+type entry = {
+  file : string;
+  expected : string;  (** "optimal" / "infeasible" / "unbounded" *)
+  objective : float option;
+}
+
+type stats = {
+  checked : int;  (** files solved *)
+  matched : int;  (** files with a manifest line that agreed *)
+  errors : (string * string) list;  (** file, what went wrong *)
+}
+
+val parse_manifest : string -> (entry list, string) result
+(** Parses manifest text; errors carry a line number. *)
+
+val run : ?time_limit:float -> dir:string -> unit -> (stats, string) result
+(** [Error] only for setup problems (missing directory / unreadable
+    manifest); per-file disagreements are collected in [errors]. *)

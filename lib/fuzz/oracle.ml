@@ -1,0 +1,36 @@
+module Problem = Mm_lp.Problem
+
+let max_vars = 14
+
+let check (p : Problem.t) =
+  let n = p.Problem.ncols in
+  let all_binary =
+    Array.for_all
+      (fun k ->
+        match k with
+        | Problem.Binary -> true
+        | Problem.Integer | Problem.Continuous -> false)
+      p.Problem.kind
+  in
+  if (not all_binary) || n > max_vars then `Too_big
+  else begin
+    let x = Array.make n 0.0 in
+    let best = ref infinity in
+    let found = ref false in
+    for mask = 0 to (1 lsl n) - 1 do
+      for j = 0 to n - 1 do
+        x.(j) <- (if mask land (1 lsl j) <> 0 then 1.0 else 0.0)
+      done;
+      if Problem.is_feasible p x then begin
+        found := true;
+        (* minimize in normal form; convert to user sense at the end *)
+        let v = ref p.Problem.obj_const in
+        for j = 0 to n - 1 do
+          v := !v +. (p.Problem.obj.(j) *. x.(j))
+        done;
+        if !v < !best then best := !v
+      end
+    done;
+    if not !found then `Infeasible
+    else `Optimal (if p.Problem.maximize_input then -. !best else !best)
+  end

@@ -1,0 +1,12 @@
+(** Brute-force reference for small pure-binary problems.
+
+    Enumerates every 0/1 assignment and keeps the best feasible
+    objective — a few-line program that cannot share a bug with the
+    simplex/branch-and-bound stack, which is the point. *)
+
+val max_vars : int
+(** Enumeration cap (2^max_vars assignments). *)
+
+val check : Mm_lp.Problem.t -> [ `Optimal of float | `Infeasible | `Too_big ]
+(** [`Too_big] when the problem has non-binary columns or more than
+    {!max_vars} of them. The objective is in the user's sense. *)

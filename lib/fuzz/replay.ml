@@ -1,0 +1,46 @@
+module J = Mm_obs.Json
+module Prng = Mm_util.Prng
+
+let mkdir_p dir =
+  (* single level is enough for replay dirs; parents must exist *)
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let case_hash case =
+  let s = J.to_string (Case.to_json case) in
+  let codes = List.init (String.length s) (fun i -> Char.code s.[i]) in
+  Prng.hash_list codes land 0xFFFFFF
+
+let save ~dir (f : Differential.failure) =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "case-%06x.json" (case_hash f.Differential.case)) in
+  let json =
+    J.Obj
+      [
+        ("case", Case.to_json f.Differential.case);
+        ("arm", J.Str f.Differential.arm);
+        ("reason", J.Str f.Differential.reason);
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string json ^ "\n"));
+  path
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match J.of_string text with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok json -> (
+          match J.member "case" json with
+          | None -> Error (Printf.sprintf "%s: missing \"case\" field" path)
+          | Some c -> Case.of_json c))

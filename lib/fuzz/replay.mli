@@ -1,0 +1,12 @@
+(** Replay files: one JSON object per failing case, small enough to
+    commit next to a bug report. The descriptor regenerates the exact
+    instance, so the file carries no matrices — just the recipe and the
+    arm/reason that tripped. *)
+
+val save : dir:string -> Differential.failure -> string
+(** Writes the failure under [dir] (created if missing) and returns the
+    file path. Names are derived from the case hash, so re-running a
+    campaign overwrites rather than accumulates. *)
+
+val load : string -> (Case.t, string) result
+(** Reads a replay file back to its case descriptor. *)

@@ -1,0 +1,16 @@
+let minimize ?(max_steps = 64) ~still_fails case =
+  let steps = ref 0 in
+  let rec go case =
+    if !steps >= max_steps then case
+    else
+      let candidates = Case.shrink case in
+      let next =
+        List.find_opt
+          (fun c ->
+            incr steps;
+            !steps <= max_steps && still_fails c)
+          candidates
+      in
+      match next with None -> case | Some c -> go c
+  in
+  go case

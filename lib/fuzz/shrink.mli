@@ -1,0 +1,10 @@
+(** Greedy descriptor shrinking: walk {!Case.shrink} candidates,
+    keeping any that still fail, until a local minimum (or the step
+    budget runs out). Descriptors regenerate deterministically, so the
+    minimized case plus its seed is a complete reproducer. *)
+
+val minimize :
+  ?max_steps:int -> still_fails:(Case.t -> bool) -> Case.t -> Case.t
+(** [minimize ~still_fails c] assumes [still_fails c] already holds.
+    Each accepted candidate costs one [still_fails] evaluation (a full
+    differential run), so [max_steps] (default 64) bounds total work. *)

@@ -54,12 +54,19 @@ let to_string (p : Problem.t) =
       in_int := false
     end;
     let cn = sanitize p.Problem.col_names.(j) in
-    if p.Problem.obj.(j) <> 0.0 then add "    %s  obj  %s\n" cn (fnum p.Problem.obj.(j));
     let idx, v = p.Problem.cols.(j) in
+    (* a column with no entries at all would vanish on read-back; an
+       explicit zero objective coefficient keeps it declared *)
+    if p.Problem.obj.(j) <> 0.0 || Array.length idx = 0 then
+      add "    %s  obj  %s\n" cn (fnum p.Problem.obj.(j));
     Array.iteri (fun k r -> add "    %s  %s  %s\n" cn (row_name r) (fnum v.(k))) idx
   done;
   if !in_int then add "    MARKER%d  'MARKER'  'INTEND'\n" !marker_count;
   add "RHS\n";
+  (* MPS convention: an RHS entry on the objective row is the negated
+     constant term *)
+  if p.Problem.obj_const <> 0.0 then
+    add "    rhs  obj  %s\n" (fnum (-.p.Problem.obj_const));
   for r = 0 to p.Problem.nrows - 1 do
     let rhs =
       match kind.(r) with
@@ -219,8 +226,12 @@ let parse text =
                                 (match Hashtbl.find_opt rows rname with
                                 | Some pr -> pr.pr_rhs <- v
                                 | None ->
-                                    if Some rname <> !obj_row then
-                                      fail lineno "unknown row %s" rname);
+                                    if Some rname = !obj_row then
+                                      (* objective-row RHS = negated
+                                         constant term *)
+                                      Model.add_objective_term model
+                                        (Expr.const (-.v))
+                                    else fail lineno "unknown row %s" rname);
                                 eat rest)
                         | _ -> fail lineno "odd RHS entry"
                       in

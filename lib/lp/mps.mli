@@ -11,9 +11,12 @@
     N row); free rows beyond the first are rejected. *)
 
 val to_string : Problem.t -> string
-(** Serializes; range rows are written as L rows plus a RANGES entry.
-    Maximization problems are written as their minimization normal form
-    with a comment noting the flip (MPS has no sense marker). *)
+(** Serializes; range rows are written as L rows plus a RANGES entry, a
+    nonzero objective constant as a (negated) RHS entry on the objective
+    row, and columns with no entries as an explicit zero objective
+    coefficient so they survive a read-back. Maximization problems are
+    written as their minimization normal form with a comment noting the
+    flip (MPS has no sense marker). *)
 
 val write : Problem.t -> string -> unit
 

@@ -83,8 +83,36 @@ let queue_depth q =
 
 type conn = { fd : Unix.file_descr; thread : Thread.t }
 
+exception Already_running of string
+
+(* A socket file left behind by a crashed daemon would make [bind] fail
+   with EADDRINUSE forever; unlinking unconditionally would steal the
+   path from a live daemon. Disambiguate with a probe connect: a live
+   daemon accepts it (refuse to start), a dead path is refused (reclaim
+   it). *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          false
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if alive then raise (Already_running path);
+    Log.info (fun m -> m "reclaiming stale socket %s" path);
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
 let run ?(on_ready = fun () -> ()) (o : options) =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* probe before spawning worker domains so a refused start leaves
+     nothing to tear down *)
+  claim_socket_path o.socket_path;
   let engine =
     Engine.create ~cache_capacity:o.cache_capacity
       ~default_knobs:o.default_knobs ()
@@ -120,10 +148,16 @@ let run ?(on_ready = fun () -> ()) (o : options) =
             loop ()))
   in
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (if Sys.file_exists o.socket_path then
-     try Unix.unlink o.socket_path with Unix.Unix_error _ -> ());
-  Unix.bind listen_fd (Unix.ADDR_UNIX o.socket_path);
-  Unix.listen listen_fd 16;
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX o.socket_path);
+     Unix.listen listen_fd 16
+   with e ->
+     (* lost a race for the path (or bind failed outright): drain the
+        already-spawned workers before propagating *)
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     queue_stop q;
+     Array.iter Domain.join workers;
+     raise e);
   let conns = ref [] in
   let conns_mu = Mutex.create () in
   let begin_stop () =

@@ -51,9 +51,14 @@ val options :
   string ->
   options
 
+exception Already_running of string
+(** Raised by {!run} when the socket path is already served by a live
+    daemon (a probe connect was accepted). *)
+
 val run : ?on_ready:(unit -> unit) -> options -> Cache.stats
-(** Binds [socket_path] (unlinking any stale socket), calls [on_ready]
-    once accepting, and blocks until a shutdown op arrives. Returns the
-    final warm-cache statistics. Only call the trace's
-    [write_jsonl]/[dump_lines] after this returns — worker sinks are
-    single-writer. *)
+(** Binds [socket_path], calls [on_ready] once accepting, and blocks
+    until a shutdown op arrives. An existing socket file is probed with
+    a connect first: a dead (stale) one is unlinked and reclaimed, a
+    live one raises {!Already_running}. Returns the final warm-cache
+    statistics. Only call the trace's [write_jsonl]/[dump_lines] after
+    this returns — worker sinks are single-writer. *)

@@ -15,6 +15,14 @@ let create seed = { state = mix (Int64.of_int seed) }
 let split t = { state = next t }
 let copy t = { state = t.state }
 
+let hash2 a b =
+  let h = mix (Int64.add (Int64.of_int a) golden) in
+  let h = mix (Int64.logxor h (Int64.add (Int64.of_int b) golden)) in
+  (* keep 62 bits so the value is a nonnegative OCaml int *)
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+let hash_list = List.fold_left hash2 0x6d6d6170 (* "mmap" *)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int";
   (* keep 62 bits so the value fits OCaml's 63-bit native int *)

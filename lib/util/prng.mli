@@ -14,6 +14,15 @@ val split : t -> t
 
 val copy : t -> t
 
+val hash2 : int -> int -> int
+(** [hash2 a b] mixes two ints through the SplitMix64 finalizer into a
+    nonnegative seed. Order-sensitive: [hash2 a b <> hash2 b a] in
+    general, so every field folded in changes the stream. *)
+
+val hash_list : int list -> int
+(** [hash_list xs] folds {!hash2} over [xs] from a fixed initial value;
+    use it to derive one seed from several independent parameters. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
 

@@ -8,32 +8,91 @@ type spec = {
   seed : int;
 }
 
+type spec_error =
+  | Nonpositive of { field : string; value : int }
+  | Configs_not_multiple_of_5 of int
+  | Ports_below_banks of { ports : int; banks : int }
+  | No_pool_composition
+
+exception Invalid_spec of spec_error
+
+let spec_error_to_string = function
+  | Nonpositive { field; value } ->
+      Printf.sprintf "spec field %s must be positive (got %d)" field value
+  | Configs_not_multiple_of_5 c ->
+      Printf.sprintf "configs must be a multiple of 5 (got %d)" c
+  | Ports_below_banks { ports; banks } ->
+      Printf.sprintf "ports (%d) < banks (%d)" ports banks
+  | No_pool_composition -> "no pool composition hits the totals exactly"
+
+let derived_seed ~segments ~banks ~ports ~configs =
+  Mm_util.Prng.hash_list [ segments; banks; ports; configs ]
+
+let make ?seed ~segments ~banks ~ports ~configs () =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> derived_seed ~segments ~banks ~ports ~configs
+  in
+  { segments; banks; ports; configs; seed }
+
 (* Compose the board from four instance pools:
      a: on-chip dual-port 5-config  -> (banks a, ports 2a, configs 10a)
      b: on-chip single-port 5-config -> (b, b, 5b)
      c: off-chip single-port fixed   -> (c, c, 0)
      d: off-chip dual-port fixed     -> (d, 2d, 0)
    and solve  a+b+c+d = B,  2a+b+c+2d = P,  10a+5b = C  exactly. *)
-let solve_pools spec =
-  let b_target = spec.banks
-  and p_target = spec.ports
-  and c_target = spec.configs in
-  if c_target mod 5 <> 0 then
-    invalid_arg "Gen.board_of_spec: configs must be a multiple of 5";
-  if p_target < b_target then
-    invalid_arg "Gen.board_of_spec: ports < banks";
-  let cfg_units = c_target / 5 in
-  (* 2a + b = cfg_units,  a + d = P - B,  c = B - a - b - d *)
-  let rec try_a a =
-    if a < 0 then invalid_arg "Gen.board_of_spec: no pool composition"
-    else begin
-      let b = cfg_units - (2 * a) in
-      let d = p_target - b_target - a in
-      let c = b_target - a - b - d in
-      if b >= 0 && c >= 0 && d >= 0 then (a, b, c, d) else try_a (a - 1)
-    end
+let compose spec =
+  let nonpositive field value =
+    if value <= 0 then Some (Nonpositive { field; value }) else None
   in
-  try_a (min (cfg_units / 2) (p_target - b_target))
+  let field_error =
+    List.find_map Fun.id
+      [
+        nonpositive "segments" spec.segments;
+        nonpositive "banks" spec.banks;
+        nonpositive "ports" spec.ports;
+        nonpositive "configs" spec.configs;
+      ]
+  in
+  match field_error with
+  | Some e -> Error e
+  | None ->
+      let b_target = spec.banks
+      and p_target = spec.ports
+      and c_target = spec.configs in
+      if c_target mod 5 <> 0 then Error (Configs_not_multiple_of_5 c_target)
+      else if p_target < b_target then
+        Error (Ports_below_banks { ports = p_target; banks = b_target })
+      else begin
+        let cfg_units = c_target / 5 in
+        (* 2a + b = cfg_units,  a + d = P - B,  c = B - a - b - d *)
+        let rec try_a a =
+          if a < 0 then Error No_pool_composition
+          else begin
+            let b = cfg_units - (2 * a) in
+            let d = p_target - b_target - a in
+            let c = b_target - a - b - d in
+            if b >= 0 && c >= 0 && d >= 0 then Ok (a, b, c, d) else try_a (a - 1)
+          end
+        in
+        try_a (min (cfg_units / 2) (p_target - b_target))
+      end
+
+let validate_spec spec = Result.map ignore (compose spec)
+
+(* The two composition failures keep their historical [Invalid_argument]
+   messages; nonsensical field values get the typed exception so callers
+   (the fuzzer's spec generator in particular) can screen them. *)
+let solve_pools spec =
+  match compose spec with
+  | Ok pools -> pools
+  | Error (Nonpositive _ as e) -> raise (Invalid_spec e)
+  | Error (Configs_not_multiple_of_5 _) ->
+      invalid_arg "Gen.board_of_spec: configs must be a multiple of 5"
+  | Error (Ports_below_banks _) -> invalid_arg "Gen.board_of_spec: ports < banks"
+  | Error No_pool_composition ->
+      invalid_arg "Gen.board_of_spec: no pool composition"
 
 (* Split an instance pool into at most [max_types] named types with
    varied performance parameters; totals are preserved because every
@@ -49,7 +108,8 @@ let split_pool rng count max_types =
     Array.to_list (Array.of_seq (Seq.filter (fun c -> c > 0) (Array.to_seq cuts)))
   end
 
-let board_of_spec spec =
+let board_of_spec ?(variety = 1) spec =
+  if variety < 1 then invalid_arg "Gen.board_of_spec: variety < 1";
   let a, b, c, d = solve_pools spec in
   let rng = Prng.create (spec.seed * 7919) in
   let cfg depth width = Mm_arch.Config.make ~depth ~width in
@@ -59,44 +119,48 @@ let board_of_spec spec =
   let altera_cfgs = [ cfg 2048 1; cfg 1024 2; cfg 512 4; cfg 256 8; cfg 128 16 ] in
   let types = ref [] in
   let add t = types := t :: !types in
+  let suffix k =
+    if k < 26 then String.make 1 (Char.chr (Char.code 'A' + k))
+    else string_of_int k
+  in
   List.iteri
     (fun k n ->
       add
         (Mm_arch.Bank_type.make
-           ~name:(Printf.sprintf "blockram%c" (Char.chr (Char.code 'A' + k)))
+           ~name:(Printf.sprintf "blockram%s" (suffix k))
            ~instances:n ~ports:2 ~configs:virtex_cfgs ~read_latency:1
            ~write_latency:(1 + (k mod 2))
            ~pins_traversed:0))
-    (split_pool rng a 3);
+    (split_pool rng a (3 * variety));
   List.iteri
     (fun k n ->
       add
         (Mm_arch.Bank_type.make
-           ~name:(Printf.sprintf "eab%c" (Char.chr (Char.code 'A' + k)))
+           ~name:(Printf.sprintf "eab%s" (suffix k))
            ~instances:n ~ports:1 ~configs:altera_cfgs ~read_latency:1
            ~write_latency:1 ~pins_traversed:0))
-    (split_pool rng b 2);
+    (split_pool rng b (2 * variety));
   List.iteri
     (fun k n ->
       let depth = 16384 lsl (k mod 3) in
       add
         (Mm_arch.Bank_type.make
-           ~name:(Printf.sprintf "sram%c" (Char.chr (Char.code 'A' + k)))
+           ~name:(Printf.sprintf "sram%s" (suffix k))
            ~instances:n ~ports:1
            ~configs:[ cfg depth 32 ]
            ~read_latency:(2 + (k mod 3))
            ~write_latency:(3 + (k mod 2))
            ~pins_traversed:(2 + (2 * (k mod 2)))))
-    (split_pool rng c 3);
+    (split_pool rng c (3 * variety));
   List.iteri
     (fun k n ->
       add
         (Mm_arch.Bank_type.make
-           ~name:(Printf.sprintf "dpram%c" (Char.chr (Char.code 'A' + k)))
+           ~name:(Printf.sprintf "dpram%s" (suffix k))
            ~instances:n ~ports:2
            ~configs:[ cfg 32768 16 ]
            ~read_latency:2 ~write_latency:2 ~pins_traversed:2))
-    (split_pool rng d 2);
+    (split_pool rng d (2 * variety));
   Mm_arch.Board.make ~name:(Printf.sprintf "synthetic-%d" spec.seed)
     (List.rev !types)
 
@@ -136,6 +200,8 @@ let make_segment ?(fill = 0.35) board rng ~name ~large =
   shrink depth
 
 let design_of_spec ?(fill = 0.35) spec board =
+  if spec.segments <= 0 then
+    raise (Invalid_spec (Nonpositive { field = "segments"; value = spec.segments }));
   let rng = Prng.create (spec.seed * 104729) in
   let m = spec.segments in
   let segments =
@@ -159,10 +225,40 @@ let design_of_spec ?(fill = 0.35) spec board =
     ~name:(Printf.sprintf "synthetic-%d-%d" spec.segments spec.seed)
     segments
 
-let instance ?fill spec =
-  let board = board_of_spec spec in
+let instance ?fill ?variety spec =
+  let board = board_of_spec ?variety spec in
   let design = design_of_spec ?fill spec board in
   (board, design)
+
+(* Scale family: size tiers well beyond Table 3's largest point
+   (132 segments / 180 banks / 265 ports / 375 configs). Seeds are
+   derived from all four spec fields, [variety] multiplies the number
+   of bank types per pool (the global ILP has ~segments x types
+   variables), and [fill] shrinks with size so capacity stays feasible
+   while the LP dimensions grow. *)
+type tier = { tier_name : string; spec : spec; variety : int; fill : float }
+
+let scale_tier ~name ~segments ~banks ~ports ~configs ~variety ~fill =
+  {
+    tier_name = name;
+    spec = make ~segments ~banks ~ports ~configs ();
+    variety;
+    fill;
+  }
+
+let scale_tiers =
+  [
+    scale_tier ~name:"s1" ~segments:192 ~banks:384 ~ports:560 ~configs:600
+      ~variety:2 ~fill:0.30;
+    scale_tier ~name:"s2" ~segments:288 ~banks:1024 ~ports:1480 ~configs:900
+      ~variety:4 ~fill:0.22;
+    scale_tier ~name:"s3" ~segments:448 ~banks:2048 ~ports:2960 ~configs:1500
+      ~variety:6 ~fill:0.16;
+    scale_tier ~name:"s4" ~segments:640 ~banks:4096 ~ports:5920 ~configs:2400
+      ~variety:8 ~fill:0.12;
+  ]
+
+let tier_instance t = instance ~fill:t.fill ~variety:t.variety t.spec
 
 let random_board rng =
   let cfg depth width = Mm_arch.Config.make ~depth ~width in

@@ -16,14 +16,40 @@ type spec = {
   seed : int;
 }
 
-val board_of_spec : spec -> Mm_arch.Board.t
+type spec_error =
+  | Nonpositive of { field : string; value : int }
+  | Configs_not_multiple_of_5 of int
+  | Ports_below_banks of { ports : int; banks : int }
+  | No_pool_composition
+
+exception Invalid_spec of spec_error
+
+val spec_error_to_string : spec_error -> string
+
+val validate_spec : spec -> (unit, spec_error) result
+(** Full screening: field sanity (all four counts positive) plus board
+    composability, without building anything. [Ok ()] guarantees
+    {!board_of_spec} and {!design_of_spec} succeed. *)
+
+val derived_seed : segments:int -> banks:int -> ports:int -> configs:int -> int
+(** Seed mixing every spec field independently through
+    {!Mm_util.Prng.hash_list}, so distinct specs — including ones with
+    equal [segments + banks] sums — get distinct PRNG streams. *)
+
+val make :
+  ?seed:int -> segments:int -> banks:int -> ports:int -> configs:int -> unit -> spec
+(** Spec builder; derives the seed via {!derived_seed} when not given. *)
+
+val board_of_spec : ?variety:int -> spec -> Mm_arch.Board.t
 (** Composes bank types from four templates (dual-port multi-config
     on-chip, single-port multi-config on-chip, single- and dual-port
     fixed-config off-chip) so that {!Mm_arch.Board.total_banks},
     [total_ports] and [total_configs] equal the spec exactly; pools are
-    split into a few types with varied latencies and pin distances.
-    Raises [Invalid_argument] when no composition exists (e.g. [configs]
-    not a multiple of 5, or [ports < banks]). *)
+    split into a few types with varied latencies and pin distances;
+    [variety] (default 1) multiplies the type count per pool for
+    scale-family boards. Raises [Invalid_argument] when no composition
+    exists (e.g. [configs] not a multiple of 5, or [ports < banks]) and
+    {!Invalid_spec} on zero/negative spec fields. *)
 
 val design_of_spec : ?fill:float -> spec -> Mm_arch.Board.t -> Mm_design.Design.t
 (** Random segments (power-of-two-friendly widths 1-32, depths 8-2048)
@@ -32,8 +58,21 @@ val design_of_spec : ?fill:float -> spec -> Mm_arch.Board.t -> Mm_design.Design.
     generated over a virtual schedule horizon so the conflict graph is a
     non-trivial interval graph. *)
 
-val instance : ?fill:float -> spec -> Mm_arch.Board.t * Mm_design.Design.t
+val instance :
+  ?fill:float -> ?variety:int -> spec -> Mm_arch.Board.t * Mm_design.Design.t
 (** [board_of_spec] + [design_of_spec]. *)
+
+type tier = { tier_name : string; spec : spec; variety : int; fill : float }
+(** A scale-family size tier: a spec far beyond Table 3 plus the board
+    [variety] and design [fill] used to regenerate its instance. *)
+
+val scale_tiers : tier list
+(** Four tiers beyond the largest Table-3 point (132 segments /
+    180 banks / 265 ports / 375 configs), growing to hundreds of
+    segments, thousands of banks and tens of thousands of global-ILP
+    variables. Seeds derive from all four spec fields via {!make}. *)
+
+val tier_instance : tier -> Mm_arch.Board.t * Mm_design.Design.t
 
 val random_board : Mm_util.Prng.t -> Mm_arch.Board.t
 (** Small arbitrary board for property tests. *)

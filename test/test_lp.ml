@@ -1438,6 +1438,65 @@ let test_mps_negative_up () =
       Alcotest.(check bool) "lower -inf" true (p.Problem.col_lb.(0) = neg_infinity);
       Alcotest.(check (float 0.0)) "upper -2" (-2.0) p.Problem.col_ub.(0)
 
+let test_mps_obj_const_rhs () =
+  (* an RHS entry on the objective row is the negated constant term;
+     the writer emits it and the parser reads it back *)
+  let text =
+    "ROWS\n N obj\n L c1\nCOLUMNS\n x obj 1 c1 1\nRHS\n rhs obj -7 c1 4\n\
+     ENDATA\n"
+  in
+  (match Mps.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check (float 0.0)) "constant read" 7.0 p.Problem.obj_const;
+      (* and it survives a write/read cycle *)
+      (match Mps.parse (Mps.to_string p) with
+      | Error e -> Alcotest.fail e
+      | Ok q ->
+          Alcotest.(check (float 0.0)) "constant round-trips" 7.0
+            q.Problem.obj_const));
+  (* a problem without a constant writes no obj RHS entry *)
+  let plain =
+    "ROWS\n N obj\n L c1\nCOLUMNS\n x obj 1 c1 1\nRHS\n rhs c1 4\nENDATA\n"
+  in
+  match Mps.parse plain with
+  | Error e -> Alcotest.fail e
+  | Ok p -> Alcotest.(check (float 0.0)) "no constant" 0.0 p.Problem.obj_const
+
+let test_mps_ranges_semantics () =
+  (* RANGES on L, G and E rows (positive and negative range on E): the
+     row interval follows the classic MPS convention *)
+  let text =
+    "ROWS\n N obj\n L lr\n G gr\n E ep\n E en\nCOLUMNS\n\
+     \ x obj 1 lr 1 \n x gr 1 ep 1\n x en 1\nRHS\n\
+     \ rhs lr 10 gr 2\n rhs ep 5 en 5\nRANGES\n\
+     \ rng lr 3 gr 4\n rng ep 2 en -2\nENDATA\n"
+  in
+  match Mps.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      let row name =
+        let rec find r =
+          if r >= p.Problem.nrows then Alcotest.failf "row %s missing" name
+          else if p.Problem.row_names.(r) = name then r
+          else find (r + 1)
+        in
+        find 0
+      in
+      let check name lo hi =
+        let r = row name in
+        Alcotest.(check (float 0.0)) (name ^ " lb") lo p.Problem.row_lb.(r);
+        Alcotest.(check (float 0.0)) (name ^ " ub") hi p.Problem.row_ub.(r)
+      in
+      check "lr" 7.0 10.0;
+      (* L: [rhs - |r|, rhs] *)
+      check "gr" 2.0 6.0;
+      (* G: [rhs, rhs + |r|] *)
+      check "ep" 5.0 7.0;
+      (* E, r >= 0: [rhs, rhs + r] *)
+      check "en" 3.0 5.0
+      (* E, r < 0: [rhs + r, rhs] *)
+
 (* Structural MPS round trip: write then parse must reproduce the exact
    problem — bounds of every kind, integrality markers, and range rows —
    not merely one with the same optimum. Coefficients are small integers
@@ -1459,7 +1518,7 @@ let build_structured (n, mrows, seed) =
   in
   let vars =
     Array.init n (fun _ ->
-        match Mm_util.Prng.int rng 8 with
+        match Mm_util.Prng.int rng 11 with
         | 0 -> Model.add_var m ~obj:(nz ()) Problem.Continuous
         | 1 -> Model.add_var m ~obj:(nz ()) ~lb:(-3.0) ~ub:5.0 Problem.Continuous
         | 2 -> Model.add_var m ~obj:(nz ()) ~ub:4.0 Problem.Continuous
@@ -1469,12 +1528,22 @@ let build_structured (n, mrows, seed) =
               Problem.Continuous
         | 5 -> Model.add_var m ~obj:(nz ()) ~lb:neg_infinity Problem.Continuous
         | 6 -> Model.binary m ~obj:(nz ()) ()
-        | _ -> Model.add_var m ~obj:(nz ()) ~lb:(-2.0) ~ub:6.0 Problem.Integer)
+        | 7 -> Model.add_var m ~obj:(nz ()) ~lb:(-2.0) ~ub:6.0 Problem.Integer
+        (* zero objective: combined with row exclusion below this can
+           leave a fully empty column, which the writer must keep alive *)
+        | 8 -> Model.add_var m ~obj:0.0 ~ub:4.0 Problem.Continuous
+        | 9 -> Model.add_var m ~obj:(nz ()) Problem.Integer
+        | _ -> Model.add_var m ~obj:(nz ()) ~lb:(-2.0) Problem.Integer)
   in
   for _ = 1 to mrows do
     let e =
       Expr.sum
-        (List.map (fun j -> Expr.var ~coeff:(nz ()) vars.(j)) (Mm_util.Ints.range n))
+        (List.filter_map
+           (fun j ->
+             if Mm_util.Prng.int rng 10 < 7 then
+               Some (Expr.var ~coeff:(nz ()) vars.(j))
+             else None)
+           (Mm_util.Ints.range n))
     in
     let b = float_of_int (Mm_util.Prng.int_in rng (-4) 8) in
     match Mm_util.Prng.int rng 4 with
@@ -1483,6 +1552,9 @@ let build_structured (n, mrows, seed) =
     | 2 -> Model.add_eq m e b
     | _ -> Model.add_range m b e (b +. float_of_int (Mm_util.Prng.int_in rng 1 5))
   done;
+  (* objective constant rides the obj-row RHS in MPS *)
+  Model.add_objective_term m
+    (Expr.const (float_of_int (Mm_util.Prng.int_in rng (-5) 5)));
   Model.to_problem m
 
 let same_structure (p : Problem.t) (q : Problem.t) =
@@ -1667,6 +1739,10 @@ let () =
           prop_mps_roundtrip_mip_optimum;
           Alcotest.test_case "bound kinds" `Quick test_mps_bound_kinds;
           Alcotest.test_case "negative UP" `Quick test_mps_negative_up;
+          Alcotest.test_case "objective constant RHS" `Quick
+            test_mps_obj_const_rhs;
+          Alcotest.test_case "ranges semantics" `Quick
+            test_mps_ranges_semantics;
           prop_mps_roundtrip_structure;
         ] );
     ]

@@ -441,6 +441,54 @@ let test_server_backpressure () =
   in
   ()
 
+let test_server_reclaims_stale_socket () =
+  (* a socket file left by a crashed daemon (bound but no listener
+     behind it) must be reclaimed, not refused with EADDRINUSE *)
+  let dir = Filename.temp_file "mm_service_stale" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "mm.sock" in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.close fd;
+  (* the dead path is still on disk *)
+  Alcotest.(check bool) "stale file exists" true (Sys.file_exists socket);
+  let opts = Server.options ~workers:1 socket in
+  let ready_mu = Mutex.create () in
+  let ready_cv = Condition.create () in
+  let ready = ref false in
+  let on_ready () =
+    Mutex.lock ready_mu;
+    ready := true;
+    Condition.signal ready_cv;
+    Mutex.unlock ready_mu
+  in
+  let srv = Thread.create (fun () -> ignore (Server.run ~on_ready opts)) () in
+  Mutex.lock ready_mu;
+  while not !ready do
+    Condition.wait ready_cv ready_mu
+  done;
+  Mutex.unlock ready_mu;
+  ignore (Client.request ~socket {|{"id":"fin","op":"shutdown"}|});
+  Thread.join srv;
+  (try Sys.remove socket with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+
+let test_server_refuses_live_socket () =
+  (* a second daemon pointed at a live daemon's socket must raise
+     Already_running instead of stealing the path *)
+  let (), _ =
+    with_server (fun socket ->
+        (match Server.run (Server.options ~workers:1 socket) with
+        | _ -> Alcotest.fail "second server bound a live socket"
+        | exception Server.Already_running p ->
+            Alcotest.(check string) "path reported" socket p);
+        (* the probe must not have unlinked the live daemon's socket *)
+        Alcotest.(check bool) "socket still present" true
+          (Sys.file_exists socket))
+  in
+  ()
+
 let test_server_control_ops () =
   let (), _ =
     with_server (fun socket ->
@@ -508,6 +556,10 @@ let () =
           Alcotest.test_case "concurrent clients" `Quick
             test_server_concurrent_clients;
           Alcotest.test_case "backpressure" `Quick test_server_backpressure;
+          Alcotest.test_case "reclaims stale socket" `Quick
+            test_server_reclaims_stale_socket;
+          Alcotest.test_case "refuses live socket" `Quick
+            test_server_refuses_live_socket;
           Alcotest.test_case "control ops" `Quick test_server_control_ops;
         ] );
     ]

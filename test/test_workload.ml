@@ -106,6 +106,82 @@ let test_rejects_inconsistent_spec () =
         (Gen.board_of_spec { Gen.segments = 4; banks = 5; ports = 4; configs = 10; seed = 1 }))
 
 
+let test_rejects_nonsensical_spec () =
+  (* zero/negative fields get the typed error, not a crash or loop *)
+  let check field spec =
+    (match Gen.validate_spec spec with
+    | Error (Gen.Nonpositive { field = f; _ }) ->
+        Alcotest.(check string) "offending field" field f
+    | Error e -> Alcotest.fail (Gen.spec_error_to_string e)
+    | Ok () -> Alcotest.fail "validate_spec accepted a nonsensical spec");
+    Alcotest.(check bool) "board_of_spec raises Invalid_spec" true
+      (match Gen.board_of_spec spec with
+      | _ -> false
+      | exception Gen.Invalid_spec (Gen.Nonpositive _) -> true)
+  in
+  let base = { Gen.segments = 4; banks = 5; ports = 7; configs = 10; seed = 1 } in
+  check "segments" { base with Gen.segments = 0 };
+  check "segments" { base with Gen.segments = -3 };
+  check "banks" { base with Gen.banks = 0 };
+  check "ports" { base with Gen.ports = 0 };
+  check "configs" { base with Gen.configs = 0 };
+  (* design_of_spec guards segments itself *)
+  let board = Gen.board_of_spec base in
+  Alcotest.(check bool) "design_of_spec raises Invalid_spec" true
+    (match Gen.design_of_spec { base with Gen.segments = 0 } board with
+    | _ -> false
+    | exception Gen.Invalid_spec (Gen.Nonpositive _) -> true)
+
+let test_derived_seeds_distinct () =
+  (* the historical 1000 + segments + banks formula collided for
+     distinct points with equal sums; derived seeds must not *)
+  let s1 = Gen.derived_seed ~segments:30 ~banks:47 ~ports:80 ~configs:150 in
+  let s2 = Gen.derived_seed ~segments:32 ~banks:45 ~ports:80 ~configs:150 in
+  let s3 = Gen.derived_seed ~segments:32 ~banks:45 ~ports:82 ~configs:150 in
+  let s4 = Gen.derived_seed ~segments:32 ~banks:45 ~ports:80 ~configs:155 in
+  Alcotest.(check bool) "equal-sum specs differ" true (s1 <> s2);
+  Alcotest.(check bool) "ports mixed in" true (s2 <> s3);
+  Alcotest.(check bool) "configs mixed in" true (s2 <> s4);
+  let spec = Gen.make ~segments:32 ~banks:45 ~ports:80 ~configs:150 () in
+  Alcotest.(check int) "make derives the same seed" s2 spec.Gen.seed
+
+let test_table3_seeds_pinned () =
+  (* the nine paper points keep the seeds the old formula produced, so
+     recorded BENCH_lp.json baselines regenerate bit-identically *)
+  List.iter
+    (fun (p : Table3.point) ->
+      let s = p.Table3.spec in
+      Alcotest.(check int)
+        (Printf.sprintf "seed for %d/%d" s.Gen.segments s.Gen.banks)
+        (1000 + s.Gen.segments + s.Gen.banks)
+        s.Gen.seed)
+    Table3.points
+
+let test_scale_tiers_valid () =
+  (* every scale tier composes, exceeds the largest Table-3 point, and
+     regenerates a board hitting its totals exactly *)
+  let largest = (List.nth Table3.points 8).Table3.spec in
+  Alcotest.(check bool) "at least 4 tiers" true (List.length Gen.scale_tiers >= 4);
+  List.iter
+    (fun (t : Gen.tier) ->
+      let s = t.Gen.spec in
+      (match Gen.validate_spec s with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Gen.spec_error_to_string e));
+      Alcotest.(check bool)
+        (Printf.sprintf "tier %s beyond Table 3" t.Gen.tier_name)
+        true
+        (s.Gen.segments > largest.Gen.segments
+        && s.Gen.banks > largest.Gen.banks
+        && s.Gen.ports > largest.Gen.ports
+        && s.Gen.configs > largest.Gen.configs);
+      let board = Gen.board_of_spec ~variety:t.Gen.variety s in
+      Alcotest.(check int) "banks" s.Gen.banks (Mm_arch.Board.total_banks board);
+      Alcotest.(check int) "ports" s.Gen.ports (Mm_arch.Board.total_ports board);
+      Alcotest.(check int) "configs" s.Gen.configs
+        (Mm_arch.Board.total_configs board))
+    Gen.scale_tiers
+
 let test_fill_scales_designs () =
   let spec = (List.hd Table3.points).Table3.spec in
   let board = Gen.board_of_spec spec in
@@ -119,7 +195,7 @@ let spec_gen =
     QCheck.Gen.(
       let* banks = int_range 4 60 in
       let* extra_ports = int_range 0 30 in
-      let* cfg_units = int_range 0 12 in
+      let* cfg_units = int_range 1 12 in
       let* seed = int_range 0 100000 in
       return
         {
@@ -169,6 +245,10 @@ let () =
       ( "gen",
         [
           Alcotest.test_case "rejects inconsistent" `Quick test_rejects_inconsistent_spec;
+          Alcotest.test_case "rejects nonsensical" `Quick test_rejects_nonsensical_spec;
+          Alcotest.test_case "derived seeds distinct" `Quick test_derived_seeds_distinct;
+          Alcotest.test_case "table3 seeds pinned" `Quick test_table3_seeds_pinned;
+          Alcotest.test_case "scale tiers valid" `Quick test_scale_tiers_valid;
           Alcotest.test_case "fill scales" `Quick test_fill_scales_designs;
           prop_board_totals_exact;
           prop_random_instances_mappable;
