@@ -27,6 +27,24 @@ let pricing_arg =
                  weights, partial pricing, bound flips) or $(b,dantzig) \
                  (full-scan baseline). Both prove the same objective.")
 
+let lu_kernel_arg =
+  Arg.(value
+       & opt (enum
+              [
+                ("auto", Mm_lp.Lu.Auto);
+                ("sparse", Mm_lp.Lu.Sparse);
+                ("dense", Mm_lp.Lu.Dense);
+              ])
+           Mm_lp.Lu.Auto
+       & info [ "lu-kernel" ]
+           ~doc:"FTRAN/BTRAN triangular-solve kernel: $(b,auto) (default; \
+                 hypersparse symbolic-reachability solves on bases large \
+                 enough to profit, dense sweeps otherwise), $(b,sparse) \
+                 (hypersparse whenever the operand is sparse enough, \
+                 regardless of basis size) or $(b,dense) \
+                 (plain dense sweeps). Both follow the identical pivot \
+                 trajectory.")
+
 let cut_rounds_arg =
   Arg.(value & opt int 3 & info [ "cut-rounds" ] ~docv:"N"
          ~doc:"Root cutting-plane separation rounds ($(b,0) keeps the \
@@ -46,15 +64,16 @@ let no_heuristics_arg =
                before the tree search.")
 
 let term : Mm_service.Knobs.t Term.t =
-  let make time_limit parallelism pricing cut_rounds max_cuts_per_round
-      no_cuts no_heuristics =
-    Mm_service.Knobs.make ~parallelism ~pricing ~cuts:(not no_cuts)
+  let make time_limit parallelism pricing lu_kernel cut_rounds
+      max_cuts_per_round no_cuts no_heuristics =
+    Mm_service.Knobs.make ~parallelism ~pricing ~lu_kernel ~cuts:(not no_cuts)
       ~cut_rounds ~max_cuts_per_round ~heuristics:(not no_heuristics)
       ?time_limit ()
   in
   Term.(
     const make $ time_limit_arg $ parallelism_arg $ pricing_arg
-    $ cut_rounds_arg $ max_cuts_arg $ no_cuts_arg $ no_heuristics_arg)
+    $ lu_kernel_arg $ cut_rounds_arg $ max_cuts_arg $ no_cuts_arg
+    $ no_heuristics_arg)
 
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"

@@ -1,0 +1,60 @@
+* Uncapacitated facility location: 2 facilities (open costs 4, 5),
+* 3 clients, assignment costs
+*   f1: 1 2 4    f2: 3 1 1
+* Open f1 only: 4+1+2+4 = 11; f2 only: 5+3+1+1 = 10; both: 12.
+* Optimum 10 (open f2, assign everyone there).
+NAME facility
+ROWS
+ N obj
+ E c1
+ E c2
+ E c3
+ L l11
+ L l12
+ L l13
+ L l21
+ L l22
+ L l23
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    y1  obj  4
+    y1  l11  -1
+    y1  l12  -1
+    y1  l13  -1
+    y2  obj  5
+    y2  l21  -1
+    y2  l22  -1
+    y2  l23  -1
+    x11  obj  1
+    x11  c1  1
+    x11  l11  1
+    x12  obj  2
+    x12  c2  1
+    x12  l12  1
+    x13  obj  4
+    x13  c3  1
+    x13  l13  1
+    x21  obj  3
+    x21  c1  1
+    x21  l21  1
+    x22  obj  1
+    x22  c2  1
+    x22  l22  1
+    x23  obj  1
+    x23  c3  1
+    x23  l23  1
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  c1  1
+    rhs  c2  1
+    rhs  c3  1
+BOUNDS
+ BV bnd  y1
+ BV bnd  y2
+ BV bnd  x11
+ BV bnd  x12
+ BV bnd  x13
+ BV bnd  x21
+ BV bnd  x22
+ BV bnd  x23
+ENDATA

@@ -1,0 +1,58 @@
+* GUB knapsack shaped like the paper's uniqueness rows: one bank
+* choice per segment (E rows summing binaries to 1) under a shared
+* capacity. Options per segment d1..d4 are (cost, weight):
+*   a_i = (2,3)(3,3)(1,3)(2,3)   b_i = (5,1)(6,1)(4,1)(3,1)
+* All a's weigh 12 > 8, each a->b swap saves weight 2 at extra cost
+* +3 +3 +3 +1; two swaps are needed, cheapest pair is d4 (+1) and
+* any other (+3): optimum 8 + 4 = 12.
+NAME gubknap
+ROWS
+ N obj
+ E u1
+ E u2
+ E u3
+ E u4
+ L cap
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    a1  obj  2
+    a1  u1  1
+    a1  cap  3
+    b1  obj  5
+    b1  u1  1
+    b1  cap  1
+    a2  obj  3
+    a2  u2  1
+    a2  cap  3
+    b2  obj  6
+    b2  u2  1
+    b2  cap  1
+    a3  obj  1
+    a3  u3  1
+    a3  cap  3
+    b3  obj  4
+    b3  u3  1
+    b3  cap  1
+    a4  obj  2
+    a4  u4  1
+    a4  cap  3
+    b4  obj  3
+    b4  u4  1
+    b4  cap  1
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  u1  1
+    rhs  u2  1
+    rhs  u3  1
+    rhs  u4  1
+    rhs  cap  8
+BOUNDS
+ BV bnd  a1
+ BV bnd  b1
+ BV bnd  a2
+ BV bnd  b2
+ BV bnd  a3
+ BV bnd  b3
+ BV bnd  a4
+ BV bnd  b4
+ENDATA

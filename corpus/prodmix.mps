@@ -1,0 +1,26 @@
+* Mixed-integer production mix with a fixed-charge setup:
+*   max 3x + 2y - 5z  st  x + y <= 8,  x <= 6z,  y <= 5,  z binary
+* written as min -3x - 2y + 5z.
+* z=1: x=6, y=2 gives -(18+4-5) = -17; z=0 caps at -10. Optimum -17.
+NAME prodmix
+ROWS
+ N obj
+ L mix
+ L setup
+COLUMNS
+    x  obj  -3
+    x  mix  1
+    x  setup  1
+    y  obj  -2
+    y  mix  1
+    M1  'MARKER'  'INTORG'
+    z  obj  5
+    z  setup  -6
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  mix  8
+BOUNDS
+ UP bnd  x  8
+ UP bnd  y  5
+ BV bnd  z
+ENDATA

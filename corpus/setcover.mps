@@ -1,0 +1,56 @@
+* Set covering (stein-style): cover elements e1..e6 by sets
+*   s1={1,2,3} cost 3   s2={4,5,6} cost 3   s3={1,4} cost 2
+*   s4={2,5}   cost 2   s5={3,6}   cost 2   s6={1..6} cost 5
+* Any two cost-2 sets cover at most 4 of the 6 elements, and any
+* 2+3 pair misses two, so the universal set s6 wins: optimum 5.
+NAME setcover
+ROWS
+ N obj
+ G e1
+ G e2
+ G e3
+ G e4
+ G e5
+ G e6
+COLUMNS
+    M1  'MARKER'  'INTORG'
+    s1  obj  3
+    s1  e1  1
+    s1  e2  1
+    s1  e3  1
+    s2  obj  3
+    s2  e4  1
+    s2  e5  1
+    s2  e6  1
+    s3  obj  2
+    s3  e1  1
+    s3  e4  1
+    s4  obj  2
+    s4  e2  1
+    s4  e5  1
+    s5  obj  2
+    s5  e3  1
+    s5  e6  1
+    s6  obj  5
+    s6  e1  1
+    s6  e2  1
+    s6  e3  1
+    s6  e4  1
+    s6  e5  1
+    s6  e6  1
+    M2  'MARKER'  'INTEND'
+RHS
+    rhs  e1  1
+    rhs  e2  1
+    rhs  e3  1
+    rhs  e4  1
+    rhs  e5  1
+    rhs  e6  1
+BOUNDS
+ BV bnd  s1
+ BV bnd  s2
+ BV bnd  s3
+ BV bnd  s4
+ BV bnd  s5
+ BV bnd  s6
+ENDATA

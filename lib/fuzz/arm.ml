@@ -8,12 +8,13 @@ type t = {
   name : string;
   parallelism : int;
   pricing : Mm_lp.Simplex.pricing;
+  lu_kernel : Mm_lp.Lu.kernel;
   cuts : cuts_mode;
   warm : bool;
 }
 
-let mk name parallelism pricing cuts warm =
-  { name; parallelism; pricing; cuts; warm }
+let mk ?(lu_kernel = Mm_lp.Lu.Auto) name parallelism pricing cuts warm =
+  { name; parallelism; pricing; lu_kernel; cuts; warm }
 
 let reference = mk "j1-devex-full" 1 Simplex.Devex Full false
 
@@ -30,19 +31,30 @@ let matrix =
     mk "j2-devex-baseline" 2 Simplex.Devex Baseline false;
     mk "j1-devex-full-warm" 1 Simplex.Devex Full true;
     mk "j2-devex-full-warm" 2 Simplex.Devex Full true;
+    (* fuzz instances sit far below the Auto size floor, so the Auto
+       arms all run dense sweeps; the forced-Sparse [-slu] arms are
+       what actually drags the hypersparse path through the campaign,
+       and the forced-Dense [-dlu] arms pin the baseline. *)
+    mk ~lu_kernel:Mm_lp.Lu.Sparse "j1-devex-full-slu" 1 Simplex.Devex Full false;
+    mk ~lu_kernel:Mm_lp.Lu.Sparse "j2-devex-full-slu" 2 Simplex.Devex Full false;
+    mk ~lu_kernel:Mm_lp.Lu.Dense "j1-dantzig-nocuts-dlu" 1 Simplex.Dantzig Off
+      false;
+    mk ~lu_kernel:Mm_lp.Lu.Dense "j1-devex-full-warm-dlu" 1 Simplex.Devex Full
+      true;
   ]
 
 let solver_options ?time_limit t =
   let bb = Branch_bound.options ?time_limit () in
   match t.cuts with
   | Full ->
-      Solver.options ~parallelism:t.parallelism ~pricing:t.pricing ~bb ()
+      Solver.options ~parallelism:t.parallelism ~pricing:t.pricing
+        ~lu_kernel:t.lu_kernel ~bb ()
   | Off ->
       Solver.options ~cuts:false ~parallelism:t.parallelism ~pricing:t.pricing
-        ~bb ()
+        ~lu_kernel:t.lu_kernel ~bb ()
   | Baseline ->
       Solver.baseline_options ?time_limit ~parallelism:t.parallelism
-        ~pricing:t.pricing ()
+        ~pricing:t.pricing ~lu_kernel:t.lu_kernel ()
 
 let solve ?time_limit t p =
   let options = solver_options ?time_limit t in

@@ -12,6 +12,7 @@ type options = {
   log_every : int option;
   parallelism : int;
   pricing : Simplex.pricing;
+  lu_kernel : Lu.kernel;
   trace : Mm_obs.Trace.t;
   node_cut_depth : int;
   node_cut_freq : int;
@@ -26,6 +27,7 @@ let default_options =
     log_every = None;
     parallelism = 1;
     pricing = Simplex.Devex;
+    lu_kernel = Lu.Auto;
     trace = Mm_obs.Trace.disabled;
     node_cut_depth = 2;
     node_cut_freq = 4;
@@ -33,8 +35,8 @@ let default_options =
 
 let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
     ?log_every ?(parallelism = 1) ?(pricing = Simplex.Devex)
-    ?(trace = Mm_obs.Trace.disabled) ?(node_cut_depth = 2)
-    ?(node_cut_freq = 4) () =
+    ?(lu_kernel = Lu.Auto) ?(trace = Mm_obs.Trace.disabled)
+    ?(node_cut_depth = 2) ?(node_cut_freq = 4) () =
   {
     time_limit;
     node_limit;
@@ -43,6 +45,7 @@ let options ?time_limit ?node_limit ?(gap_tol = 1e-9) ?(int_tol = 1e-6)
     log_every;
     parallelism;
     pricing;
+    lu_kernel;
     trace;
     node_cut_depth;
     node_cut_freq;
@@ -539,7 +542,9 @@ let solve ?(options = default_options) ?cuts ?initial ?warm_pc (p : Problem.t)
     done
   in
   let make_workspace id =
-    let sx = Simplex.create ~pricing:options.pricing p in
+    let sx =
+      Simplex.create ~pricing:options.pricing ~lu_kernel:options.lu_kernel p
+    in
     Simplex.set_trace sx sinks.(id);
     {
       id;

@@ -42,6 +42,11 @@ type options = {
   pricing : Simplex.pricing;
       (** pricing strategy for every per-domain simplex workspace,
           default {!Simplex.Devex} *)
+  lu_kernel : Lu.kernel;
+      (** triangular-solve kernel for every per-domain simplex
+          workspace, default {!Lu.Auto} (hypersparse on large bases
+          with automatic dense fallback); {!Lu.Sparse}/{!Lu.Dense}
+          force one path, for A/B runs *)
   trace : Mm_obs.Trace.t;
       (** structured tracing (default disabled): each worker domain
           registers one sink and records node, incumbent, steal and
@@ -67,6 +72,7 @@ val options :
   ?log_every:int ->
   ?parallelism:int ->
   ?pricing:Simplex.pricing ->
+  ?lu_kernel:Lu.kernel ->
   ?trace:Mm_obs.Trace.t ->
   ?node_cut_depth:int ->
   ?node_cut_freq:int ->

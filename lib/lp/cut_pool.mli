@@ -46,6 +46,7 @@ val root_loop :
   ?basis:Simplex.basis ->
   ?deadline:float ->
   pricing:Simplex.pricing ->
+  ?lu_kernel:Lu.kernel ->
   snk:Mm_obs.Trace.sink ->
   t ->
   Problem.t * root_stats

@@ -33,6 +33,7 @@ val round_point :
 val run :
   ?deadline:float ->
   pricing:Simplex.pricing ->
+  ?lu_kernel:Lu.kernel ->
   snk:Mm_obs.Trace.sink ->
   Problem.t ->
   result

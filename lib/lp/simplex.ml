@@ -89,6 +89,8 @@ type stats = {
   max_eta : int;
   lu_fill : int;
   basis_nnz : int;
+  sparse_solves : int;
+  dense_fallbacks : int;
 }
 
 let empty_stats =
@@ -101,6 +103,8 @@ let empty_stats =
     max_eta = 0;
     lu_fill = 0;
     basis_nnz = 0;
+    sparse_solves = 0;
+    dense_fallbacks = 0;
   }
 
 let merge_stats a b =
@@ -113,14 +117,16 @@ let merge_stats a b =
     max_eta = max a.max_eta b.max_eta;
     lu_fill = max a.lu_fill b.lu_fill;
     basis_nnz = max a.basis_nnz b.basis_nnz;
+    sparse_solves = a.sparse_solves + b.sparse_solves;
+    dense_fallbacks = a.dense_fallbacks + b.dense_fallbacks;
   }
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "%d pivots (%d phase-1, %d flips), %d refactorizations, %d devex resets, \
-     eta<=%d, fill %d, basis nnz %d"
+     eta<=%d, fill %d, basis nnz %d, %d sparse solves, %d dense fallbacks"
     s.pivots s.phase1_pivots s.flips s.refactorizations s.devex_resets
-    s.max_eta s.lu_fill s.basis_nnz
+    s.max_eta s.lu_fill s.basis_nnz s.sparse_solves s.dense_fallbacks
 
 type t = {
   p : Problem.t;
@@ -128,6 +134,7 @@ type t = {
   m : int;
   nt : int;
   pricing : pricing;
+  lu_kernel : Lu.kernel;
   cost : float array;
   lb : float array;
   ub : float array;
@@ -150,12 +157,19 @@ type t = {
   mutable flushed_resets : int;
   pivot_hist : Mm_obs.Trace.hist;
   refactor_hist : Mm_obs.Trace.hist;
-  y : float array;
-  alpha : float array;
+  ftran_hist : Mm_obs.Trace.hist; (* ftran result density, permille *)
+  btran_hist : Mm_obs.Trace.hist; (* btran result density, permille *)
+  (* hypersparse counters harvested from retired Lu instances; the live
+     instance's counts are added on top by [stats] *)
+  mutable acc_sparse : int;
+  mutable acc_dense : int;
+  y : Svec.t; (* duals, row-indexed; dense backing read by pricing *)
+  alpha : Svec.t; (* entering column B^-1 A_q, pos-indexed *)
   beta : float array; (* compute_basics scratch, pos-indexed *)
-  rhs : float array; (* row-indexed scratch for ftran inputs *)
-  cbw : float array; (* pos-indexed scratch for btran inputs *)
-  rho : float array; (* row [ip] of the basis inverse, for dual pricing *)
+  rhs : Svec.t; (* row-indexed scratch for ftran inputs *)
+  bwork : float array; (* compute_basics accumulation scratch *)
+  cbw : Svec.t; (* pos-indexed scratch for btran inputs *)
+  rho : Svec.t; (* row [ip] of the basis inverse, for dual pricing *)
   pcost : float array;
   dw : float array; (* primal Devex reference weights, per variable *)
   drw : float array; (* dual Devex reference weights, per row *)
@@ -176,11 +190,16 @@ let dot_col t y j =
   col_iter t j (fun r a -> acc := !acc +. (y.(r) *. a));
   !acc
 
-(* alpha := B^-1 A_j *)
+(* alpha := B^-1 A_j, hypersparse: the packed column ftrans through the
+   sparse kernel and alpha's pattern drives the ratio test, the step
+   application, the eta build and the dual weight updates *)
 let ftran t j =
-  Array.fill t.rhs 0 t.m 0.0;
-  col_iter t j (fun r a -> t.rhs.(r) <- a);
-  Lu.ftran t.lu ~src:t.rhs ~dst:t.alpha
+  Svec.clear t.rhs;
+  col_iter t j (fun r a -> Svec.set t.rhs r a);
+  Lu.ftran_sv t.lu ~src:t.rhs ~dst:t.alpha;
+  if Mm_obs.Trace.active t.tr then
+    Mm_obs.Trace.hist_add t.ftran_hist
+      (Int64.of_int (1000 * Svec.nnz t.alpha / max 1 t.m))
 
 (* --- creation and (re)factorization ----------------------------------- *)
 
@@ -192,7 +211,9 @@ let nonbasic_value t v =
   | _ -> invalid_arg "nonbasic_value: basic"
 
 let compute_basics t =
-  let b = t.rhs in
+  (* the right-hand side accumulates over all nonbasic columns, so it
+     is dense in general: use the dense scratch and entry point *)
+  let b = t.bwork in
   Array.fill b 0 t.m 0.0;
   for v = 0 to t.nt - 1 do
     if t.loc.(v) < 0 then begin
@@ -218,10 +239,18 @@ let reset_to_slack_basis t =
     t.loc.(t.n + r) <- r
   done
 
-let factor_current t = Lu.factor ~m:t.m (fun k f -> col_iter t t.basis.(k) f)
+let factor_current t =
+  Lu.factor ~kernel:t.lu_kernel ~m:t.m (fun k f -> col_iter t t.basis.(k) f)
+
+(* the Lu instance is replaced on every refactorization, so fold its
+   solve counters into the accumulators before retiring it *)
+let harvest_lu_counters t =
+  t.acc_sparse <- t.acc_sparse + Lu.sparse_solves t.lu;
+  t.acc_dense <- t.acc_dense + Lu.dense_fallbacks t.lu
 
 let refactor t =
   let h0 = if Mm_obs.Trace.active t.tr then Mm_obs.Trace.now_ns () else 0L in
+  harvest_lu_counters t;
   (try t.lu <- factor_current t
    with Lu.Singular ->
      reset_to_slack_basis t;
@@ -237,7 +266,7 @@ let refactor t =
 
 let refactorize = refactor
 
-let create ?(pricing = Devex) p =
+let create ?(pricing = Devex) ?(lu_kernel = Lu.Auto) p =
   let n = p.Problem.ncols and m = p.Problem.nrows in
   let nt = n + m in
   let lb = Array.make nt 0.0 and ub = Array.make nt 0.0 in
@@ -257,13 +286,14 @@ let create ?(pricing = Devex) p =
       m;
       nt;
       pricing;
+      lu_kernel;
       cost;
       lb;
       ub;
       basis = Array.make m 0;
       loc = Array.make nt (-1);
       (* slack basis: column at position k is -e_k *)
-      lu = Lu.factor ~m (fun k f -> f k (-1.0));
+      lu = Lu.factor ~kernel:lu_kernel ~m (fun k f -> f k (-1.0));
       xval = Array.make nt 0.0;
       niter = 0;
       phase1_iters = 0;
@@ -280,12 +310,17 @@ let create ?(pricing = Devex) p =
       flushed_resets = 0;
       pivot_hist = Mm_obs.Trace.hist_create ();
       refactor_hist = Mm_obs.Trace.hist_create ();
-      y = Array.make m 0.0;
-      alpha = Array.make m 0.0;
+      ftran_hist = Mm_obs.Trace.hist_create ();
+      btran_hist = Mm_obs.Trace.hist_create ();
+      acc_sparse = 0;
+      acc_dense = 0;
+      y = Svec.create m;
+      alpha = Svec.create m;
       beta = Array.make m 0.0;
-      rhs = Array.make m 0.0;
-      cbw = Array.make m 0.0;
-      rho = Array.make m 0.0;
+      rhs = Svec.create m;
+      bwork = Array.make m 0.0;
+      cbw = Svec.create m;
+      rho = Svec.create m;
       pcost = Array.make nt 0.0;
       dw = Array.make nt 1.0;
       drw = Array.make m 1.0;
@@ -309,7 +344,7 @@ let create ?(pricing = Devex) p =
 let create_from prev p' =
   if p'.Problem.ncols <> prev.n || p'.Problem.nrows < prev.m then
     invalid_arg "Simplex.create_from: not a row extension";
-  let t = create ~pricing:prev.pricing p' in
+  let t = create ~pricing:prev.pricing ~lu_kernel:prev.lu_kernel p' in
   (* carry the previous instance's *current* bounds for the shared
      variables (structural and old slacks occupy the same indices). At
      the root cut loop these equal [p']'s bounds; a branch-and-bound
@@ -335,10 +370,17 @@ let create_from prev p' =
 (* --- pricing ----------------------------------------------------------- *)
 
 let compute_duals t costs =
+  (* in phase 1 only the (few) infeasible basics carry cost, so the
+     right-hand side is typically hypersparse and the btran cheap *)
+  Svec.clear t.cbw;
   for k = 0 to t.m - 1 do
-    t.cbw.(k) <- costs.(t.basis.(k))
+    let c = costs.(t.basis.(k)) in
+    if c <> 0.0 then Svec.set t.cbw k c
   done;
-  Lu.btran t.lu ~src:t.cbw ~dst:t.y
+  Lu.btran_sv t.lu ~src:t.cbw ~dst:t.y;
+  if Mm_obs.Trace.active t.tr then
+    Mm_obs.Trace.hist_add t.btran_hist
+      (Int64.of_int (1000 * Svec.nnz t.y / max 1 t.m))
 
 (* Direction and reduced cost of a nonbasic variable when it prices out,
    assuming t.y holds the duals for [costs]. sigma = +1 when the
@@ -348,7 +390,7 @@ let eligibility t costs v =
   let l = t.loc.(v) in
   if l >= 0 then None
   else
-    let d = costs.(v) -. dot_col t t.y v in
+    let d = costs.(v) -. dot_col t t.y.Svec.vals v in
     match l with
     | -1 ->
         if d < -.opt_tol && t.ub.(v) > t.lb.(v) then Some (1.0, d) else None
@@ -447,7 +489,7 @@ let price t costs ~bland =
    reference weight refreshed exactly. A selected weight past the cap
    means the framework has drifted: reset to all ones. *)
 let devex_update t q ip =
-  let piv = t.alpha.(ip) in
+  let piv = Svec.get t.alpha ip in
   let wq = Float.max t.dw.(q) 1.0 in
   if wq > devex_weight_cap then begin
     Array.fill t.dw 0 t.nt 1.0;
@@ -456,11 +498,14 @@ let devex_update t q ip =
   else begin
     let inv2 = 1.0 /. (piv *. piv) in
     if t.ncand > 0 then begin
-      Lu.btran_unit t.lu ~pos:ip ~dst:t.rho;
+      Lu.btran_unit_sv t.lu ~pos:ip ~dst:t.rho;
+      if Mm_obs.Trace.active t.tr then
+        Mm_obs.Trace.hist_add t.btran_hist
+          (Int64.of_int (1000 * Svec.nnz t.rho / max 1 t.m));
       for s = 0 to t.ncand - 1 do
         let v = t.cand.(s) in
         if v <> q && t.loc.(v) < 0 then begin
-          let arj = dot_col t t.rho v in
+          let arj = dot_col t t.rho.Svec.vals v in
           if Float.abs arj > zero_tol then begin
             let w = arj *. arj *. inv2 *. wq in
             if w > t.dw.(v) then t.dw.(v) <- w
@@ -500,18 +545,19 @@ let ratio_test t q sigma ~phase1 =
     else if d > 0.0 then (u, -2)
     else (l, -1)
   in
+  (* both Harris passes sweep only alpha's nonzero pattern: rows with
+     alpha.(i) = 0 never block *)
   let tmax_rel = ref infinity in
-  for i = 0 to t.m - 1 do
-    let d = -.sigma *. t.alpha.(i) in
-    if Float.abs d > pivot_tol then begin
-      let bound, _ = blocking_bound i d in
-      if Float.is_finite bound then begin
-        let strict = Float.max ((bound -. t.xval.(t.basis.(i))) /. d) 0.0 in
-        let relaxed = strict +. (tols.harris /. Float.abs d) in
-        if relaxed < !tmax_rel then tmax_rel := relaxed
-      end
-    end
-  done;
+  Svec.iter t.alpha (fun i a ->
+      let d = -.sigma *. a in
+      if Float.abs d > pivot_tol then begin
+        let bound, _ = blocking_bound i d in
+        if Float.is_finite bound then begin
+          let strict = Float.max ((bound -. t.xval.(t.basis.(i))) /. d) 0.0 in
+          let relaxed = strict +. (tols.harris /. Float.abs d) in
+          if relaxed < !tmax_rel then tmax_rel := relaxed
+        end
+      end);
   let bound_gap = t.ub.(q) -. t.lb.(q) in
   if Float.is_finite bound_gap && bound_gap <= !tmax_rel then Flip bound_gap
   else if !tmax_rel = infinity then NoBlock
@@ -520,21 +566,20 @@ let ratio_test t q sigma ~phase1 =
     and leave_loc = ref (-1)
     and bstep = ref 0.0
     and bmag = ref 0.0 in
-    for i = 0 to t.m - 1 do
-      let d = -.sigma *. t.alpha.(i) in
-      if Float.abs d > pivot_tol then begin
-        let bound, loc = blocking_bound i d in
-        if Float.is_finite bound then begin
-          let strict = Float.max ((bound -. t.xval.(t.basis.(i))) /. d) 0.0 in
-          if strict <= !tmax_rel +. tie_tol && Float.abs d > !bmag then begin
-            blocker := i;
-            leave_loc := loc;
-            bstep := strict;
-            bmag := Float.abs d
+    Svec.iter t.alpha (fun i a ->
+        let d = -.sigma *. a in
+        if Float.abs d > pivot_tol then begin
+          let bound, loc = blocking_bound i d in
+          if Float.is_finite bound then begin
+            let strict = Float.max ((bound -. t.xval.(t.basis.(i))) /. d) 0.0 in
+            if strict <= !tmax_rel +. tie_tol && Float.abs d > !bmag then begin
+              blocker := i;
+              leave_loc := loc;
+              bstep := strict;
+              bmag := Float.abs d
+            end
           end
-        end
-      end
-    done;
+        end);
     if !blocker < 0 then NoBlock
     else Block (!blocker, Float.min !bstep !tmax_rel, !leave_loc)
   end
@@ -543,17 +588,15 @@ let apply_step t q sigma step =
   (* move entering by sigma*step, basics by -sigma*alpha*step *)
   if step <> 0.0 then begin
     t.xval.(q) <- t.xval.(q) +. (sigma *. step);
-    for i = 0 to t.m - 1 do
-      let a = t.alpha.(i) in
-      if Float.abs a > zero_tol then
-        t.xval.(t.basis.(i)) <- t.xval.(t.basis.(i)) -. (sigma *. a *. step)
-    done
+    Svec.iter t.alpha (fun i a ->
+        if Float.abs a > zero_tol then
+          t.xval.(t.basis.(i)) <- t.xval.(t.basis.(i)) -. (sigma *. a *. step))
   end
 
 (* Absorb the exchange at position [ip] into the eta file; refactorize on
    schedule, when the eta file outgrows the factors, or on a bad pivot. *)
 let update_lu t ip =
-  match Lu.update t.lu ~pos:ip ~alpha:t.alpha with
+  match Lu.update_sv t.lu ~pos:ip ~alpha:t.alpha with
   | () ->
       if Lu.eta_count t.lu > t.max_eta then t.max_eta <- Lu.eta_count t.lu;
       if
@@ -625,7 +668,7 @@ let phase1_inner t limit out_of_time =
               do_flip t q sigma gap;
               loop ()
           | Block (ip, step, lloc) ->
-              if Float.abs t.alpha.(ip) < pivot_tol then begin
+              if Float.abs (Svec.get t.alpha ip) < pivot_tol then begin
                 refactor t;
                 loop ()
               end
@@ -674,7 +717,7 @@ let phase2 t limit out_of_time =
               do_flip t q sigma gap;
               loop ()
           | Block (ip, step, lloc) ->
-              if Float.abs t.alpha.(ip) < pivot_tol then begin
+              if Float.abs (Svec.get t.alpha ip) < pivot_tol then begin
                 refactor t;
                 loop ()
               end
@@ -691,7 +734,7 @@ let phase2 t limit out_of_time =
 
 (* Reduced cost of one nonbasic variable under the phase-2 objective,
    assuming t.y holds the duals. *)
-let reduced_cost t v = t.cost.(v) -. dot_col t t.y v
+let reduced_cost t v = t.cost.(v) -. dot_col t t.y.Svec.vals v
 
 let is_dual_feasible t =
   compute_duals t t.cost;
@@ -761,14 +804,16 @@ let dual_phase t limit out_of_time =
         if !leave < 0 then Optimal
         else begin
           let ip = !leave in
-          (* rho := row ip of the basis inverse, via btran of e_ip *)
-          Lu.btran_unit t.lu ~pos:ip ~dst:t.rho;
+          (* rho := row ip of the basis inverse, via btran of e_ip — the
+             single-nonzero right-hand side is the ideal hypersparse case *)
+          Lu.btran_unit_sv t.lu ~pos:ip ~dst:t.rho;
+          if Mm_obs.Trace.active t.tr then
+            Mm_obs.Trace.hist_add t.btran_hist
+              (Int64.of_int (1000 * Svec.nnz t.rho / max 1 t.m));
           let wip =
             if t.pricing = Devex then begin
               let exact = ref 0.0 in
-              for r = 0 to t.m - 1 do
-                exact := !exact +. (t.rho.(r) *. t.rho.(r))
-              done;
+              Svec.iter t.rho (fun _ r -> exact := !exact +. (r *. r));
               if !exact > devex_drift_factor *. t.drw.(ip) then begin
                 (* the reference framework no longer tracks the true
                    row norms: reset it *)
@@ -787,7 +832,7 @@ let dual_phase t limit out_of_time =
           and best_mag = ref 0.0 in
           for v = 0 to t.nt - 1 do
             if t.loc.(v) < 0 && t.ub.(v) > t.lb.(v) then begin
-              let a = dot_col t t.rho v in
+              let a = dot_col t t.rho.Svec.vals v in
               if Float.abs a > pivot_tol then begin
                 let eligible =
                   match t.loc.(v) with
@@ -815,21 +860,18 @@ let dual_phase t limit out_of_time =
           else begin
             let q = !best in
             ftran t q;
-            if Float.abs t.alpha.(ip) < pivot_tol then raise Numerical_trouble;
+            if Float.abs (Svec.get t.alpha ip) < pivot_tol then
+              raise Numerical_trouble;
             (if t.pricing = Devex then begin
                (* dual Devex row-weight update from the entering
-                  column's ftran, O(m) per pivot *)
-               let piv = t.alpha.(ip) in
+                  column's ftran, over alpha's nonzeros only *)
+               let piv = Svec.get t.alpha ip in
                let inv2 = 1.0 /. (piv *. piv) in
-               for i = 0 to t.m - 1 do
-                 if i <> ip then begin
-                   let a = t.alpha.(i) in
-                   if Float.abs a > zero_tol then begin
+               Svec.iter t.alpha (fun i a ->
+                   if i <> ip && Float.abs a > zero_tol then begin
                      let w = a *. a *. inv2 *. wip in
                      if w > t.drw.(i) then t.drw.(i) <- w
-                   end
-                 end
-               done;
+                   end);
                t.drw.(ip) <- Float.max (wip *. inv2) 1.0
              end);
             let leaver = t.basis.(ip) in
@@ -915,11 +957,11 @@ let primal t = Array.sub t.xval 0 t.n
 
 let reduced_costs t =
   compute_duals t t.cost;
-  Array.init t.n (fun j -> t.cost.(j) -. dot_col t t.y j)
+  Array.init t.n (fun j -> t.cost.(j) -. dot_col t t.y.Svec.vals j)
 
 let duals t =
   compute_duals t t.cost;
-  Array.copy t.y
+  Array.copy t.y.Svec.vals
 
 let iterations t = t.niter
 
@@ -933,6 +975,8 @@ let stats t =
     max_eta = t.max_eta;
     lu_fill = t.max_fill;
     basis_nnz = t.max_bnnz;
+    sparse_solves = t.acc_sparse + Lu.sparse_solves t.lu;
+    dense_fallbacks = t.acc_dense + Lu.dense_fallbacks t.lu;
   }
 
 let set_trace t s = t.tr <- s
@@ -940,6 +984,8 @@ let set_trace t s = t.tr <- s
 let flush_trace t =
   Mm_obs.Trace.emit_hist t.tr "pivot" t.pivot_hist;
   Mm_obs.Trace.emit_hist t.tr "refactor" t.refactor_hist;
+  Mm_obs.Trace.emit_hist t.tr "ftran_density_permille" t.ftran_hist;
+  Mm_obs.Trace.emit_hist t.tr "btran_density_permille" t.btran_hist;
   if Mm_obs.Trace.active t.tr then begin
     if t.nflip > t.flushed_flips then
       Mm_obs.Trace.count t.tr "flip" (t.nflip - t.flushed_flips);
@@ -1070,10 +1116,10 @@ let tableau_row t ~pos =
   (* rho := row [pos] of B^-1, then one sparse dot product per nonbasic
      column. Fresh scratch arrays: separation runs off the pivot hot
      path and must not clobber the pricing buffers. *)
-  let rho = Array.make t.m 0.0 in
-  Lu.btran_unit t.lu ~pos ~dst:rho;
+  let rho = Svec.create t.m in
+  Lu.btran_unit_sv t.lu ~pos ~dst:rho;
   let row = Array.make t.nt 0.0 in
   for v = 0 to t.nt - 1 do
-    if t.loc.(v) < 0 then row.(v) <- dot_col t rho v
+    if t.loc.(v) < 0 then row.(v) <- dot_col t rho.Svec.vals v
   done;
   row

@@ -58,6 +58,8 @@ type stats = {
   max_eta : int;  (** longest eta file reached between refactorizations *)
   lu_fill : int;  (** worst fill-in of any factorization *)
   basis_nnz : int;  (** largest basis nonzero count factored *)
+  sparse_solves : int;  (** ftran/btran solves on the hypersparse path *)
+  dense_fallbacks : int;  (** solves that swept densely (forced or fallback) *)
 }
 
 val empty_stats : stats
@@ -69,9 +71,13 @@ val merge_stats : stats -> stats -> stats
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line human-readable rendering. *)
 
-val create : ?pricing:pricing -> Problem.t -> t
+val create : ?pricing:pricing -> ?lu_kernel:Lu.kernel -> Problem.t -> t
 (** Builds solver state with the slack basis. [pricing] defaults to
-    {!Devex}. *)
+    {!Devex}; [lu_kernel] (default {!Lu.Auto}) selects the
+    triangular-solve kernel — {!Lu.Sparse} forces the hypersparse
+    path on every sufficiently sparse operand and {!Lu.Dense} the
+    plain dense sweeps, for A/B benchmarking and differential
+    testing. All kernels pivot identically. *)
 
 val create_from : t -> Problem.t -> t
 (** [create_from prev p'] builds solver state for [p'], which must be

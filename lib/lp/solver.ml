@@ -12,6 +12,7 @@ type options = {
   heuristics : bool;
   parallelism : int;
   pricing : Simplex.pricing;
+  lu_kernel : Lu.kernel;
   trace : Mm_obs.Trace.t;
   bb : Branch_bound.options;
 }
@@ -27,6 +28,7 @@ let default_options =
     heuristics = true;
     parallelism = 1;
     pricing = Simplex.Devex;
+    lu_kernel = Lu.Auto;
     trace = Mm_obs.Trace.disabled;
     bb = Branch_bound.default_options;
   }
@@ -34,9 +36,9 @@ let default_options =
 let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
     ?(max_cuts_per_round = 50) ?(cut_max_age = 8)
     ?(separators = Separator.default) ?(heuristics = true) ?parallelism
-    ?pricing ?trace ?(bb = Branch_bound.default_options) () =
-  (* explicit [?parallelism] / [?pricing] / [?trace] override whatever
-     [bb] carries *)
+    ?pricing ?lu_kernel ?trace ?(bb = Branch_bound.default_options) () =
+  (* explicit [?parallelism] / [?pricing] / [?lu_kernel] / [?trace]
+     override whatever [bb] carries *)
   let parallelism =
     match parallelism with
     | Some j -> j
@@ -44,6 +46,9 @@ let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
   in
   let pricing =
     match pricing with Some pr -> pr | None -> bb.Branch_bound.pricing
+  in
+  let lu_kernel =
+    match lu_kernel with Some k -> k | None -> bb.Branch_bound.lu_kernel
   in
   let trace =
     match trace with Some tr -> tr | None -> bb.Branch_bound.trace
@@ -58,12 +63,13 @@ let options ?(presolve = true) ?(cuts = true) ?(cut_rounds = 3)
     heuristics;
     parallelism;
     pricing;
+    lu_kernel;
     trace;
     bb;
   }
 
-let quick_options ?time_limit ?parallelism ?pricing ?trace () =
-  options ?parallelism ?pricing ?trace
+let quick_options ?time_limit ?parallelism ?pricing ?lu_kernel ?trace () =
+  options ?parallelism ?pricing ?lu_kernel ?trace
     ~bb:(Branch_bound.options ?time_limit ())
     ()
 
@@ -71,8 +77,8 @@ let quick_options ?time_limit ?parallelism ?pricing ?trace () =
    diving, no aging — as a degenerate configuration of the new stack.
    The pool's scoring and ordering reproduce the historical cut loop
    pivot for pivot; benchmark A/B cells use this as the baseline arm. *)
-let baseline_options ?time_limit ?parallelism ?pricing ?trace () =
-  options ?parallelism ?pricing ?trace ~separators:Separator.cover_only
+let baseline_options ?time_limit ?parallelism ?pricing ?lu_kernel ?trace () =
+  options ?parallelism ?pricing ?lu_kernel ?trace ~separators:Separator.cover_only
     ~cut_max_age:max_int ~heuristics:false
     ~bb:(Branch_bound.options ?time_limit ~node_cut_depth:0 ())
     ()
@@ -262,7 +268,7 @@ let solve ?(options = default_options) ?warm p =
           let q', cs =
             Mm_obs.Trace.span snk "cuts" (fun () ->
                 Cut_pool.root_loop ?basis ?deadline ~pricing:options.pricing
-                  ~snk pool)
+                  ~lu_kernel:options.lu_kernel ~snk pool)
           in
           (match (warm, cs.Cut_pool.root_basis) with
           | Some w, Some b ->
@@ -280,7 +286,8 @@ let solve ?(options = default_options) ?warm p =
       let heur =
         if options.heuristics && Problem.num_integer q > 0 then
           Mm_obs.Trace.span snk "heuristic" (fun () ->
-              Heuristics.run ?deadline ~pricing:options.pricing ~snk q)
+              Heuristics.run ?deadline ~pricing:options.pricing
+                ~lu_kernel:options.lu_kernel ~snk q)
         else
           {
             Heuristics.incumbent = None;
@@ -300,6 +307,7 @@ let solve ?(options = default_options) ?warm p =
             options.bb with
             Branch_bound.parallelism = options.parallelism;
             pricing = options.pricing;
+            lu_kernel = options.lu_kernel;
             trace = options.trace;
           }
         in

@@ -23,6 +23,12 @@ type options = {
       (** simplex pricing strategy for the root cut loop and every
           branch-and-bound workspace, default {!Simplex.Devex};
           overrides [bb.pricing] *)
+  lu_kernel : Lu.kernel;
+      (** triangular-solve kernel for every simplex workspace (root cut
+          loop, heuristics, branch-and-bound), default {!Lu.Auto}
+          (hypersparse on large bases with automatic dense fallback);
+          {!Lu.Sparse}/{!Lu.Dense} force one path, for A/B runs;
+          overrides [bb.lu_kernel] *)
   trace : Mm_obs.Trace.t;
       (** structured tracing (default disabled): the facade records
           presolve/cuts/heuristic/bb/solve phase spans and cut counters
@@ -45,19 +51,21 @@ val options :
   ?heuristics:bool ->
   ?parallelism:int ->
   ?pricing:Simplex.pricing ->
+  ?lu_kernel:Lu.kernel ->
   ?trace:Mm_obs.Trace.t ->
   ?bb:Branch_bound.options ->
   unit ->
   options
 (** Builder for {!options}; prefer this over record literals so future
-    fields stay non-breaking. When [?parallelism], [?pricing] or
-    [?trace] is omitted it is taken from [bb] (defaults: 1, Devex,
-    disabled). *)
+    fields stay non-breaking. When [?parallelism], [?pricing],
+    [?lu_kernel] or [?trace] is omitted it is taken from [bb]
+    (defaults: 1, Devex, Sparse, disabled). *)
 
 val quick_options :
   ?time_limit:float ->
   ?parallelism:int ->
   ?pricing:Simplex.pricing ->
+  ?lu_kernel:Lu.kernel ->
   ?trace:Mm_obs.Trace.t ->
   unit ->
   options
@@ -67,6 +75,7 @@ val baseline_options :
   ?time_limit:float ->
   ?parallelism:int ->
   ?pricing:Simplex.pricing ->
+  ?lu_kernel:Lu.kernel ->
   ?trace:Mm_obs.Trace.t ->
   unit ->
   options

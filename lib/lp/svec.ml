@@ -1,0 +1,70 @@
+(* Packed sparse vector over a dense backing store. See svec.mli for
+   the representation invariant; the whole point is that [vals] is
+   always the complete vector, so hypersparse kernels can skip the
+   membership test on reads and fall back to dense sweeps without a
+   scatter/gather round trip. *)
+
+type t = {
+  idx : int array;
+  vals : float array;
+  mutable nnz : int;
+}
+
+let create m = { idx = Array.make m 0; vals = Array.make m 0.0; nnz = 0 }
+let length t = Array.length t.vals
+let is_dense t = t.nnz < 0
+let nnz t = if t.nnz < 0 then Array.length t.vals else t.nnz
+
+let clear t =
+  if t.nnz < 0 then Array.fill t.vals 0 (Array.length t.vals) 0.0
+  else
+    for s = 0 to t.nnz - 1 do
+      t.vals.(t.idx.(s)) <- 0.0
+    done;
+  t.nnz <- 0
+
+let set t i v =
+  t.vals.(i) <- v;
+  t.idx.(t.nnz) <- i;
+  t.nnz <- t.nnz + 1
+
+let set_dense t = t.nnz <- -1
+let get t i = t.vals.(i)
+
+let of_dense t a =
+  clear t;
+  for i = 0 to Array.length a - 1 do
+    let v = a.(i) in
+    if v <> 0.0 then set t i v
+  done
+
+let to_dense t a = Array.blit t.vals 0 a 0 (Array.length t.vals)
+
+let iter t f =
+  if t.nnz < 0 then
+    for i = 0 to Array.length t.vals - 1 do
+      let v = t.vals.(i) in
+      if v <> 0.0 then f i v
+    done
+  else
+    for s = 0 to t.nnz - 1 do
+      let i = t.idx.(s) in
+      f i t.vals.(i)
+    done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun i v -> acc := f !acc i v);
+  !acc
+
+let copy_into ~src ~dst =
+  clear dst;
+  if src.nnz < 0 then begin
+    Array.blit src.vals 0 dst.vals 0 (Array.length src.vals);
+    dst.nnz <- -1
+  end
+  else
+    for s = 0 to src.nnz - 1 do
+      let i = src.idx.(s) in
+      set dst i src.vals.(i)
+    done

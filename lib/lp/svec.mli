@@ -1,0 +1,76 @@
+(** Packed sparse vector with a dense backing store.
+
+    The representation keeps the full dense value array alive at all
+    times: [vals] is always the complete length-[m] vector, and [idx]
+    holds the positions of the (potential) nonzeros when the pattern is
+    known. This lets hypersparse kernels iterate only the pattern while
+    random-access consumers (pricing, ratio tests) read [vals.(i)]
+    directly without a membership test.
+
+    Invariant: when [nnz >= 0], every entry of [vals] outside
+    [idx.(0 .. nnz-1)] is exactly [0.0] (pattern entries may also hold
+    exact zeros after cancellation — that is allowed). When [nnz = -1]
+    the pattern is unknown ("dense"): any entry of [vals] may be
+    nonzero and consumers must sweep all of [vals].
+
+    The record is exposed because the LP kernels mutate it in place on
+    the hot path; code outside [lib/lp] should treat it as abstract. *)
+
+type t = {
+  idx : int array;  (** pattern scratch, length [m] *)
+  vals : float array;  (** dense backing, length [m], always complete *)
+  mutable nnz : int;  (** pattern length, or [-1] when dense *)
+}
+
+val create : int -> t
+(** [create m] is an all-zero vector of logical length [m] with an
+    empty pattern. *)
+
+val length : t -> int
+(** Logical (dense) length [m]. *)
+
+val is_dense : t -> bool
+(** [true] when the pattern is unknown and [vals] must be swept. *)
+
+val nnz : t -> int
+(** Number of stored entries; equals [length] when dense. *)
+
+val clear : t -> unit
+(** Restore the all-zero state: zeroes only the pattern entries when
+    the pattern is known, the whole backing store otherwise, and resets
+    [nnz] to [0]. *)
+
+val set : t -> int -> float -> unit
+(** [set t i v] appends [i] to the pattern with value [v]. The entry
+    must not already be in the pattern and [t] must not be dense;
+    callers typically [clear] first and insert each index once. *)
+
+val set_dense : t -> unit
+(** Mark the pattern unknown ([nnz <- -1]); [vals] is untouched. *)
+
+val get : t -> int -> float
+(** [get t i] is [vals.(i)] — always valid thanks to the dense
+    backing, whether or not [i] is in the pattern. *)
+
+val of_dense : t -> float array -> unit
+(** [of_dense t a] loads the dense array [a] (length [m]) into [t],
+    scanning it to rebuild an exact nonzero pattern. [t] is cleared
+    first. *)
+
+val to_dense : t -> float array -> unit
+(** [to_dense t a] copies the full dense value of [t] into [a]
+    (length [m]). *)
+
+val iter : t -> (int -> float -> unit) -> unit
+(** [iter t f] calls [f i v] for each stored entry. When the pattern is
+    known this visits pattern entries only (including any exact zeros
+    kept there); when dense it sweeps all indices, skipping exact
+    zeros. *)
+
+val fold : t -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+(** Like {!iter} with an accumulator. *)
+
+val copy_into : src:t -> dst:t -> unit
+(** [copy_into ~src ~dst] makes [dst] an exact copy of [src] (pattern
+    and values); the two must have equal length. [dst] is cleared
+    first. *)

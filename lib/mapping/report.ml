@@ -174,12 +174,14 @@ let lp_core_summary (r : Mm_lp.Solver.result) =
     Printf.sprintf
       "LP core: %d nodes, %d pivots (%d phase-1, %d flips), %d \
        refactorizations (%d devex resets), eta<=%d, fill %d, basis nnz %d | \
-       LP time %.3fs (worst node %.3fs)"
+       solves %d sparse / %d dense-fallback | LP time %.3fs (worst node \
+       %.3fs)"
       mip.Mm_lp.Branch_bound.nodes lp.Mm_lp.Simplex.pivots
       lp.Mm_lp.Simplex.phase1_pivots lp.Mm_lp.Simplex.flips
       lp.Mm_lp.Simplex.refactorizations lp.Mm_lp.Simplex.devex_resets
       lp.Mm_lp.Simplex.max_eta lp.Mm_lp.Simplex.lu_fill
-      lp.Mm_lp.Simplex.basis_nnz s.Mm_lp.Solver.lp_time
+      lp.Mm_lp.Simplex.basis_nnz lp.Mm_lp.Simplex.sparse_solves
+      lp.Mm_lp.Simplex.dense_fallbacks s.Mm_lp.Solver.lp_time
       mip.Mm_lp.Branch_bound.max_node_lp_time
   in
   let cuts_part =
@@ -221,7 +223,7 @@ let solver_config (o : Mm_lp.Solver.options) =
   in
   Printf.sprintf
     "Solver config: cuts=%s rounds=%d max/round=%d max-age=%s node-depth=%d \
-     node-freq=%d heuristics=%s pricing=%s parallelism=%d"
+     node-freq=%d heuristics=%s pricing=%s lu-kernel=%s parallelism=%d"
     seps o.Mm_lp.Solver.cut_rounds o.Mm_lp.Solver.max_cuts_per_round
     (if o.Mm_lp.Solver.cut_max_age = max_int then "inf"
      else string_of_int o.Mm_lp.Solver.cut_max_age)
@@ -229,6 +231,7 @@ let solver_config (o : Mm_lp.Solver.options) =
     o.Mm_lp.Solver.bb.Mm_lp.Branch_bound.node_cut_freq
     (if o.Mm_lp.Solver.heuristics then "on" else "off")
     (Mm_lp.Simplex.pricing_to_string o.Mm_lp.Solver.pricing)
+    (Mm_lp.Lu.kernel_to_string o.Mm_lp.Solver.lu_kernel)
     o.Mm_lp.Solver.parallelism
 
 let outcome board design (o : Mapper.outcome) =

@@ -3,6 +3,7 @@ open Mm_lp
 type t = {
   parallelism : int;
   pricing : Simplex.pricing;
+  lu_kernel : Lu.kernel;
   cuts : bool;
   cut_rounds : int;
   max_cuts_per_round : int;
@@ -14,6 +15,7 @@ let default =
   {
     parallelism = 1;
     pricing = Simplex.Devex;
+    lu_kernel = Lu.Auto;
     cuts = true;
     cut_rounds = Solver.default_options.Solver.cut_rounds;
     max_cuts_per_round = Solver.default_options.Solver.max_cuts_per_round;
@@ -21,13 +23,14 @@ let default =
     time_limit = None;
   }
 
-let make ?(parallelism = 1) ?(pricing = Simplex.Devex) ?(cuts = true)
-    ?(cut_rounds = default.cut_rounds)
+let make ?(parallelism = 1) ?(pricing = Simplex.Devex)
+    ?(lu_kernel = Lu.Auto) ?(cuts = true) ?(cut_rounds = default.cut_rounds)
     ?(max_cuts_per_round = default.max_cuts_per_round) ?(heuristics = true)
     ?time_limit () =
   {
     parallelism;
     pricing;
+    lu_kernel;
     cuts;
     cut_rounds;
     max_cuts_per_round;
@@ -36,7 +39,8 @@ let make ?(parallelism = 1) ?(pricing = Simplex.Devex) ?(cuts = true)
   }
 
 let to_solver_options ?trace k =
-  Solver.options ~parallelism:k.parallelism ~pricing:k.pricing ~cuts:k.cuts
+  Solver.options ~parallelism:k.parallelism ~pricing:k.pricing
+    ~lu_kernel:k.lu_kernel ~cuts:k.cuts
     ~cut_rounds:k.cut_rounds ~max_cuts_per_round:k.max_cuts_per_round
     ~heuristics:k.heuristics ?trace
     ~bb:(Branch_bound.options ?time_limit:k.time_limit ())
@@ -49,6 +53,7 @@ let fingerprint_fields k =
   [
     ("parallelism", string_of_int k.parallelism);
     ("pricing", Simplex.pricing_to_string k.pricing);
+    ("lu_kernel", Lu.kernel_to_string k.lu_kernel);
     ("cuts", string_of_bool k.cuts);
     ("cut_rounds", string_of_int k.cut_rounds);
     ("max_cuts_per_round", string_of_int k.max_cuts_per_round);
@@ -65,6 +70,7 @@ let to_json k =
     [
       ("parallelism", J.Num (float_of_int k.parallelism));
       ("pricing", J.Str (Simplex.pricing_to_string k.pricing));
+      ("lu_kernel", J.Str (Lu.kernel_to_string k.lu_kernel));
       ("cuts", J.Bool k.cuts);
       ("cut_rounds", J.Num (float_of_int k.cut_rounds));
       ("max_cuts_per_round", J.Num (float_of_int k.max_cuts_per_round));
@@ -98,6 +104,15 @@ let of_json j =
         | None -> Error (Printf.sprintf "knobs: unknown pricing %S" s))
     | Some _ -> err "pricing"
   in
+  let* lu_kernel =
+    match J.member "lu_kernel" j with
+    | None | Some J.Null -> Ok default.lu_kernel
+    | Some (J.Str s) -> (
+        match Lu.kernel_of_string s with
+        | Some k -> Ok k
+        | None -> Error (Printf.sprintf "knobs: unknown lu_kernel %S" s))
+    | Some _ -> err "lu_kernel"
+  in
   let* cuts = boolean "cuts" default.cuts in
   let* cut_rounds = int "cut_rounds" default.cut_rounds in
   let* max_cuts_per_round =
@@ -116,6 +131,7 @@ let of_json j =
     {
       parallelism;
       pricing;
+      lu_kernel;
       cuts;
       cut_rounds;
       max_cuts_per_round;

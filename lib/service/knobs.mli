@@ -8,6 +8,9 @@
 type t = {
   parallelism : int;  (** branch-and-bound worker domains, default 1 *)
   pricing : Mm_lp.Simplex.pricing;  (** default Devex *)
+  lu_kernel : Mm_lp.Lu.kernel;
+      (** FTRAN/BTRAN triangular-solve kernel, default Auto
+          (hypersparse on large bases, dense sweeps otherwise) *)
   cuts : bool;  (** master cutting-plane switch, default true *)
   cut_rounds : int;
   max_cuts_per_round : int;
@@ -23,6 +26,7 @@ val default : t
 val make :
   ?parallelism:int ->
   ?pricing:Mm_lp.Simplex.pricing ->
+  ?lu_kernel:Mm_lp.Lu.kernel ->
   ?cuts:bool ->
   ?cut_rounds:int ->
   ?max_cuts_per_round:int ->

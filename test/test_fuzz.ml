@@ -149,6 +149,67 @@ let test_mini_campaign_clean () =
     (List.map Differential.failure_to_string o.Campaign.failures);
   Alcotest.(check bool) "solves counted" true (o.Campaign.solves >= 30)
 
+let test_matrix_spans_lu_kernels () =
+  (* the forced-kernel arms are the differential guard on the
+     hypersparse code: fuzz instances sit below the Auto floor, so the
+     forced-Sparse arms are what exercises the hypersparse path, and
+     the forced-Dense arms (serial and warm) pin the baseline *)
+  let dense =
+    List.filter (fun (a : Arm.t) -> a.Arm.lu_kernel = Mm_lp.Lu.Dense) Arm.matrix
+  in
+  let sparse =
+    List.filter
+      (fun (a : Arm.t) -> a.Arm.lu_kernel = Mm_lp.Lu.Sparse)
+      Arm.matrix
+  in
+  Alcotest.(check bool) "at least 2 dense-kernel arms" true
+    (List.length dense >= 2);
+  Alcotest.(check bool) "at least 2 sparse-kernel arms" true
+    (List.length sparse >= 2);
+  Alcotest.(check bool) "a parallel sparse arm" true
+    (List.exists (fun (a : Arm.t) -> a.Arm.parallelism > 1) sparse);
+  Alcotest.(check bool) "a warm dense arm" true
+    (List.exists (fun (a : Arm.t) -> a.Arm.warm) dense);
+  Alcotest.(check bool) "reference uses the production default" true
+    (Arm.reference.Arm.lu_kernel = Mm_lp.Lu.Auto);
+  List.iter
+    (fun (a : Arm.t) ->
+      let o = Arm.solver_options a in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s options carry its kernel" a.Arm.name)
+        true
+        (o.Mm_lp.Solver.lu_kernel = a.Arm.lu_kernel))
+    (Arm.reference :: Arm.matrix)
+
+(* reference vs the serial forced-kernel arms on random small MIPs:
+   forced-Sparse (hypersparse even below the Auto floor) and
+   forced-Dense must agree with the reference case for case, not just
+   on the committed corpus *)
+let prop_dense_lu_arm_agrees =
+  qtest ~count:40 "forced-kernel arms agree with reference"
+    (QCheck.make
+       ~print:(fun c -> Case.describe c)
+       (QCheck.Gen.map
+          (fun seed ->
+            Case.Mip
+              {
+                vars = 3 + (seed mod 12);
+                rows = 2 + (seed mod 7);
+                seed;
+                pure_binary = seed mod 2 = 0;
+              })
+          (QCheck.Gen.int_bound 1_000_000)))
+    (fun c ->
+      let forced_arms =
+        List.filter
+          (fun (a : Arm.t) ->
+            a.Arm.lu_kernel <> Mm_lp.Lu.Auto && a.Arm.parallelism = 1)
+          Arm.matrix
+      in
+      match Differential.run_case ~time_limit:30.0 ~arms:forced_arms c with
+      | Ok _ -> true
+      | Error f -> QCheck.Test.fail_report (Differential.failure_to_string f))
+
 let test_arm_rotation_covers_matrix () =
   let covered =
     List.concat_map Campaign.arms_for (List.init 3 Fun.id)
@@ -248,6 +309,9 @@ let () =
           Alcotest.test_case "mini campaign clean" `Slow test_mini_campaign_clean;
           Alcotest.test_case "arm rotation covers matrix" `Quick
             test_arm_rotation_covers_matrix;
+          Alcotest.test_case "matrix spans LU kernels" `Quick
+            test_matrix_spans_lu_kernels;
+          prop_dense_lu_arm_agrees;
         ] );
       ( "replay",
         [

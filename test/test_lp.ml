@@ -430,6 +430,131 @@ let prop_dual_matches_primal =
           | _ -> false)
       | _ -> true)
 
+(* --- LU kernel agreement --------------------------------------------------- *)
+
+(* The hypersparse solves must reproduce the dense sweeps on arbitrary
+   bases — including post-update eta files and bases drawn with
+   near-singular pivots — to well below the simplex tolerances. Both
+   factorizations see the same columns and the same update sequence;
+   entering columns are built as B*w with w.(pos) = 1, so alpha(pos)
+   stays ~1 and the update never stalls on the pivot tolerance. *)
+let lu_kernel_gen =
+  QCheck.make
+    ~print:(fun (m, seed) -> Printf.sprintf "m=%d seed=%d" m seed)
+    QCheck.Gen.(pair (int_range 2 28) (int_bound 1_000_000))
+
+let prop_lu_kernels_agree =
+  qtest ~count:300 "hypersparse and dense LU solves agree to 1e-9"
+    lu_kernel_gen (fun (m, seed) ->
+      let st = Random.State.make [| 0xfac; seed; m |] in
+      let frand lo hi = lo +. Random.State.float st (hi -. lo) in
+      (* random sparse basis: permuted diagonal (one in eight entries
+         near-singular at ~1e-7) plus a few off-diagonal entries *)
+      let perm = Array.init m Fun.id in
+      for i = m - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let cols =
+        Array.init m (fun k ->
+            let diag =
+              if Random.State.int st 8 = 0 then frand 1e-7 2e-7
+              else frand 1.0 4.0
+            in
+            let entries = ref [ (perm.(k), diag) ] in
+            for _ = 1 to Random.State.int st 4 do
+              let r = Random.State.int st m in
+              if not (List.mem_assoc r !entries) then
+                entries := (r, frand (-0.5) 0.5) :: !entries
+            done;
+            !entries)
+      in
+      let coliter k f = List.iter (fun (r, v) -> f r v) cols.(k) in
+      match
+        ( Lu.factor ~kernel:Lu.Sparse ~m coliter,
+          Lu.factor ~kernel:Lu.Dense ~m coliter )
+      with
+      | exception Lu.Singular -> true (* a legitimately singular draw *)
+      | ls, ld ->
+          let ok = ref true in
+          let agree a b =
+            let scale =
+              Array.fold_left
+                (fun acc v -> Float.max acc (Float.abs v))
+                1.0 b
+            in
+            Array.iteri
+              (fun i v ->
+                if Float.abs (v -. b.(i)) > 1e-9 *. scale then ok := false)
+              a
+          in
+          let xs = Array.make m 0.0 and xd = Array.make m 0.0 in
+          let sv_src = Svec.create m and sv_dst = Svec.create m in
+          let xsv = Array.make m 0.0 in
+          let check_rhs rhs =
+            Lu.ftran ls ~src:rhs ~dst:xs;
+            Lu.ftran ld ~src:rhs ~dst:xd;
+            agree xs xd;
+            (* the svec entry point must match its own dense adapter *)
+            Svec.of_dense sv_src rhs;
+            Lu.ftran_sv ls ~src:sv_src ~dst:sv_dst;
+            Svec.to_dense sv_dst xsv;
+            agree xsv xd;
+            Lu.btran ls ~src:rhs ~dst:xs;
+            Lu.btran ld ~src:rhs ~dst:xd;
+            agree xs xd;
+            Svec.of_dense sv_src rhs;
+            Lu.btran_sv ls ~src:sv_src ~dst:sv_dst;
+            Svec.to_dense sv_dst xsv;
+            agree xsv xd
+          in
+          let sparse_rhs () =
+            let b = Array.make m 0.0 in
+            for _ = 0 to Random.State.int st 3 do
+              b.(Random.State.int st m) <- frand (-1.0) 1.0
+            done;
+            b
+          in
+          (try
+             for _round = 1 to 1 + Random.State.int st 5 do
+               check_rhs (sparse_rhs ());
+               (* dense rhs exercises the fallback gate *)
+               check_rhs (Array.init m (fun _ -> frand (-1.0) 1.0));
+               let pos = Random.State.int st m in
+               Lu.btran_unit ls ~pos ~dst:xs;
+               Lu.btran_unit ld ~pos ~dst:xd;
+               agree xs xd;
+               (* eta update: entering column B*w with w.(pos) = 1 *)
+               let w = Array.make m 0.0 in
+               for _ = 1 to Random.State.int st 3 do
+                 w.(Random.State.int st m) <- frand (-0.25) 0.25
+               done;
+               w.(pos) <- 1.0;
+               let a = Array.make m 0.0 in
+               for k = 0 to m - 1 do
+                 if w.(k) <> 0.0 then
+                   List.iter
+                     (fun (r, v) -> a.(r) <- a.(r) +. (w.(k) *. v))
+                     cols.(k)
+               done;
+               Svec.of_dense sv_src a;
+               Lu.ftran_sv ls ~src:sv_src ~dst:sv_dst;
+               Lu.ftran ld ~src:a ~dst:xd;
+               Svec.to_dense sv_dst xsv;
+               agree xsv xd;
+               Lu.update_sv ls ~pos ~alpha:sv_dst;
+               Lu.update ld ~pos ~alpha:xd;
+               let entering = ref [] in
+               Array.iteri
+                 (fun r v -> if v <> 0.0 then entering := (r, v) :: !entering)
+                 a;
+               cols.(pos) <- !entering
+             done
+           with Lu.Singular -> ());
+          !ok)
+
 (* --- Presolve -------------------------------------------------------------- *)
 
 let test_presolve_fixing () =
@@ -1660,6 +1785,7 @@ let () =
           prop_optimal_primal_within_row_bounds;
           prop_refactorize_preserves_primal;
         ] );
+      ("lu", [ prop_lu_kernels_agree ]);
       ( "presolve",
         [
           Alcotest.test_case "fixing" `Quick test_presolve_fixing;
