@@ -418,7 +418,28 @@ let serve_cmd =
            ~doc:"Warm-start cache entries (boards) retained, LRU; \
                  $(b,0) disables warm starts.")
   in
-  let run () socket workers queue_capacity cache_capacity knobs trace_out =
+  let max_batch_arg =
+    Arg.(value & opt int 1 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Coalesce up to $(docv) queued requests sharing a board, \
+                 method and solver configuration into one batch, solved \
+                 with one shared warm-up pass; $(b,1) (default) keeps the \
+                 plain FIFO.")
+  in
+  let linger_arg =
+    Arg.(value & opt float 0. & info [ "batch-linger-ms" ] ~docv:"MS"
+           ~doc:"After taking a request, wait up to $(docv) milliseconds \
+                 for more coalescable requests before solving (only with \
+                 $(b,--max-batch) > 1).")
+  in
+  let cache_file_arg =
+    Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"PATH"
+           ~doc:"Persist the warm-start cache: load $(docv) at startup \
+                 (if present; a corrupt file is ignored) and save it on \
+                 graceful shutdown, so a restarted daemon answers its \
+                 first repeat requests warm.")
+  in
+  let run () socket workers queue_capacity cache_capacity max_batch
+      batch_linger_ms cache_file knobs trace_out =
     let trace =
       match trace_out with
       | None -> Mm_obs.Trace.disabled
@@ -428,7 +449,8 @@ let serve_cmd =
       try
         Mm_service.Server.run
           (Mm_service.Server.options ~workers ~queue_capacity ~cache_capacity
-             ~default_knobs:knobs ~trace socket)
+             ~max_batch ~batch_linger_ms ?cache_file ~default_knobs:knobs
+             ~trace socket)
       with Mm_service.Server.Already_running path ->
         Printf.eprintf "mmap serve: a daemon is already listening on %s\n" path;
         exit 1
@@ -452,7 +474,8 @@ let serve_cmd =
              none. Stop it with $(b,mmap request --shutdown).")
     Term.(
       const run $ logs_term $ socket_arg $ workers_arg $ queue_arg
-      $ cache_arg $ Solver_flags.term $ Solver_flags.trace_arg)
+      $ cache_arg $ max_batch_arg $ linger_arg $ cache_file_arg
+      $ Solver_flags.term $ Solver_flags.trace_arg)
 
 (* ---- request ---------------------------------------------------------- *)
 
@@ -488,7 +511,19 @@ let request_cmd =
     Arg.(value & flag & info [ "shutdown" ]
            ~doc:"Ask the daemon to shut down gracefully.")
   in
-  let run () socket board design method_ id repeat knobs stats shutdown =
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry a request answered $(b,overloaded) up to $(docv) \
+                 extra times with exponential backoff and jitter \
+                 (default $(b,0): backpressure is surfaced, not absorbed).")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS"
+           ~doc:"Initial retry backoff; doubles per attempt (with \
+                 $(b,--retries)).")
+  in
+  let run () socket board design method_ id repeat knobs stats shutdown
+      retries backoff =
     let fail msg =
       Printf.eprintf "%s\n" msg;
       exit 1
@@ -516,7 +551,27 @@ let request_cmd =
             List.init (max 1 repeat) line
         | _ -> fail "request: need --board and --design (or --stats/--shutdown)"
     in
-    match Mm_service.Client.roundtrip ~socket lines with
+    let resps =
+      if retries <= 0 then Mm_service.Client.roundtrip ~socket lines
+      else
+        (* per-line connections: an overloaded answer releases the
+           daemon-side reader between attempts, and each line backs
+           off independently *)
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+              match
+                Mm_service.Client.request_retry ~retries ~backoff ~socket line
+              with
+              | Error e, _ -> Error e
+              | Ok resp, attempts ->
+                  if attempts > 1 then
+                    Printf.eprintf "request: %d attempts\n%!" attempts;
+                  go (resp :: acc) rest)
+        in
+        go [] lines
+    in
+    match resps with
     | Error e -> fail e
     | Ok resps ->
         List.iter print_endline resps;
@@ -543,7 +598,7 @@ let request_cmd =
     Term.(
       const run $ logs_term $ socket_arg $ board_arg $ design_arg
       $ method_arg $ id_arg $ repeat_arg $ Solver_flags.term $ stats_arg
-      $ shutdown_arg)
+      $ shutdown_arg $ retries_arg $ backoff_arg)
 
 (* ---- trace-summary ---------------------------------------------------- *)
 

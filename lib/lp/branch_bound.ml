@@ -92,6 +92,32 @@ let empty_pseudocosts =
 let pseudocosts_observations pc =
   Array.fold_left ( + ) 0 pc.up_cnt + Array.fold_left ( + ) 0 pc.dn_cnt
 
+let pseudocosts_export pc =
+  ( Array.copy pc.up_sum,
+    Array.copy pc.up_cnt,
+    Array.copy pc.dn_sum,
+    Array.copy pc.dn_cnt )
+
+let pseudocosts_import ~up_sum ~up_cnt ~dn_sum ~dn_cnt =
+  let n = Array.length up_sum in
+  if Array.length up_cnt <> n || Array.length dn_sum <> n
+     || Array.length dn_cnt <> n
+  then Error "pseudocost arrays have mismatched lengths"
+  else if Array.exists (fun c -> c < 0) up_cnt || Array.exists (fun c -> c < 0) dn_cnt
+  then Error "pseudocost observation counts must be non-negative"
+  else if
+    Array.exists (fun v -> not (Float.is_finite v)) up_sum
+    || Array.exists (fun v -> not (Float.is_finite v)) dn_sum
+  then Error "pseudocost sums must be finite"
+  else
+    Ok
+      {
+        up_sum = Array.copy up_sum;
+        up_cnt = Array.copy up_cnt;
+        dn_sum = Array.copy dn_sum;
+        dn_cnt = Array.copy dn_cnt;
+      }
+
 type result = {
   status : status;
   solution : float array option;

@@ -117,6 +117,22 @@ val pseudocosts_observations : pseudocosts -> int
 (** Total branching observations recorded (up and down combined);
     [0] for {!empty_pseudocosts}. *)
 
+val pseudocosts_export :
+  pseudocosts -> float array * int array * float array * int array
+(** Plain-data view for persistence:
+    [(up_sum, up_count, down_sum, down_count)], one entry per column.
+    Arrays are copies. *)
+
+val pseudocosts_import :
+  up_sum:float array ->
+  up_cnt:int array ->
+  dn_sum:float array ->
+  dn_cnt:int array ->
+  (pseudocosts, string) Stdlib.result
+(** Rebuilds a snapshot from {!pseudocosts_export} data. Rejects
+    mismatched array lengths, negative observation counts and
+    non-finite sums — the validation a persisted cache file needs. *)
+
 type result = {
   status : status;
   solution : float array option;  (** structural values of the incumbent *)

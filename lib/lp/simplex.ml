@@ -1048,6 +1048,28 @@ let basis_snapshot t =
   done;
   { b = Array.copy t.basis; status }
 
+(* persistence view: status bytes '\000'..'\003' travel as the ASCII
+   digits '0'..'3' so the serialized form is printable JSON *)
+let basis_export { b; status } =
+  let s = Bytes.map (fun c -> Char.chr (Char.code c + Char.code '0')) status in
+  (Array.copy b, Bytes.to_string s)
+
+let basis_import ~b ~status =
+  let ok = ref true in
+  String.iter (fun c -> if c < '0' || c > '3' then ok := false) status;
+  if not !ok then Error "basis status has characters outside '0'..'3'"
+  else if String.length status < Array.length b then
+    Error "basis status shorter than the basic-variable array"
+  else
+    Ok
+      {
+        b = Array.copy b;
+        status =
+          Bytes.map
+            (fun c -> Char.chr (Char.code c - Char.code '0'))
+            (Bytes.of_string status);
+      }
+
 let restore_basis t { b; status } =
   let ms = Array.length b and nts = Bytes.length status in
   (* a snapshot from the same problem with fewer rows (taken before

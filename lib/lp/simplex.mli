@@ -168,6 +168,20 @@ val restore_basis : t -> basis -> unit
     factorization is rebuilt on the next {!solve} (or by an explicit
     {!refactorize}). *)
 
+val basis_export : basis -> int array * string
+(** Plain-data view of a snapshot for persistence: the basic-variable
+    array (one entry per row) and one status character per variable,
+    drawn from ['0'] (nonbasic at lower), ['1'] (at upper), ['2']
+    (free) and ['3'] (basic). Arrays are copies — mutating them cannot
+    corrupt the snapshot. *)
+
+val basis_import : b:int array -> status:string -> (basis, string) Stdlib.result
+(** Rebuilds a snapshot from {!basis_export} data. Rejects status
+    strings with characters outside ['0'..'3'] or shorter than [b] —
+    the validation a persisted (possibly hand-edited or truncated)
+    cache file needs before {!restore_basis}'s own dimension guards
+    run. *)
+
 (** {2 Tableau access}
 
     Read-only access to the optimal basis, for cut separation (Gomory

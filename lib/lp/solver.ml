@@ -135,6 +135,132 @@ let warm_observations w =
   | None -> 0
   | Some pc -> Branch_bound.pseudocosts_observations pc
 
+(* ---- warm-state persistence ------------------------------------------- *)
+
+(* Everything that is plain data travels: solve count, original
+   dimensions, the root basis (with the reduced-problem dimensions that
+   guard it) and the pseudocost table. The presolve component is a
+   closure (the recovery function) and deliberately does NOT: the first
+   solve after a reload re-runs presolve — deterministic for the
+   identical problem the cache key guarantees — which re-derives the
+   exact reduced dimensions the persisted basis is guarded by, so basis
+   and pseudocosts still apply. *)
+let warm_to_json w =
+  let module J = Mm_obs.Json in
+  let num n = J.Num (float_of_int n) in
+  let int_arr a = J.List (Array.to_list (Array.map num a)) in
+  let flt_arr a = J.List (Array.to_list (Array.map (fun v -> J.Num v) a)) in
+  let basis =
+    match w.w_basis with
+    | None -> J.Null
+    | Some b ->
+        let bb, status = Simplex.basis_export b in
+        let bc, br = w.w_basis_dims in
+        J.Obj
+          [
+            ("b", int_arr bb);
+            ("status", J.Str status);
+            ("cols", num bc);
+            ("rows", num br);
+          ]
+  in
+  let pc =
+    match w.w_pc with
+    | None -> J.Null
+    | Some pc ->
+        let up_sum, up_cnt, dn_sum, dn_cnt =
+          Branch_bound.pseudocosts_export pc
+        in
+        J.Obj
+          [
+            ("up_sum", flt_arr up_sum);
+            ("up_cnt", int_arr up_cnt);
+            ("dn_sum", flt_arr dn_sum);
+            ("dn_cnt", int_arr dn_cnt);
+          ]
+  in
+  let oc, orows = w.w_orig_dims in
+  J.Obj
+    [
+      ("solves", num w.w_solves);
+      ("orig_cols", num oc);
+      ("orig_rows", num orows);
+      ("basis", basis);
+      ("pseudocosts", pc);
+    ]
+
+let warm_of_json j =
+  let module J = Mm_obs.Json in
+  let ( let* ) = Result.bind in
+  let int_field obj f =
+    match Option.bind (J.member f obj) J.to_int with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "warm: bad %s field" f)
+  in
+  let int_array obj f =
+    match J.member f obj with
+    | Some (J.List xs) -> (
+        let ints = List.filter_map J.to_int xs in
+        match List.length ints = List.length xs with
+        | true -> Ok (Array.of_list ints)
+        | false -> Error (Printf.sprintf "warm: %s has non-integer entries" f))
+    | _ -> Error (Printf.sprintf "warm: missing array %s" f)
+  in
+  let flt_array obj f =
+    match J.member f obj with
+    | Some (J.List xs) -> (
+        let fs = List.filter_map J.to_float xs in
+        match List.length fs = List.length xs with
+        | true -> Ok (Array.of_list fs)
+        | false -> Error (Printf.sprintf "warm: %s has non-number entries" f))
+    | _ -> Error (Printf.sprintf "warm: missing array %s" f)
+  in
+  let* solves = int_field j "solves" in
+  let* orig_cols = int_field j "orig_cols" in
+  let* orig_rows = int_field j "orig_rows" in
+  let* basis =
+    match J.member "basis" j with
+    | None | Some J.Null -> Ok None
+    | Some obj ->
+        let* b = int_array obj "b" in
+        let* status =
+          match Option.bind (J.member "status" obj) J.to_str with
+          | Some s -> Ok s
+          | None -> Error "warm: basis without status string"
+        in
+        let* cols = int_field obj "cols" in
+        let* rows = int_field obj "rows" in
+        let* snap =
+          Result.map_error (fun e -> "warm: " ^ e)
+            (Simplex.basis_import ~b ~status)
+        in
+        Ok (Some (snap, (cols, rows)))
+  in
+  let* pc =
+    match J.member "pseudocosts" j with
+    | None | Some J.Null -> Ok None
+    | Some obj ->
+        let* up_sum = flt_array obj "up_sum" in
+        let* up_cnt = int_array obj "up_cnt" in
+        let* dn_sum = flt_array obj "dn_sum" in
+        let* dn_cnt = int_array obj "dn_cnt" in
+        let* pc =
+          Result.map_error (fun e -> "warm: " ^ e)
+            (Branch_bound.pseudocosts_import ~up_sum ~up_cnt ~dn_sum ~dn_cnt)
+        in
+        Ok (Some pc)
+  in
+  Ok
+    {
+      w_presolved = None;
+      w_orig_dims = (orig_cols, orig_rows);
+      w_basis = Option.map fst basis;
+      w_basis_dims =
+        (match basis with Some (_, dims) -> dims | None -> (0, 0));
+      w_pc = pc;
+      w_solves = solves;
+    }
+
 let no_cut_stats =
   {
     Cut_pool.added = 0;

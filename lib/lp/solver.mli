@@ -140,6 +140,21 @@ val warm_has_basis : warm -> bool
 val warm_observations : warm -> int
 (** Pseudocost branching observations carried ([0] when untrained). *)
 
+val warm_to_json : warm -> Mm_obs.Json.t
+(** Serializes the plain-data components — solve count, original
+    dimensions, root basis, pseudocosts — for cross-process cache
+    persistence. The presolve component (a recovery closure) is not
+    serializable and is dropped: the first solve after
+    {!warm_of_json} re-runs presolve (deterministic for the identical
+    problem the cache contract guarantees), after which basis and
+    pseudocosts apply exactly as they would in-process. *)
+
+val warm_of_json : Mm_obs.Json.t -> (warm, string) Stdlib.result
+(** Inverse of {!warm_to_json}, validating array lengths, status
+    characters and count signs so a corrupt or hand-edited file
+    surfaces as [Error] (the caller degrades to a cold start) rather
+    than undefined solver behavior. *)
+
 val solve : ?options:options -> ?warm:warm -> Problem.t -> result
 (** Solves to proven optimality unless limits are set. The solution in
     [mip.solution] is expressed in the {e original} variable space

@@ -218,6 +218,17 @@ let render events =
         else None)
       events
   in
+  (* histograms named [*_size] hold raw magnitudes (e.g. members per
+     coalesced batch), not durations: the wire format still scales
+     buckets to "seconds", so multiply back by 1e9 and render them
+     unitless in their own table *)
+  let size_hists, hists =
+    List.partition
+      (fun (name, _) ->
+        String.length name > 5
+        && String.sub name (String.length name - 5) 5 = "_size")
+      hists
+  in
   (if hists <> [] then
      let tbl =
        Mm_util.Table.create ~title:"Latency histograms"
@@ -249,6 +260,38 @@ let render events =
              Printf.sprintf "%gus" (mx *. 1e6);
            ])
        hists;
+     section "" (Mm_util.Table.render tbl));
+  (if size_hists <> [] then
+     let tbl =
+       Mm_util.Table.create ~title:"Size histograms"
+         [
+           ("op", Mm_util.Table.Left);
+           ("samples", Mm_util.Table.Right);
+           ("total", Mm_util.Table.Right);
+           ("mean", Mm_util.Table.Right);
+           ("p50", Mm_util.Table.Right);
+           ("p99", Mm_util.Table.Right);
+           ("max bucket", Mm_util.Table.Right);
+         ]
+     in
+     let pctl bk q =
+       match percentile bk q with
+       | Some ub -> Printf.sprintf "%g" (ub *. 1e9)
+       | None -> "-"
+     in
+     List.iter
+       (fun (name, (n, tot, mx, bk)) ->
+         Mm_util.Table.add_row tbl
+           [
+             name;
+             string_of_int n;
+             Printf.sprintf "%g" (tot *. 1e9);
+             Printf.sprintf "%.2f" (tot /. float_of_int (max n 1) *. 1e9);
+             pctl bk 0.5;
+             pctl bk 0.99;
+             Printf.sprintf "%g" (mx *. 1e9);
+           ])
+       size_hists;
      section "" (Mm_util.Table.render tbl));
   (* per-domain search statistics *)
   let doms =

@@ -84,6 +84,110 @@ let release t (l : lease) =
               { warm = l.warm; leased = false; last_used = t.tick }
           end)
 
+(* ---- cross-process persistence ---------------------------------------- *)
+
+let file_version = 1
+
+let save t path =
+  let module J = Mm_obs.Json in
+  let entries =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun key e acc ->
+            (* a leased entry is mid-solve; its warm state is being
+               mutated by the borrower and cannot be snapshotted *)
+            if e.leased then acc
+            else (key, e.last_used, Mm_lp.Solver.warm_to_json e.warm) :: acc)
+          t.tbl [])
+  in
+  (* least recently used first, so a reload replays the LRU order *)
+  let entries = List.sort (fun (_, a, _) (_, b, _) -> compare a b) entries in
+  let json =
+    J.Obj
+      [
+        ("version", J.Num (float_of_int file_version));
+        ( "entries",
+          J.List
+            (List.map
+               (fun (key, _, w) -> J.Obj [ ("key", J.Str key); ("warm", w) ])
+               entries) );
+      ]
+  in
+  match
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (J.to_string json);
+        output_char oc '\n');
+    Sys.rename tmp path
+  with
+  | () -> Ok (List.length entries)
+  | exception Sys_error e -> Error e
+
+let load t path =
+  let module J = Mm_obs.Json in
+  let ( let* ) = Result.bind in
+  let decoded =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e -> Error e
+    | text ->
+        let* json =
+          Result.map_error
+            (fun e -> "cache file is not JSON: " ^ e)
+            (J.of_string text)
+        in
+        let* () =
+          match Option.bind (J.member "version" json) J.to_int with
+          | Some v when v = file_version -> Ok ()
+          | Some v -> Error (Printf.sprintf "unsupported cache version %d" v)
+          | None -> Error "cache file has no version field"
+        in
+        let* entries =
+          match J.member "entries" json with
+          | Some (J.List es) -> Ok es
+          | _ -> Error "cache file has no entries array"
+        in
+        (* decode everything before installing anything: a corrupt
+           entry rejects the whole file (cold start), never a
+           half-loaded cache *)
+        List.fold_left
+          (fun acc entry ->
+            let* acc = acc in
+            let* key =
+              match Option.bind (J.member "key" entry) J.to_str with
+              | Some k -> Ok k
+              | None -> Error "cache entry without key"
+            in
+            let* warm =
+              match J.member "warm" entry with
+              | Some w -> Mm_lp.Solver.warm_of_json w
+              | None -> Error "cache entry without warm state"
+            in
+            Ok ((key, warm) :: acc))
+          (Ok []) entries
+        |> Result.map List.rev
+  in
+  match decoded with
+  | Error _ as e -> e
+  | Ok entries ->
+      (* keep at most [capacity], preferring the most recently used
+         (the tail of the saved LRU order) *)
+      let entries =
+        let excess = List.length entries - t.capacity in
+        if excess > 0 then List.filteri (fun i _ -> i >= excess) entries
+        else entries
+      in
+      locked t (fun () ->
+          List.iter
+            (fun (key, warm) ->
+              t.tick <- t.tick + 1;
+              Hashtbl.replace t.tbl key
+                { warm; leased = false; last_used = t.tick })
+            entries);
+      Ok (List.length entries)
+
 let stats t =
   locked t (fun () ->
       {

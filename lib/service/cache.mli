@@ -28,6 +28,27 @@ val release : t -> lease -> unit
 (** Call exactly once per lease, after the solve (even a failed one —
     partial training is still training). *)
 
+(** {2 Cross-process persistence}
+
+    The warm index survives a daemon restart: {!save} snapshots every
+    unleased entry to a versioned JSON file on graceful shutdown and
+    {!load} rebuilds the index behind [--cache-file]. Persisted
+    entries drop the presolve component ({!Mm_lp.Solver.warm_to_json})
+    — the first post-restart solve re-runs presolve and then applies
+    the reloaded basis and pseudocosts. *)
+
+val save : t -> string -> (int, string) result
+(** [save t path] atomically (temp file + rename) writes the unleased
+    entries in LRU order; returns how many were written. *)
+
+val load : t -> string -> (int, string) result
+(** [load t path] decodes and installs at most [capacity] entries
+    (most recently used preferred), replacing same-key entries.
+    Nothing is installed unless the {e whole} file decodes: a corrupt,
+    truncated or version-mismatched file returns [Error] and the cache
+    is left exactly as it was — the caller logs and degrades to a cold
+    start. *)
+
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 val stats : t -> stats

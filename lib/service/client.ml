@@ -55,3 +55,36 @@ let request ~socket line =
   | Ok [ resp ] -> Ok resp
   | Ok _ -> Error "protocol error: response count mismatch"
   | Error e -> Error e
+
+(* only a decoded, typed [overloaded] error response triggers a retry:
+   transport errors and every other error code are final (a
+   [bad_request] will not become valid by waiting) *)
+let line_is_overloaded line =
+  match Mm_obs.Json.of_string line with
+  | Error _ -> false
+  | Ok j -> (
+      match Request.response_of_json j with
+      | Ok (Request.Error_response { code = Request.Overloaded; _ }) -> true
+      | _ -> false)
+
+let request_retry ?(retries = 0) ?(backoff = 0.05) ~socket line =
+  let retries = max 0 retries in
+  let backoff = Float.max 0. backoff in
+  let rng = lazy (Random.State.make_self_init ()) in
+  let rec go attempt =
+    let result = request ~socket line in
+    let overloaded =
+      match result with Ok l -> line_is_overloaded l | Error _ -> false
+    in
+    if overloaded && attempt <= retries then begin
+      (* full exponential step with ±25% jitter, capped — the jitter
+         decorrelates a thundering herd of clients that all saw the
+         same queue-full instant *)
+      let jitter = 0.75 +. Random.State.float (Lazy.force rng) 0.5 in
+      let step = backoff *. (2. ** float_of_int (attempt - 1)) *. jitter in
+      Thread.delay (Float.min step 5.);
+      go (attempt + 1)
+    end
+    else (result, attempt)
+  in
+  go 1

@@ -17,3 +17,19 @@ val roundtrip : socket:string -> string list -> (string list, string) result
 
 val request : socket:string -> string -> (string, string) result
 (** One-line {!roundtrip}. *)
+
+val request_retry :
+  ?retries:int ->
+  ?backoff:float ->
+  socket:string ->
+  string ->
+  (string, string) result * int
+(** {!request} with bounded retry on backpressure: when the daemon
+    answers a typed [{"code":"overloaded"}] response, sleep and resend
+    — up to [retries] extra attempts (default [0]: plain {!request}).
+    The sleep doubles each attempt from [backoff] seconds (default
+    0.05) with ±25% jitter, capped at 5 s. Transport errors and every
+    other error code are returned immediately — only backpressure is
+    transient by contract. Returns the final result paired with the
+    number of attempts made (≥ 1), so callers can surface how hard
+    they had to try. *)

@@ -51,3 +51,74 @@ print(f"serve smoke ok: {hits} warm hits, objective {objs.pop()}")
 EOF
 
 $MMAP trace-summary "$TRACE"
+
+# --- batched leg: same burst through a coalescing daemon ---------------------
+# One worker with a generous linger guarantees the burst coalesces; the
+# cache file makes the warm index survive the shutdown below.
+CACHE="$DIR/warm-cache.json"
+$MMAP serve -s "$SOCK" --workers 1 --max-batch 8 --batch-linger-ms 200 \
+  --cache-file "$CACHE" --time-limit 120 > "$DIR/serve-batch.out" 2>&1 &
+SRV=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "batched daemon did not bind $SOCK" >&2; exit 1; }
+
+$MMAP request -s "$SOCK" -b "$DIR/board.mm" -d "$DIR/design.mm" \
+  --repeat 6 > "$DIR/responses-batch.jsonl"
+$MMAP request -s "$SOCK" --stats | tee "$DIR/stats-batch.json"
+$MMAP request -s "$SOCK" --shutdown
+wait "$SRV"
+echo "--- batched daemon output:"
+cat "$DIR/serve-batch.out"
+
+python3 - "$DIR/responses-batch.jsonl" "$DIR/stats-batch.json" \
+  "$DIR/responses.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert len(lines) == 6, f"expected 6 responses, got {len(lines)}"
+for r in lines:
+    assert r["status"] == "ok", r
+objs = {r["report"]["objective"] for r in lines}
+assert len(objs) == 1, f"objectives diverge across the batch: {objs}"
+with open(sys.argv[3]) as f:
+    base = {json.loads(l)["report"]["objective"] for l in f if l.strip()}
+assert objs == base, f"batched objective {objs} != unbatched {base}"
+stats = json.load(open(sys.argv[2]))
+b = stats["batching"]
+assert b["batches_formed"] > 0, f"no batch formed: {stats}"
+assert b["coalesced_requests"] > 0, f"nothing coalesced: {stats}"
+print(f"batched smoke ok: {b['batches_formed']} batches, "
+      f"{b['coalesced_requests']} coalesced, objective {objs.pop()}")
+EOF
+
+[ -f "$CACHE" ] || { echo "daemon did not write $CACHE" >&2; exit 1; }
+
+# --- restart leg: the warm index survives the process ------------------------
+$MMAP serve -s "$SOCK" --workers 1 --cache-file "$CACHE" --time-limit 120 \
+  > "$DIR/serve-restart.out" 2>&1 &
+SRV=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "restarted daemon did not bind $SOCK" >&2; exit 1; }
+
+$MMAP request -s "$SOCK" -b "$DIR/board.mm" -d "$DIR/design.mm" \
+  > "$DIR/responses-restart.jsonl"
+$MMAP request -s "$SOCK" --shutdown
+wait "$SRV"
+echo "--- restarted daemon output:"
+cat "$DIR/serve-restart.out"
+
+python3 - "$DIR/responses-restart.jsonl" "$DIR/responses.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert len(lines) == 1, f"expected 1 response, got {len(lines)}"
+r = lines[0]
+assert r["status"] == "ok", r
+assert r["cache"] == "hit", f"first post-restart request missed: {r}"
+assert r["warm_solves"] > 0, f"reloaded state carries no training: {r}"
+with open(sys.argv[2]) as f:
+    base = {json.loads(l)["report"]["objective"] for l in f if l.strip()}
+assert r["report"]["objective"] in base, \
+    f"post-restart objective {r['report']['objective']} != {base}"
+print(f"restart smoke ok: warm hit with {r['warm_solves']} prior solves")
+EOF

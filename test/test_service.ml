@@ -331,12 +331,16 @@ let test_engine_time_limit () =
 
 (* --- server ----------------------------------------------------------------- *)
 
-let with_server ?(workers = 2) ?(queue_capacity = 16) f =
+let with_server ?(workers = 2) ?(queue_capacity = 16) ?(max_batch = 1)
+    ?(batch_linger_ms = 0.) ?cache_file f =
   let dir = Filename.temp_file "mm_service_test" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let socket = Filename.concat dir "mm.sock" in
-  let opts = Server.options ~workers ~queue_capacity socket in
+  let opts =
+    Server.options ~workers ~queue_capacity ~max_batch ~batch_linger_ms
+      ?cache_file socket
+  in
   let ready_mu = Mutex.create () in
   let ready_cv = Condition.create () in
   let ready = ref false in
@@ -519,6 +523,344 @@ let test_server_control_ops () =
   in
   ()
 
+(* --- batch coalescing ------------------------------------------------------- *)
+
+let prop_batch_key_tracks_knob_fingerprint =
+  (* two requests for the same board/method share a batch iff their
+     knobs agree on every fingerprinted field — any solver-visible
+     difference must separate them *)
+  qtest ~count:60 "batch key separates exactly on knob fingerprint"
+    (QCheck.pair request_arb knobs_arb) (fun (r, k2) ->
+      let r2 = { r with Request.knobs = k2 } in
+      let same_fp =
+        Knobs.fingerprint_string r.Request.knobs = Knobs.fingerprint_string k2
+      in
+      (Request.batch_key r = Request.batch_key r2) = same_fp)
+
+let prop_batch_key_ignores_time_limit =
+  qtest ~count:40 "time limit never separates a batch" request_arb (fun r ->
+      let r2 =
+        {
+          r with
+          Request.knobs = { r.Request.knobs with Knobs.time_limit = Some 42.0 };
+        }
+      in
+      Request.batch_key r = Request.batch_key r2)
+
+let test_batch_key_shares_across_designs () =
+  (* different designs on one board coalesce (same batch key) but must
+     not share warm state (different fingerprint) *)
+  let board, design = small_instance () in
+  let rng = Mm_util.Prng.create 99 in
+  let design2 = Mm_workload.Gen.random_design rng ~segments:5 board in
+  let r1 = Request.make ~id:"a" board design in
+  let r2 = Request.make ~id:"b" board design2 in
+  Alcotest.(check string)
+    "same batch key"
+    (Request.batch_key r1)
+    (Request.batch_key r2);
+  if
+    Mm_io.Design_file.to_string design <> Mm_io.Design_file.to_string design2
+  then
+    Alcotest.(check bool)
+      "distinct designs get distinct fingerprints" true
+      (Request.fingerprint r1 <> Request.fingerprint r2)
+
+let batch_requests_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* extra = int_range 1 2 in
+    let rng = Mm_util.Prng.create seed in
+    let board = Mm_workload.Gen.random_board rng in
+    let d1 = Mm_workload.Gen.random_design rng ~segments:3 board in
+    (* a duplicated design exercises the in-batch warm-hit path; the
+       extras exercise cross-design grouping *)
+    let designs =
+      d1 :: d1
+      :: List.init extra (fun _ ->
+             Mm_workload.Gen.random_design rng ~segments:3 board)
+    in
+    return
+      (List.mapi
+         (fun i d -> Request.make ~id:(Printf.sprintf "m%d" i) board d)
+         designs))
+
+let batch_requests_arb =
+  QCheck.make
+    ~print:(fun rs ->
+      String.concat "\n"
+        (List.map (fun r -> J.to_string (Request.to_json r)) rs))
+    batch_requests_gen
+
+let response_equivalent a b =
+  match (a, b) with
+  | Request.Ok_response ra, Request.Ok_response rb ->
+      let obj r = Option.bind (J.member "objective" r) J.to_float in
+      ra.id = rb.id
+      && (match (obj ra.report, obj rb.report) with
+         | Some x, Some y ->
+             Float.abs (x -. y) <= 1e-6 *. Float.max 1.0 (Float.abs x)
+         | None, None -> true
+         | _ -> false)
+  | Request.Error_response ea, Request.Error_response eb ->
+      ea.id = eb.id && ea.code = eb.code
+  | _ -> false
+
+let prop_batch_equivalence =
+  qtest ~count:6 "batched responses match unbatched solves"
+    batch_requests_arb (fun reqs ->
+      let solo = Engine.create () in
+      let unbatched = List.map (Engine.handle solo) reqs in
+      let eng = Engine.create () in
+      let out : (string, Request.response) Hashtbl.t = Hashtbl.create 8 in
+      let started = ref 0 in
+      let members =
+        List.map
+          (fun r ->
+            {
+              Engine.req = r;
+              started = (fun () -> incr started);
+              respond = (fun resp -> Hashtbl.replace out r.Request.id resp);
+            })
+          reqs
+      in
+      Engine.run_batch eng members;
+      if !started <> List.length reqs then
+        QCheck.Test.fail_reportf "started %d of %d members" !started
+          (List.length reqs);
+      List.for_all2
+        (fun r solo_resp ->
+          match Hashtbl.find_opt out r.Request.id with
+          | None ->
+              QCheck.Test.fail_reportf "member %s never answered" r.Request.id
+          | Some batch_resp ->
+              response_equivalent solo_resp batch_resp
+              || QCheck.Test.fail_reportf "member %s diverged: %s vs %s"
+                   r.Request.id
+                   (J.to_string (Request.response_to_json solo_resp))
+                   (J.to_string (Request.response_to_json batch_resp)))
+        reqs unbatched)
+
+let test_run_batch_counters () =
+  let board, design = small_instance () in
+  let eng = Engine.create () in
+  let members n =
+    List.init n (fun i ->
+        {
+          Engine.req = Request.make ~id:(Printf.sprintf "c%d" i) board design;
+          started = ignore;
+          respond = ignore;
+        })
+  in
+  Engine.run_batch eng (members 1);
+  let s = Engine.batch_stats eng in
+  Alcotest.(check int) "singletons form no batch" 0 s.Engine.batches_formed;
+  Engine.run_batch eng (members 3);
+  let s = Engine.batch_stats eng in
+  Alcotest.(check int) "one batch formed" 1 s.Engine.batches_formed;
+  Alcotest.(check int) "two members coalesced" 2 s.Engine.coalesced_requests;
+  Alcotest.(check int)
+    "identical members ride warm state" 2 s.Engine.batch_warm_hits
+
+(* --- warm-cache persistence -------------------------------------------------- *)
+
+let with_temp_file f =
+  let file = Filename.temp_file "mm_cache" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () -> f file)
+
+let test_cache_persistence_roundtrip () =
+  with_temp_file (fun file ->
+      let board, design = small_instance () in
+      let req = Request.make ~id:"p" board design in
+      let e1 = Engine.create () in
+      let obj1 =
+        match Engine.handle e1 req with
+        | Request.Ok_response { report; _ } ->
+            Option.bind (J.member "objective" report) J.to_float
+        | Request.Error_response { message; _ } ->
+            Alcotest.failf "training solve failed: %s" message
+      in
+      (match Cache.save (Engine.cache e1) file with
+      | Ok n -> Alcotest.(check bool) "saved an entry" true (n >= 1)
+      | Error e -> Alcotest.failf "save: %s" e);
+      (* a second process: fresh engine, reload the file *)
+      let e2 = Engine.create () in
+      (match Cache.load (Engine.cache e2) file with
+      | Ok n -> Alcotest.(check bool) "loaded an entry" true (n >= 1)
+      | Error e -> Alcotest.failf "load: %s" e);
+      match Engine.handle e2 req with
+      | Request.Ok_response { cache_hit; warm_solves; report; _ } ->
+          Alcotest.(check bool) "first post-restart solve hits" true cache_hit;
+          Alcotest.(check bool) "training survived" true (warm_solves > 0);
+          Alcotest.(check (option (float 1e-6)))
+            "same objective as before the restart" obj1
+            (Option.bind (J.member "objective" report) J.to_float);
+          (* the reloaded basis/pseudocosts must actually apply *)
+          let warm_applied =
+            Option.bind (J.member "lp" report) (J.member "warm_applied")
+          in
+          (match warm_applied with
+          | Some (J.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail "reloaded state was not applied")
+      | Request.Error_response { message; _ } ->
+          Alcotest.failf "post-restart solve failed: %s" message)
+
+let test_cache_persistence_rejects_corrupt () =
+  let check_rejected label text =
+    with_temp_file (fun file ->
+        Out_channel.with_open_text file (fun oc -> output_string oc text);
+        let c = Cache.create ~capacity:4 in
+        (match Cache.load c file with
+        | Error _ -> ()
+        | Ok n -> Alcotest.failf "%s: load accepted %d entries" label n);
+        Alcotest.(check int)
+          (label ^ ": nothing installed")
+          0 (Cache.stats c).Cache.entries;
+        (* cold start still works after the rejected load *)
+        let l = Cache.acquire c "k" in
+        Alcotest.(check bool) (label ^ ": cold acquire") false l.Cache.hit;
+        Cache.release c l)
+  in
+  check_rejected "garbage" "not json {{{";
+  check_rejected "wrong version" {|{"version":99,"entries":[]}|};
+  check_rejected "missing entries" {|{"version":1}|};
+  check_rejected "invalid warm state"
+    {|{"version":1,"entries":[{"key":"k","warm":{"solves":-1,"orig_cols":0,"orig_rows":0,"basis":null,"pseudocosts":null}}]}|}
+
+let test_cache_save_load_file_roundtrip () =
+  (* save of a loaded cache reproduces the same entries *)
+  with_temp_file (fun file ->
+      let board, design = small_instance () in
+      let e1 = Engine.create () in
+      ignore (Engine.handle e1 (Request.make ~id:"x" board design));
+      (match Cache.save (Engine.cache e1) file with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      let c2 = Cache.create ~capacity:8 in
+      let n1 =
+        match Cache.load c2 file with
+        | Ok n -> n
+        | Error e -> Alcotest.failf "load: %s" e
+      in
+      with_temp_file (fun file2 ->
+          (match Cache.save c2 file2 with
+          | Ok n2 -> Alcotest.(check int) "entry count survives" n1 n2
+          | Error e -> Alcotest.failf "re-save: %s" e);
+          let c3 = Cache.create ~capacity:8 in
+          match Cache.load c3 file2 with
+          | Ok n3 -> Alcotest.(check int) "re-load count" n1 n3
+          | Error e -> Alcotest.failf "re-load: %s" e))
+
+(* --- server batching / client retry ------------------------------------------ *)
+
+let test_server_batched_burst () =
+  let board, design = small_instance () in
+  let n = 6 in
+  let (objs, batching), _ =
+    with_server ~workers:1 ~max_batch:8 ~batch_linger_ms:300. (fun socket ->
+        let lines =
+          List.init n (fun i ->
+              J.to_string
+                (Request.to_json
+                   (Request.make ~id:(Printf.sprintf "b%d" i) board design)))
+        in
+        match Client.roundtrip ~socket lines with
+        | Error e -> Alcotest.failf "client: %s" e
+        | Ok replies ->
+            Alcotest.(check int) "every burst member answered" n
+              (List.length replies);
+            let objs =
+              List.map
+                (fun line ->
+                  match decode_response line with
+                  | Request.Ok_response { report; _ } -> (
+                      match
+                        Option.bind (J.member "objective" report) J.to_float
+                      with
+                      | Some o -> o
+                      | None -> Alcotest.fail "response without objective")
+                  | Request.Error_response { code; message; _ } ->
+                      Alcotest.failf "burst member failed (%s): %s"
+                        (Request.error_code_to_string code)
+                        message)
+                replies
+            in
+            let batching =
+              match Client.request ~socket {|{"id":"s","op":"stats"}|} with
+              | Error e -> Alcotest.failf "stats: %s" e
+              | Ok reply -> (
+                  match J.of_string reply with
+                  | Error e -> Alcotest.failf "stats reply not JSON: %s" e
+                  | Ok json -> (
+                      match J.member "batching" json with
+                      | Some b -> b
+                      | None -> Alcotest.fail "stats without batching object"))
+            in
+            (objs, batching))
+  in
+  (match objs with
+  | o :: rest ->
+      List.iter
+        (fun o' ->
+          Alcotest.(check (float 1e-6)) "batched objectives identical" o o')
+        rest
+  | [] -> Alcotest.fail "no responses");
+  let num k =
+    match Option.bind (J.member k batching) J.to_int with
+    | Some v -> v
+    | None -> Alcotest.failf "batching.%s missing" k
+  in
+  Alcotest.(check bool) "a batch formed" true (num "batches_formed" >= 1);
+  Alcotest.(check bool)
+    "requests coalesced" true
+    (num "coalesced_requests" >= 1);
+  Alcotest.(check bool)
+    "members rode in-batch warm state" true
+    (num "batch_warm_hits" >= 1)
+
+let test_client_retry_overloaded () =
+  let board, design = small_instance () in
+  let (), _ =
+    with_server ~queue_capacity:0 (fun socket ->
+        let line =
+          J.to_string (Request.to_json (Request.make ~id:"rt" board design))
+        in
+        let result, attempts =
+          Client.request_retry ~retries:2 ~backoff:1e-3 ~socket line
+        in
+        Alcotest.(check int) "all attempts spent" 3 attempts;
+        match result with
+        | Error e -> Alcotest.failf "transport error: %s" e
+        | Ok reply -> (
+            match decode_response reply with
+            | Request.Error_response { code = Request.Overloaded; _ } -> ()
+            | _ -> Alcotest.fail "still expected overloaded"))
+  in
+  ()
+
+let test_client_retry_not_needed () =
+  let board, design = small_instance () in
+  let (), _ =
+    with_server (fun socket ->
+        let line =
+          J.to_string (Request.to_json (Request.make ~id:"ok" board design))
+        in
+        let result, attempts =
+          Client.request_retry ~retries:3 ~backoff:1e-3 ~socket line
+        in
+        Alcotest.(check int) "no retry on success" 1 attempts;
+        match result with
+        | Error e -> Alcotest.failf "transport error: %s" e
+        | Ok reply -> (
+            match decode_response reply with
+            | Request.Ok_response _ -> ()
+            | Request.Error_response { message; _ } ->
+                Alcotest.failf "unexpected error: %s" message))
+  in
+  ()
+
 let () =
   Alcotest.run "mm_service"
     [
@@ -561,5 +903,33 @@ let () =
           Alcotest.test_case "refuses live socket" `Quick
             test_server_refuses_live_socket;
           Alcotest.test_case "control ops" `Quick test_server_control_ops;
+        ] );
+      ( "batching",
+        [
+          prop_batch_key_tracks_knob_fingerprint;
+          prop_batch_key_ignores_time_limit;
+          Alcotest.test_case "key shared across designs" `Quick
+            test_batch_key_shares_across_designs;
+          prop_batch_equivalence;
+          Alcotest.test_case "run_batch counters" `Quick
+            test_run_batch_counters;
+          Alcotest.test_case "server batched burst" `Quick
+            test_server_batched_burst;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_cache_persistence_roundtrip;
+          Alcotest.test_case "corrupt file cold-starts" `Quick
+            test_cache_persistence_rejects_corrupt;
+          Alcotest.test_case "file round-trip counts" `Quick
+            test_cache_save_load_file_roundtrip;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "retry on overloaded" `Quick
+            test_client_retry_overloaded;
+          Alcotest.test_case "no retry on success" `Quick
+            test_client_retry_not_needed;
         ] );
     ]
